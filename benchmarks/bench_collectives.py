@@ -1,0 +1,77 @@
+"""Section 2-3: MPIBench measures collectives at *every* process.
+
+"...the globally synchronised clock enables it to measure the
+communication performance characteristics of all of the processes in an
+MPI program, instead of ... measuring completion times of collective
+operations at just a single process."
+
+Regenerates bcast and barrier scaling tables (per-rank completion-time
+distributions) and asserts the tree-algorithm shapes:
+
+* bcast completion time grows ~log2(P), far slower than linearly;
+* per-rank completion spread exists (leaves finish after early children)
+  -- the thing single-process timing cannot see;
+* barrier time grows with P and is bounded below by the network latency.
+"""
+
+import numpy as np
+
+from conftest import BENCH_REPS, SEED, write_figure
+from repro._tables import format_table, format_time
+from repro.mpibench import BenchSettings, MPIBench
+from repro.simnet import perseus
+
+
+def _campaign():
+    bench = MPIBench(
+        perseus(64), seed=SEED, settings=BenchSettings(reps=25, warmup=3)
+    )
+    bcast = {
+        n: bench.run_bcast(nodes=n, ppn=1, sizes=[1024]) for n in (2, 8, 32)
+    }
+    barrier = {
+        n: bench.run_barrier(nodes=n, ppn=1) for n in (2, 8, 32)
+    }
+    return bcast, barrier
+
+
+def test_collective_scaling(benchmark, out_dir, spec):
+    bcast, barrier = benchmark.pedantic(_campaign, rounds=1, iterations=1)
+
+    rows = []
+    for n in (2, 8, 32):
+        hb = bcast[n].histograms[1024]
+        hr = barrier[n].histograms[0]
+        rows.append([
+            str(n),
+            format_time(hb.mean),
+            format_time(hb.quantile(0.95) - hb.quantile(0.05)),
+            format_time(hr.mean),
+        ])
+    write_figure(
+        out_dir, "collectives",
+        format_table(
+            ["nodes", "bcast 1KB mean", "bcast per-rank spread (p5-p95)",
+             "barrier mean"],
+            rows,
+            title="Collective scaling (binomial bcast, dissemination barrier)",
+        ),
+    )
+
+    # Log-tree scaling: 32 ranks need ~5 rounds vs 1 round at 2 ranks;
+    # a linear algorithm would be ~31x slower, the tree far less.
+    b2 = bcast[2].histograms[1024].mean
+    b32 = bcast[32].histograms[1024].mean
+    assert b32 < 12 * b2, "bcast should scale ~log P, not linearly"
+    assert b32 > b2, "more ranks must cost something"
+
+    # Per-rank completion spread at 32 ranks: the tree delivers leaves
+    # later than first-level children.
+    h32 = bcast[32].histograms[1024]
+    assert h32.quantile(0.9) > 1.5 * h32.quantile(0.1)
+
+    # Barrier grows with machine size and is latency-bounded.
+    r2 = barrier[2].histograms[0].mean
+    r32 = barrier[32].histograms[0].mean
+    assert r32 > r2
+    assert barrier[2].histograms[0].min > 0

@@ -1,0 +1,82 @@
+"""The thesis-level cross-network claim.
+
+"Experiments with a variety of parallel programs with different
+communication patterns have demonstrated that PEVPM gives accurate
+performance predictions on a variety of cluster computers with different
+communication networks [9, 10]."
+
+Runs the whole pipeline (benchmark -> model -> predict -> measure) on a
+*second* simulated machine -- a Gigabit-Ethernet cluster -- and asserts:
+PEVPM stays accurate there; and the two networks' contention profiles
+differ the way the hardware says they should (milder on Gigabit).
+"""
+
+from conftest import SEED, write_figure
+from repro._tables import format_table, format_time
+from repro.apps.jacobi import jacobi_smpi, parse_jacobi
+from repro.mpibench import BenchSettings, MPIBench, compare_configs
+from repro.pevpm import predict, timing_from_db
+from repro.simnet import gigabit_cluster, perseus
+from repro.smpi import run_program
+
+ITERATIONS = 100
+SIZES = [0, 512, 1024, 2048]
+CONFIGS = [(1, 2), (2, 1), (8, 1), (16, 1)]
+
+
+def _pipeline(spec):
+    bench = MPIBench(spec, seed=SEED, settings=BenchSettings(reps=30, warmup=3))
+    db = bench.sweep_isend(CONFIGS, sizes=SIZES)
+    params = {
+        "iterations": ITERATIONS,
+        "xsize": 256,
+        "serial_time": spec.jacobi_serial_time,
+    }
+    measured = run_program(
+        spec, jacobi_smpi, nprocs=16, ppn=1, seed=42, args=(ITERATIONS,)
+    ).elapsed
+    pred = predict(
+        parse_jacobi(), 16, timing_from_db(db, "distribution"),
+        runs=4, seed=7, params=params,
+    )
+    return db, measured, pred.mean_time
+
+
+def test_crossnetwork_prediction(benchmark, out_dir):
+    results = benchmark.pedantic(
+        lambda: {
+            "perseus (Fast Ethernet)": _pipeline(perseus(16)),
+            "gigabit": _pipeline(gigabit_cluster(16)),
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for name, (_db, measured, predicted) in results.items():
+        err = (predicted - measured) / measured
+        rows.append([name, format_time(measured), format_time(predicted),
+                     f"{err * 100:+.1f}%"])
+    write_figure(
+        out_dir, "crossnetwork",
+        format_table(
+            ["cluster", "measured (Jacobi 16p)", "PEVPM predicted", "error"],
+            rows,
+            title="PEVPM accuracy across communication networks",
+        ),
+    )
+
+    for name, (_db, measured, predicted) in results.items():
+        err = abs(predicted - measured) / measured
+        assert err < 0.15, f"{name}: {err * 100:.0f}% off"
+
+    # The gigabit machine is simply faster for the same program.
+    t_fast = results["perseus (Fast Ethernet)"][1]
+    t_giga = results["gigabit"][1]
+    assert t_giga < t_fast
+
+    # And its small-message latency profile dominates at every size.
+    db_fast = results["perseus (Fast Ethernet)"][0]
+    db_giga = results["gigabit"][0]
+    for comp in compare_configs(db_fast, db_giga, "isend", (2, 1)):
+        assert comp.mean_ratio < 1.0

@@ -1,0 +1,108 @@
+"""Section 2's instrumentation claims: parametrised PDFs and the clock.
+
+Two benches:
+
+* parametric fits -- "It is also possible to use parametrised functions to
+  model the PDFs, based on fits to the histograms using standard
+  functions": fit gamma/lognormal to the measured distributions, check
+  fit quality, and verify the fitted functions can *replace* histograms
+  as a PEVPM sampling source with similar predictions;
+* clock synchronisation -- one-way times need the globally synchronised
+  clock: quantify the error of raw local clocks vs. the synchronised one
+  against the simulator's ground truth.
+"""
+
+import numpy as np
+
+from conftest import write_figure
+from repro._tables import format_table, format_time
+from repro.apps.jacobi import parse_jacobi
+from repro.mpibench import fit_histogram
+from repro.mpibench.clocksync import sync_clocks
+from repro.pevpm import predict, timing_from_db
+from repro.smpi import run_program
+
+
+def test_parametric_fits(benchmark, small_db, out_dir):
+    def fits():
+        out = {}
+        for cfg in ((2, 1), (64, 1)):
+            h = small_db.result("isend", *cfg).histograms[1024]
+            out[cfg] = (h, fit_histogram(h))
+        return out
+
+    results = benchmark.pedantic(fits, rounds=1, iterations=1)
+    rows = []
+    for cfg, (h, fit) in results.items():
+        rows.append([
+            f"{cfg[0]}x{cfg[1]}",
+            fit.family,
+            f"{fit.ks:.3f}",
+            format_time(h.mean),
+            format_time(fit.mean),
+        ])
+    write_figure(
+        out_dir, "distfit",
+        format_table(
+            ["config", "family", "KS distance", "data mean", "fit mean"],
+            rows,
+            title="Parametrised fits to 1 KB isend distributions",
+        ),
+    )
+    for cfg, (h, fit) in results.items():
+        assert fit.ks < 0.30, f"{cfg}: poor fit (KS {fit.ks:.2f})"
+        assert abs(fit.mean - h.mean) / h.mean < 0.10, cfg
+
+
+def test_parametric_timing_backend(benchmark, spec, fig6_db):
+    """Predictions from fitted functions track histogram predictions."""
+    params = {"iterations": 60, "xsize": 256, "serial_time": spec.jacobi_serial_time}
+
+    def both():
+        hist_pred = predict(
+            parse_jacobi(), 16, timing_from_db(fig6_db, "distribution"),
+            runs=3, seed=4, params=params,
+        )
+        par_pred = predict(
+            parse_jacobi(), 16, timing_from_db(fig6_db, "parametric"),
+            runs=3, seed=4, params=params,
+        )
+        return hist_pred.mean_time, par_pred.mean_time
+
+    hist_t, par_t = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert abs(par_t - hist_t) / hist_t < 0.10
+
+
+def test_clock_sync_error(benchmark, spec, out_dir):
+    """Synchronised-clock error vs raw-clock error, against ground truth."""
+
+    def program(comm):
+        corr = yield from sync_clocks(comm, rounds=8, drift_gap=0.3)
+        yield from comm.compute(2.0)  # let drift build up
+        yield from comm.barrier()
+        return comm.clock(), corr.to_global(comm.clock()), comm.true_time()
+
+    def study():
+        r = run_program(spec, program, nprocs=8, ppn=1, seed=6)
+        raw, synced, truth = zip(*r.returns)
+        base_r, base_s, base_t = raw[0], synced[0], truth[0]
+        raw_err = max(
+            abs(v - (base_r + (t - base_t))) for v, t in zip(raw, truth)
+        )
+        sync_err = max(
+            abs(v - (base_s + (t - base_t))) for v, t in zip(synced, truth)
+        )
+        return raw_err, sync_err
+
+    raw_err, sync_err = benchmark.pedantic(study, rounds=1, iterations=1)
+    write_figure(
+        out_dir, "clocksync",
+        format_table(
+            ["clock", "max cross-node error"],
+            [["raw local clocks", format_time(raw_err)],
+             ["MPIBench synchronised clock", format_time(sync_err)]],
+            title="Clock error after 2 s of drift (vs simulator ground truth)",
+        ),
+    )
+    assert sync_err < 10e-6, "synchronised clock must be microsecond-accurate"
+    assert raw_err > 100 * sync_err, "raw clocks should be orders worse"

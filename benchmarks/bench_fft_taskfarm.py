@@ -1,0 +1,95 @@
+"""Section 6's other two application classes: regular-global and irregular.
+
+"We have also tested the PEVPM using applications that are standard
+examples of the two other general classes of communication patterns in
+parallel programs: a Fast Fourier Transform ... and a bag of tasks ...
+the PEVPM provides similarly good performance predictions in those cases."
+
+Predicted vs. measured for the parallel FFT (alltoall transpose) and the
+task farm (dynamic master/worker), at two machine sizes each.
+"""
+
+import numpy as np
+
+from conftest import write_figure
+from repro._tables import format_table, format_time
+from repro.apps.fft import distribute_input, fft_model, fft_smpi
+from repro.apps.taskfarm import make_tasks, taskfarm_model, taskfarm_smpi
+from repro.pevpm import predict, timing_from_db
+from repro.smpi import run_program
+
+FFT_POINTS = 8192
+N_TASKS = 120
+
+
+def _fft_measured(spec, nprocs):
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=FFT_POINTS) + 1j * rng.normal(size=FFT_POINTS)
+    chunks = distribute_input(x, nprocs)
+
+    def prog(comm):
+        _out, t = yield from fft_smpi(comm, chunks[comm.rank], FFT_POINTS)
+        return t
+
+    return run_program(spec, prog, nprocs=nprocs, seed=42).elapsed
+
+
+def test_fft_prediction(benchmark, spec, fig6_db, out_dir):
+    timing = timing_from_db(fig6_db, mode="distribution")
+
+    def study():
+        out = {}
+        for nprocs in (8, 16):
+            measured = _fft_measured(spec, nprocs)
+            pred = predict(fft_model(FFT_POINTS), nprocs, timing, runs=4, seed=3)
+            out[nprocs] = (measured, pred.mean_time)
+        return out
+
+    rows = benchmark.pedantic(study, rounds=1, iterations=1)
+    table_rows = [
+        [str(n), format_time(m), format_time(p), f"{(p - m) / m * 100:+.1f}%"]
+        for n, (m, p) in rows.items()
+    ]
+    write_figure(
+        out_dir, "fft_prediction",
+        format_table(
+            ["procs", "measured", "PEVPM predicted", "error"],
+            table_rows,
+            title=f"Parallel FFT ({FFT_POINTS} points): predicted vs measured",
+        ),
+    )
+    for n, (measured, predicted) in rows.items():
+        err = abs(predicted - measured) / measured
+        assert err < 0.25, f"FFT at {n} procs: {err * 100:.0f}% off"
+
+
+def test_taskfarm_prediction(benchmark, spec, fig6_db, out_dir):
+    timing = timing_from_db(fig6_db, mode="distribution")
+    tasks = make_tasks(N_TASKS, mean=5e-3, cv=0.6, seed=9)
+
+    def study():
+        out = {}
+        for nprocs in (4, 16):
+            measured = run_program(
+                spec, taskfarm_smpi, nprocs=nprocs, seed=1, args=(tasks,)
+            ).elapsed
+            pred = predict(taskfarm_model(tasks), nprocs, timing, runs=4, seed=3)
+            out[nprocs] = (measured, pred.mean_time)
+        return out
+
+    rows = benchmark.pedantic(study, rounds=1, iterations=1)
+    table_rows = [
+        [str(n), format_time(m), format_time(p), f"{(p - m) / m * 100:+.1f}%"]
+        for n, (m, p) in rows.items()
+    ]
+    write_figure(
+        out_dir, "taskfarm_prediction",
+        format_table(
+            ["procs", "measured", "PEVPM predicted", "error"],
+            table_rows,
+            title=f"Task farm ({N_TASKS} tasks): predicted vs measured",
+        ),
+    )
+    for n, (measured, predicted) in rows.items():
+        err = abs(predicted - measured) / measured
+        assert err < 0.15, f"task farm at {n} procs: {err * 100:.0f}% off"

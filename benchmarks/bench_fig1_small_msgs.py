@@ -1,0 +1,82 @@
+"""Figure 1: average MPI_Isend times for small messages, by n x p.
+
+Regenerates the paper's Figure 1 data series (average one-way time vs.
+message size, one curve per configuration, plus the contention-free
+``min`` curve) and asserts its qualitative shape:
+
+* average time rises with the number of communicating nodes and with the
+  number of processes per node;
+* the min curve lower-bounds everything;
+* a 1 KB message at 64x1 takes substantially longer (the paper: ~70%)
+  than at 2x1.
+"""
+
+import numpy as np
+
+from conftest import CURVE_CONFIGS, SMALL_SIZES, write_figure
+from repro.mpibench.report import average_times_table, contention_ratio
+
+
+def _series(db):
+    return {
+        f"{n}x{p}": [db.result("isend", n, p).histograms[s].mean for s in SMALL_SIZES]
+        for n, p in CURVE_CONFIGS
+    }
+
+
+def test_fig1_small_messages(benchmark, small_db, out_dir):
+    series = benchmark.pedantic(_series, args=(small_db,), rounds=1, iterations=1)
+
+    table = average_times_table(
+        small_db, "isend", SMALL_SIZES, CURVE_CONFIGS,
+        title="Figure 1: average MPI_Isend times, small messages (perseus)",
+    )
+    write_figure(out_dir, "fig1_small_msgs", table)
+
+    # Shape 1: every curve increases with message size -- within noise:
+    # at heavy contention (64x2) the per-message congestion dominates and
+    # the curve is nearly flat, so allow small sampled dips.
+    for label, curve in series.items():
+        assert all(
+            b >= a * 0.95 for a, b in zip(curve, curve[1:])
+        ), f"{label} not (noise-tolerantly) monotone in size"
+        assert curve[-1] >= curve[0], f"{label} does not rise overall"
+
+    # Shape 2: more communicating nodes -> slower, at every size.
+    by_nodes = [series[f"{n}x1"] for n, p in CURVE_CONFIGS if p == 1]
+    for i, size in enumerate(SMALL_SIZES):
+        col = [curve[i] for curve in by_nodes]
+        assert col == sorted(col), f"node ordering violated at {size} B"
+
+    # Shape 3: p=2 is slower than p=1 at the same node count (NIC sharing).
+    if ("64x2" in series) and ("64x1" in series):
+        assert all(
+            a > b for a, b in zip(series["64x2"], series["64x1"])
+        ), "SMP contention should slow every size"
+
+    # Shape 4: the min curve bounds all averages.
+    smallest = min(CURVE_CONFIGS, key=lambda c: c[0] * c[1])
+    mins = [
+        small_db.result("isend", *smallest).histograms[s].min for s in SMALL_SIZES
+    ]
+    for label, curve in series.items():
+        assert all(m <= v * 1.001 for m, v in zip(mins, curve)), label
+
+    # Shape 5: the paper's 1 KB observation -- 64x1 well above 2x1
+    # (the paper reports ~1.7x; accept a generous band around it).
+    ratio = contention_ratio(small_db, "isend", 1024, big=(64, 1), small=(2, 1))
+    assert 1.3 < ratio < 2.5, f"1KB 64x1/2x1 ratio {ratio:.2f} out of band"
+
+
+def test_fig1_dispersion_grows_with_contention(benchmark, small_db):
+    """Companion check: not just means -- the distributions disperse."""
+
+    def spread(cfg):
+        h = small_db.result("isend", *cfg).histograms[1024]
+        return h.std / h.mean
+
+    result = benchmark.pedantic(
+        lambda: (spread((2, 1)), spread((64, 1))), rounds=1, iterations=1
+    )
+    cv_2x1, cv_64x1 = result
+    assert cv_64x1 > 2 * cv_2x1

@@ -1,0 +1,92 @@
+"""Figure 2: average MPI_Isend times for large messages, by n x p.
+
+Regenerates the large-message sweep and asserts:
+
+* the 16 KB protocol knee: per-byte cost jumps when crossing the eager ->
+  rendezvous switch ("there are actually two distinct segments to the
+  data, with a knee occurring at 16 Kbytes");
+* saturation: for the 64-node configurations, times at and beyond 16 KB
+  sit far above a bandwidth extrapolation of the 2x1 curve (the onset of
+  inter-switch saturation);
+* contention matters relatively *less* at large sizes (until saturation):
+  the 64x1 / 2x1 ratio at 4 KB is below the ratio at 0-1 KB.
+"""
+
+from conftest import CURVE_CONFIGS, LARGE_SIZES, write_figure
+from repro.mpibench.report import average_times_table
+
+
+def _mean(db, cfg, size):
+    return db.result("isend", *cfg).histograms[size].mean
+
+
+def test_fig2_large_messages(benchmark, large_db, out_dir):
+    table = benchmark.pedantic(
+        average_times_table,
+        args=(large_db, "isend", LARGE_SIZES, CURVE_CONFIGS),
+        kwargs={"title": "Figure 2: average MPI_Isend times, large messages (perseus)"},
+        rounds=1,
+        iterations=1,
+    )
+    write_figure(out_dir, "fig2_large_msgs", table)
+
+    # Rendezvous sizes cost more per byte overall: the average slope above
+    # 16 KB exceeds the eager-regime slope.
+    t1k = _mean(large_db, (2, 1), 1024)
+    t16k = _mean(large_db, (2, 1), 16384)
+    t64k = _mean(large_db, (2, 1), 65536)
+    slope_eager = (t16k - t1k) / (16384 - 1024)
+    slope_rndv = (t64k - t16k) / (65536 - 16384)
+    assert slope_rndv > slope_eager
+
+
+def test_fig2_knee_at_protocol_threshold(benchmark, spec, out_dir):
+    """The knee itself, measured by straddling the 16 KB threshold: one
+    extra KB of payload costs far more than bandwidth alone because the
+    protocol switches to rendezvous (RTS/CTS round trip)."""
+    from repro.mpibench import BenchSettings, MPIBench
+
+    def straddle():
+        bench = MPIBench(spec, seed=2, settings=BenchSettings(reps=30, warmup=3))
+        r = bench.run_isend(nodes=2, ppn=1, sizes=[15360, 16384, 17408])
+        return {s: r.histograms[s].mean for s in (15360, 16384, 17408)}
+
+    t = benchmark.pedantic(straddle, rounds=1, iterations=1)
+    below = t[16384] - t[15360]  # +1 KB inside the eager regime
+    across = t[17408] - t[16384]  # +1 KB crossing into rendezvous
+    lines = [
+        "Figure 2 knee: cost of +1 KB around the 16 KB protocol threshold",
+        f"  15360 -> 16384 B (eager)      : +{below * 1e6:7.1f} us",
+        f"  16384 -> 17408 B (rendezvous) : +{across * 1e6:7.1f} us",
+    ]
+    write_figure(out_dir, "fig2_knee", "\n".join(lines))
+    assert across > below + 100e-6, (
+        f"expected an RTS/CTS jump at the knee (got +{across * 1e6:.0f} us "
+        f"vs +{below * 1e6:.0f} us in the eager regime)"
+    )
+
+
+def test_fig2_saturation_of_64_node_configs(benchmark, large_db, out_dir):
+    def ratios():
+        return {
+            size: _mean(large_db, (64, 1), size) / _mean(large_db, (2, 1), size)
+            for size in LARGE_SIZES
+        }
+
+    r = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    lines = ["Figure 2 companion: 64x1 / 2x1 mean-time ratio by size"]
+    for size, ratio in r.items():
+        lines.append(f"  {size:>7d} B : {ratio:5.2f}x")
+    write_figure(out_dir, "fig2_saturation_ratio", "\n".join(lines))
+
+    # Saturation: at/beyond 16 KB the 64-node config degrades well beyond
+    # the contention-free curve ("this degradation starts to become
+    # significant for the 64x1 process case when message sizes reach about
+    # 16 Kbytes").
+    assert r[16384] > 1.3
+    assert r[65536] > 1.3
+
+    # Relative contention effect shrinks from small to mid sizes before
+    # saturation: 4 KB ratio below the 1 KB ratio.
+    if 4096 in r:
+        assert r[4096] <= r[1024] * 1.15

@@ -1,0 +1,74 @@
+"""Figure 3: sampled performance PDFs, small messages at 64x2.
+
+"...performance distributions ... recorded for 64x2 communicating
+processes exchanging messages between 0 and 1024 bytes in size ... the
+distributions have a relatively smooth rise from a bounded minimum time,
+through a peak which occurs very close to the average time and drop off
+fairly quickly to some maximum time."
+
+Asserts those three properties (bounded sharp left edge, peak near the
+mean, fast right decay) for every measured size, plus the growth of
+dispersion with contention relative to 2x1.
+"""
+
+import numpy as np
+
+from conftest import SMALL_SIZES, write_figure
+from repro.mpibench.report import pdf_plots
+
+
+def _hist(db, cfg, size):
+    return db.result("isend", *cfg).histograms[size]
+
+
+def test_fig3_pdf_shapes(benchmark, small_db, out_dir):
+    cfg = (64, 2) if (64, 2) in small_db.configs("isend") else (64, 1)
+    result = small_db.result("isend", *cfg)
+
+    plots = benchmark.pedantic(
+        pdf_plots, args=(result, SMALL_SIZES), kwargs={"width": 64, "height": 7},
+        rounds=1, iterations=1,
+    )
+    write_figure(out_dir, "fig3_pdf_small", plots)
+
+    for size in SMALL_SIZES:
+        h = result.histograms[size]
+
+        # Bounded minimum with a sharp left edge: the 5th percentile sits
+        # close to the minimum relative to the distribution's width.
+        width = h.quantile(0.95) - h.min
+        left_edge = h.quantile(0.05) - h.min
+        assert left_edge < 0.45 * width, f"size {size}: left edge not sharp"
+
+        # Peak (mode) close to the average: locate the tallest bin.
+        centres, density = h.pdf()
+        mode = centres[int(np.argmax(density))]
+        assert abs(mode - h.mean) < 0.5 * (h.max - h.min + 1e-12), (
+            f"size {size}: mode {mode} far from mean {h.mean}"
+        )
+
+        # Fast right decay: well under 10% of mass in the top half of the
+        # observed range.
+        halfway = h.min + 0.5 * (h.max - h.min)
+        assert h.tail_mass(halfway) < 0.10, f"size {size}: heavy tail"
+
+
+def test_fig3_dispersion_vs_2x1(benchmark, small_db, out_dir):
+    cfg = (64, 2) if (64, 2) in small_db.configs("isend") else (64, 1)
+
+    def spreads():
+        out = {}
+        for size in SMALL_SIZES:
+            h_base = _hist(small_db, (2, 1), size)
+            h_cont = _hist(small_db, cfg, size)
+            out[size] = (h_base.std, h_cont.std)
+        return out
+
+    s = benchmark.pedantic(spreads, rounds=1, iterations=1)
+    lines = [f"Figure 3 companion: distribution spread (std), 2x1 vs {cfg[0]}x{cfg[1]}"]
+    for size, (base, cont) in s.items():
+        lines.append(f"  {size:>5d} B : {base * 1e6:7.2f} us -> {cont * 1e6:7.2f} us")
+    write_figure(out_dir, "fig3_dispersion", "\n".join(lines))
+
+    for size, (base, cont) in s.items():
+        assert cont > 2 * base, f"size {size}: contention should widen the PDF"

@@ -1,0 +1,77 @@
+"""Figure 4: performance PDFs under network saturation (64x1, large).
+
+"Severe performance degradation due to network saturation can be clearly
+seen in the long tails of the performance distributions ... Severe
+contention on an Ethernet network, however, sometimes leads to lost
+messages and thus retransmissions, which leads to outliers in the
+distribution at values related to the network's retransmission timeout
+parameters."
+
+Asserts: saturated configurations show RTO-scale outliers; unsaturated
+ones do not; the outliers cluster near the RTO value; and the tails carry
+far more relative mass than the contention-free distributions.
+"""
+
+import numpy as np
+
+from conftest import LARGE_SIZES, write_figure
+from repro.mpibench.report import pdf_plots, tail_report
+
+
+def test_fig4_saturation_tails(benchmark, large_db, out_dir, spec):
+    result = large_db.result("isend", 64, 1)
+
+    out = benchmark.pedantic(
+        lambda: (pdf_plots(result, LARGE_SIZES[-2:], width=64, height=7),
+                 tail_report(result, rto=spec.tcp.rto)),
+        rounds=1, iterations=1,
+    )
+    write_figure(out_dir, "fig4_pdf_saturation", out[0] + "\n\n" + out[1])
+
+    # RTO-scale outliers exist in the saturated regime (>= 16 KB).
+    saturated_sizes = [s for s in LARGE_SIZES if s >= 16384]
+    outlier_mass = sum(
+        result.histograms[s].tail_mass(spec.tcp.rto / 2) for s in saturated_sizes
+    )
+    assert outlier_mass > 0, "expected retransmission outliers at 64x1"
+
+    # And the worst observation sits near (at or above) the RTO.
+    worst = max(result.histograms[s].max for s in saturated_sizes)
+    assert worst >= spec.tcp.rto, (
+        f"worst time {worst * 1e3:.1f} ms below the {spec.tcp.rto * 1e3:.0f} ms RTO"
+    )
+
+
+def test_fig4_no_outliers_without_saturation(benchmark, large_db, spec):
+    def masses():
+        r2 = large_db.result("isend", 2, 1)
+        return {s: r2.histograms[s].tail_mass(spec.tcp.rto / 2) for s in LARGE_SIZES}
+
+    m = benchmark.pedantic(masses, rounds=1, iterations=1)
+    assert all(v == 0.0 for v in m.values()), (
+        f"contention-free runs must not stall on retransmissions: {m}"
+    )
+
+
+def test_fig4_relative_tail_mass(benchmark, large_db, out_dir):
+    """Tail mass beyond 2x the median: saturated config >> contention-free."""
+
+    def relative_tails(cfg):
+        r = large_db.result("isend", *cfg)
+        out = {}
+        for s in LARGE_SIZES:
+            h = r.histograms[s]
+            out[s] = h.tail_mass(2 * h.quantile(0.5))
+        return out
+
+    tails = benchmark.pedantic(
+        lambda: (relative_tails((2, 1)), relative_tails((64, 1))),
+        rounds=1, iterations=1,
+    )
+    free, sat = tails
+    lines = ["Figure 4 companion: mass beyond 2x median"]
+    for s in LARGE_SIZES:
+        lines.append(f"  {s:>7d} B : 2x1 {free[s] * 100:5.2f}%  64x1 {sat[s] * 100:5.2f}%")
+    write_figure(out_dir, "fig4_tail_mass", "\n".join(lines))
+
+    assert sum(sat.values()) > sum(free.values())

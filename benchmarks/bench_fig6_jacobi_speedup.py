@@ -1,0 +1,120 @@
+"""Figure 6: PEVPM-predicted vs measured Jacobi speedups, 2-64 x 1-2.
+
+The paper's headline experiment.  For each machine size we
+
+* execute the Jacobi iteration on the simulated Perseus (the "measured"
+  solid lines of Figure 6),
+* predict it with PEVPM under the four timing sources (the dashed and
+  dotted lines): full distributions (contention-conditioned), average and
+  minimum 2x1 ping-pong times, and average n x p times,
+
+then assert the paper's findings in shape:
+
+1. distribution-based predictions track the measurement at every size
+   (the paper reports <= 5%, usually 1%; our simulated-substrate
+   tolerance is 20% -- see EXPERIMENTS.md for actual values);
+2. min/avg ping-pong predictions *always overestimate performance*
+   (predict less time than measured) once contention matters;
+3. their error grows with the processor count;
+4. the distribution source is the most accurate of the four at scale.
+"""
+
+import numpy as np
+
+from conftest import FAST, write_figure
+from repro._tables import ascii_curve, format_table
+from repro.apps.jacobi import jacobi_serial_time, jacobi_smpi, parse_jacobi
+from repro.pevpm import compare_timing_modes
+from repro.smpi import run_program
+
+ITERATIONS = 60 if FAST else 120
+MACHINES = (
+    [(4, 1), (16, 1)] if FAST else [(4, 1), (16, 1), (32, 1), (64, 1), (128, 2)]
+)
+MODES = ["distribution-nxp", "average-2x1", "minimum-2x1", "average-nxp"]
+
+
+def _study(spec, db):
+    params = {
+        "iterations": ITERATIONS,
+        "xsize": 256,
+        "serial_time": spec.jacobi_serial_time,
+    }
+    model = parse_jacobi()
+    rows = {}
+    for nprocs, ppn in MACHINES:
+        measured = run_program(
+            spec, jacobi_smpi, nprocs=nprocs, ppn=ppn, seed=42, args=(ITERATIONS,)
+        ).elapsed
+        preds = compare_timing_modes(
+            model, nprocs, db, runs=4, seed=7, params=params, ppn=ppn
+        )
+        rows[(nprocs, ppn)] = (measured, {k: p.mean_time for k, p in preds.items()})
+    return rows
+
+
+def test_fig6_jacobi_speedups(benchmark, spec, fig6_db, out_dir):
+    rows = benchmark.pedantic(_study, args=(spec, fig6_db), rounds=1, iterations=1)
+    serial = jacobi_serial_time(spec, ITERATIONS)
+
+    # Render the Figure 6 table and curves.
+    table_rows = []
+    xs, curves = [], {"measured": []}
+    for (nprocs, ppn), (measured, preds) in rows.items():
+        xs.append(nprocs)
+        curves["measured"].append(serial / measured)
+        row = [f"{nprocs} ({ppn}/node)", f"{serial / measured:.2f}"]
+        for mode in MODES:
+            t = preds[mode]
+            curves.setdefault(mode, []).append(serial / t)
+            row.append(f"{serial / t:.2f} ({(t - measured) / measured * 100:+.0f}%)")
+        table_rows.append(row)
+    table = format_table(
+        ["procs", "measured"] + MODES, table_rows,
+        title=(
+            "Figure 6: Jacobi speedups, measured vs PEVPM predictions "
+            f"({ITERATIONS} iterations; % = predicted-time error)"
+        ),
+    )
+    plot = ascii_curve(xs, curves, width=64, height=14)
+    write_figure(out_dir, "fig6_jacobi_speedup", table + "\n\n" + plot)
+
+    # -- the paper's findings, as assertions ------------------------------
+    errors = {
+        mode: {
+            cfg: (preds[mode] - measured) / measured
+            for cfg, (measured, preds) in rows.items()
+        }
+        for mode in MODES
+    }
+
+    # 1. Distribution-based prediction is accurate at every machine size.
+    #    (The paper reports <=5%; against our simulated substrate the
+    #    observed range is ~0-20% -- see EXPERIMENTS.md -- so the guard is
+    #    set at 25% to fail on regressions, not on seed noise.)
+    for cfg, err in errors["distribution-nxp"].items():
+        assert abs(err) < 0.25, f"dist prediction at {cfg}: {err * 100:+.1f}%"
+
+    # 2. Ping-pong (2x1) sources overestimate performance under
+    #    contention (>= 64 communicating processes on this fabric).
+    big = [cfg for cfg in rows if cfg[0] >= 64]
+    for cfg in big:
+        assert errors["minimum-2x1"][cfg] < -0.10, cfg
+        assert errors["average-2x1"][cfg] < -0.10, cfg
+        # And minimum is at least as optimistic as average.
+        assert errors["minimum-2x1"][cfg] <= errors["average-2x1"][cfg] + 1e-9
+
+    # 3. The flawed sources' error grows with the processor count.
+    if len(MACHINES) >= 3:
+        sizes = sorted(rows)
+        first, last = sizes[0], sizes[-1]
+        assert abs(errors["minimum-2x1"][last]) > abs(errors["minimum-2x1"][first])
+
+    # 4. At the largest machine, distribution sampling beats every
+    #    alternative.
+    largest = sorted(rows)[-1]
+    dist_err = abs(errors["distribution-nxp"][largest])
+    for mode in MODES[1:]:
+        assert dist_err <= abs(errors[mode][largest]) + 1e-9, (
+            f"{mode} beat distribution sampling at {largest}"
+        )

@@ -1,0 +1,69 @@
+"""Section 3's analytic claim: T = l + b/W fits -- only without contention.
+
+"The similarity between minimum times and average times for this 2x1 case
+highlights the extremely small timing variations that occur when network
+congestion is eliminated.  When this is the case, message-passing time T
+can indeed be closely modelled by the common approximation T = l + b/W."
+
+Asserts: the Hockney fit on the 2x1 eager-regime curve is tight; the same
+model applied to a contended configuration misses badly; and min ~= avg at
+2x1 but not at 64x1.
+"""
+
+from conftest import SMALL_SIZES, write_figure
+from repro._tables import format_table, format_time
+from repro.models import fit_hockney
+
+
+def test_hockney_fits_contention_free_curve(benchmark, small_db, out_dir):
+    r2 = small_db.result("isend", 2, 1)
+    fit = benchmark.pedantic(
+        fit_hockney, args=(r2,), kwargs={"use": "min", "max_size": 16384},
+        rounds=1, iterations=1,
+    )
+
+    rows = [
+        ["latency l", format_time(fit.latency)],
+        ["bandwidth W", f"{fit.bandwidth * 8 / 1e6:.1f} Mbit/s"],
+        ["r_inf", f"{fit.r_inf * 8 / 1e6:.1f} Mbit/s"],
+        ["n_half", f"{fit.n_half:.0f} B"],
+        ["rms residual", format_time(fit.rms_residual)],
+    ]
+    write_figure(
+        out_dir, "hockney_fit",
+        format_table(["parameter", "value"], rows,
+                     title="Hockney T = l + b/W fit to the 2x1 min curve"),
+    )
+
+    # Tight fit in the contention-free regime: every size within 10%.
+    for size in SMALL_SIZES:
+        observed = r2.histograms[size].min
+        assert abs(fit.relative_error(size, observed)) < 0.10, size
+
+
+def test_hockney_misses_contended_configuration(benchmark, small_db):
+    r2 = small_db.result("isend", 2, 1)
+    r64 = small_db.result("isend", 64, 1)
+    fit = benchmark.pedantic(
+        fit_hockney, args=(r2,), kwargs={"use": "min"}, rounds=1, iterations=1
+    )
+    # The 2x1 model underestimates the contended averages badly at some
+    # size (this is exactly why PEVPM samples distributions instead).
+    worst = min(
+        fit.relative_error(size, r64.histograms[size].mean)
+        for size in SMALL_SIZES
+    )
+    assert worst < -0.30, f"expected >30% underestimation, got {worst * 100:.0f}%"
+
+
+def test_min_close_to_avg_only_without_contention(benchmark, small_db):
+    def gaps():
+        out = {}
+        for cfg in ((2, 1), (64, 1)):
+            h = small_db.result("isend", *cfg).histograms[1024]
+            out[cfg] = (h.mean - h.min) / h.min
+        return out
+
+    g = benchmark.pedantic(gaps, rounds=1, iterations=1)
+    assert g[(2, 1)] < 0.05  # min ~= avg at 2x1
+    assert g[(64, 1)] > 0.20  # far apart under contention

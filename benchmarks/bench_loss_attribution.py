@@ -1,0 +1,93 @@
+"""Section 5's diagnostic claims: loss attribution and deadlock discovery.
+
+"PEVPM is capable of automatically determining and highlighting the
+location and extent of performance loss due to any source.  In addition,
+it can also automatically discover program deadlock..."
+
+Benches: (a) the Jacobi loss breakdown -- the waiting share of total
+processor time grows with the machine size; (b) deadlock detection on an
+intentionally broken model names the blocked processes.
+"""
+
+import pytest
+
+from conftest import write_figure
+from repro._tables import format_table
+from repro.apps.jacobi import parse_jacobi
+from repro.pevpm import ModelDeadlock, VirtualMachine, predict, timing_from_db
+
+
+def test_loss_attribution_grows_with_scale(benchmark, spec, fig6_db, out_dir):
+    params = {"iterations": 60, "xsize": 256, "serial_time": spec.jacobi_serial_time}
+    timing = timing_from_db(fig6_db, mode="distribution")
+
+    def study():
+        out = {}
+        for nprocs in (4, 16, 64):
+            pred = predict(
+                parse_jacobi(), nprocs, timing, runs=2, seed=3,
+                params=params, trace_last=True,
+            )
+            out[nprocs] = pred.loss_report()
+        return out
+
+    reports = benchmark.pedantic(study, rounds=1, iterations=1)
+
+    rows = []
+    fractions = {}
+    for nprocs, report in reports.items():
+        frac = report.total_loss_fraction()
+        fractions[nprocs] = frac
+        hot = report.hotspots(top=1)[0]
+        rows.append([str(nprocs), f"{frac * 100:.1f}%", f"{hot[0]} {hot[1]}"])
+    write_figure(
+        out_dir, "loss_attribution",
+        format_table(
+            ["procs", "loss fraction", "top loss site"],
+            rows,
+            title="Jacobi performance-loss attribution (PEVPM trace)",
+        ),
+    )
+
+    # Communication/wait losses grow with scale for a fixed problem.
+    assert fractions[4] < fractions[16] < fractions[64]
+    # And the dominant loss site is a receive (waiting), not a send.
+    for report in reports.values():
+        assert report.hotspots(top=1)[0][0] == "recv"
+
+
+def test_deadlock_discovery(benchmark, fig6_db):
+    timing = timing_from_db(fig6_db, mode="distribution")
+
+    def broken(ctx):
+        # Everyone receives from the right neighbour; nobody ever sends.
+        yield ctx.recv((ctx.procnum + 1) % ctx.numprocs)
+
+    def run():
+        vm = VirtualMachine(4, timing, seed=0)
+        with pytest.raises(ModelDeadlock) as exc:
+            vm.run(broken)
+        return exc.value
+
+    err = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert set(err.blocked) == {0, 1, 2, 3}
+    assert err.orphans == []
+
+
+def test_orphan_message_reporting(benchmark, fig6_db):
+    """A send with no matching receive surfaces as an orphan -- the hook
+    for the paper's race-condition tracing."""
+    timing = timing_from_db(fig6_db, mode="distribution")
+
+    def leaky(ctx):
+        if ctx.procnum == 0:
+            yield ctx.send(1, 1024)  # never received
+        yield ctx.serial(1e-3)
+
+    def run():
+        vm = VirtualMachine(2, timing, seed=0)
+        return vm.run(leaky)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.orphans) == 1
+    assert result.orphans[0].dst == 1

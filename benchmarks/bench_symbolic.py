@@ -1,0 +1,73 @@
+"""Section 5's proposed extension: symbolic performance models.
+
+"...there is potential for the PEVPM methodology to be enhanced so that
+it produces entirely symbolic performance models rather than empirical
+ones, which would allow for even lower evaluation cost..."
+
+Extract a closed-form T(P) from a few anchored PEVPM evaluations of the
+Jacobi model, sweep it across many machine sizes, and compare accuracy
+and cost against the full Monte Carlo evaluation at held-out sizes.
+"""
+
+import time
+
+from conftest import write_figure
+from repro._tables import format_table, format_time
+from repro.apps.jacobi import parse_jacobi
+from repro.pevpm import extract_symbolic_model, predict, timing_from_db
+
+ANCHORS = [2, 8, 32]
+HOLDOUTS = [4, 16, 64]
+ITERATIONS = 60
+
+
+def test_symbolic_extraction(benchmark, spec, fig6_db, out_dir):
+    params = {
+        "iterations": ITERATIONS,
+        "xsize": 256,
+        "serial_time": spec.jacobi_serial_time,
+    }
+    model = parse_jacobi()
+    timing = timing_from_db(fig6_db, mode="distribution")
+
+    sym = benchmark.pedantic(
+        extract_symbolic_model,
+        args=(model, timing, ANCHORS),
+        kwargs={"params": params, "runs": 3, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    worst = 0.0
+    mc_cost = sym_cost = 0.0
+    for nprocs in HOLDOUTS:
+        t0 = time.perf_counter()
+        mc = predict(model, nprocs, timing, runs=3, seed=1, params=params)
+        mc_cost += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        closed = sym.time(nprocs)
+        sym_cost += time.perf_counter() - t0
+        err = (closed - mc.mean_time) / mc.mean_time
+        worst = max(worst, abs(err))
+        rows.append([
+            str(nprocs), format_time(mc.mean_time), format_time(closed),
+            f"{err * 100:+.1f}%",
+        ])
+    rows.append(["", "", "query cost",
+                 f"{mc_cost / max(sym_cost, 1e-9):.0f}x cheaper symbolically"])
+    write_figure(
+        out_dir, "symbolic_model",
+        format_table(
+            ["procs (held out)", "Monte Carlo PEVPM", "symbolic T(P)", "error"],
+            rows,
+            title=(
+                f"Symbolic model extracted from anchors {ANCHORS} "
+                f"(alpha={format_time(sym.alpha)}, beta={format_time(sym.beta)}/recv)"
+            ),
+        ),
+    )
+
+    assert sym.rms_relative_error < 0.10  # anchors reproduced
+    assert worst < 0.20, f"symbolic holdout error {worst * 100:.0f}%"
+    assert sym_cost < mc_cost / 3  # "even lower evaluation cost"

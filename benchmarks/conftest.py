@@ -1,0 +1,99 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each ``bench_*.py`` regenerates one table/figure of the paper (see
+DESIGN.md section 4), asserts its qualitative shape, and writes the
+rendered table to ``benchmarks/out/`` so EXPERIMENTS.md can cite it.
+
+Benchmark campaigns are expensive, so the distribution databases are
+session-scoped and cached to JSON under ``benchmarks/out/cache`` -- a
+re-run of the suite reuses them (delete the directory to force fresh
+measurements).  Set ``REPRO_BENCH_FAST=1`` for a reduced sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.mpibench import BenchSettings, DistributionDB, MPIBench
+from repro.simnet import perseus
+
+FAST = bool(int(os.environ.get("REPRO_BENCH_FAST", "0")))
+
+OUT_DIR = Path(__file__).parent / "out"
+CACHE_DIR = OUT_DIR / "cache"
+
+#: the paper's Figure 1 message sizes (small)
+SMALL_SIZES = [0, 64, 256, 512, 1024] if not FAST else [0, 256, 1024]
+#: the paper's Figure 2 message sizes (large)
+LARGE_SIZES = (
+    [1024, 4096, 16384, 32768, 65536] if not FAST else [1024, 16384, 65536]
+)
+#: n x p curves measured for Figures 1-2
+CURVE_CONFIGS = (
+    [(2, 1), (8, 1), (32, 1), (64, 1), (16, 2), (64, 2)]
+    if not FAST
+    else [(2, 1), (8, 1), (64, 1)]
+)
+#: configurations feeding the Figure 6 prediction study (includes the
+#: single-node config for intra-node message distributions)
+FIG6_CONFIGS = (
+    [(1, 2), (2, 1), (8, 1), (16, 1), (32, 1), (64, 1), (32, 2), (64, 2)]
+    if not FAST
+    else [(1, 2), (2, 1), (8, 1), (16, 1)]
+)
+FIG6_SIZES = [0, 512, 1024, 2048]
+
+BENCH_REPS = 40 if not FAST else 20
+SEED = 1
+
+
+def _cached_sweep(name: str, configs, sizes) -> DistributionDB:
+    CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    path = CACHE_DIR / f"{name}.json"
+    if path.exists():
+        return DistributionDB.load(path)
+    bench = MPIBench(
+        perseus(64), seed=SEED, settings=BenchSettings(reps=BENCH_REPS, warmup=5)
+    )
+    db = bench.sweep_isend(configs, sizes=sizes)
+    db.save(path)
+    return db
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def spec():
+    return perseus(64)
+
+
+@pytest.fixture(scope="session")
+def small_db() -> DistributionDB:
+    """Figure 1 sweep: small messages across the n x p curves."""
+    return _cached_sweep("small", CURVE_CONFIGS, SMALL_SIZES)
+
+
+@pytest.fixture(scope="session")
+def large_db() -> DistributionDB:
+    """Figure 2 sweep: large messages across the n x p curves."""
+    return _cached_sweep("large", CURVE_CONFIGS, LARGE_SIZES)
+
+
+@pytest.fixture(scope="session")
+def fig6_db() -> DistributionDB:
+    """The PEVPM input database for the Figure 6 prediction study."""
+    return _cached_sweep("fig6", FIG6_CONFIGS, FIG6_SIZES)
+
+
+def write_figure(out_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered figure/table and echo it to the bench log."""
+    path = out_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Working with PEVPM source annotations (the paper's Figure 5 workflow).
+
+Shows the full annotation path: take C source annotated with `// PEVPM`
+directives, parse it into a model, inspect the model's structure, run a
+traced prediction, and print the performance-loss attribution -- the
+"automatically determining and highlighting the location and extent of
+performance loss" capability of Section 5.
+
+Run:  python examples/annotated_source.py
+"""
+
+from repro.apps.jacobi import JACOBI_ANNOTATED_SOURCE, parse_jacobi
+from repro.mpibench import BenchSettings, MPIBench
+from repro.pevpm import model_messages, predict, timing_from_db
+from repro.pevpm.directives import Loop, Message, Runon, Serial
+from repro.simnet import perseus
+
+
+def describe(node, depth=0):
+    pad = "  " * depth
+    if isinstance(node, Loop):
+        print(f"{pad}Loop iterations={node.iterations}")
+        describe(node.body, depth + 1)
+    elif isinstance(node, Runon):
+        for cond, block in zip(node.conditions, node.blocks):
+            print(f"{pad}Runon {cond}")
+            describe(block, depth + 1)
+    elif isinstance(node, Message):
+        print(f"{pad}{node.kind.value} size={node.size} "
+              f"from={node.src} to={node.dst}")
+    elif isinstance(node, Serial):
+        on = f" on {node.machine}" if node.machine else ""
+        print(f"{pad}Serial{on} time={node.time}")
+    else:  # Block
+        for child in node.children:
+            describe(child, depth)
+
+
+def main() -> None:
+    n_annotations = sum(
+        1 for line in JACOBI_ANNOTATED_SOURCE.splitlines() if "// PEVPM" in line
+    )
+    print(f"annotated source: {n_annotations} PEVPM annotation lines\n")
+
+    model = parse_jacobi()
+    print("parsed model structure:")
+    describe(model)
+
+    params = {"iterations": 50, "xsize": 256, "serial_time": 3.24e-3}
+    for nprocs in (2, 4, 8):
+        msgs = model_messages(model, nprocs, params)
+        print(f"\nmessages for {nprocs} processes, 50 iterations: {msgs} "
+              f"(expected {50 * 2 * (nprocs - 1)})")
+
+    print("\nrunning a traced prediction for 8 processes...")
+    spec = perseus(16)
+    bench = MPIBench(spec, seed=1, settings=BenchSettings(reps=40))
+    db = bench.sweep_isend([(2, 1), (8, 1)], sizes=[0, 1024, 2048])
+    params["serial_time"] = spec.jacobi_serial_time
+    pred = predict(
+        model, 8, timing_from_db(db, "distribution"),
+        runs=3, seed=1, params=params, trace_last=True,
+    )
+    print(f"predicted time: {pred.mean_time * 1e3:.1f} ms "
+          f"(+/- {pred.stderr * 1e3:.2f} ms)\n")
+    print(pred.loss_report().format())
+
+    # Zoom the timeline into the first few iterations: # compute,
+    # s send, . waiting at a receive.
+    from repro.pevpm import render_timeline
+
+    trace = pred.results[-1].trace
+    print()
+    print(render_timeline(trace, 8, width=76,
+                          t_end=pred.results[-1].elapsed / 10))
+
+
+if __name__ == "__main__":
+    main()

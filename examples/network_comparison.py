@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Procurement study: Fast Ethernet vs Gigabit, before buying either.
+
+The workflow the paper's tools enable: benchmark two candidate cluster
+networks, compare their communication profiles, then predict a *specific
+application's* performance on both -- including at machine sizes you did
+not measure -- and check the prediction against (simulated) reality.
+
+Run:  python examples/network_comparison.py
+"""
+
+from repro._tables import format_table, format_time
+from repro.apps.jacobi import jacobi_smpi, parse_jacobi
+from repro.mpibench import BenchSettings, MPIBench, compare_configs
+from repro.pevpm import extract_symbolic_model, predict, timing_from_db
+from repro.simnet import gigabit_cluster, perseus
+from repro.smpi import run_program
+
+ITERS = 100
+SIZES = [0, 512, 1024, 2048]
+CONFIGS = [(1, 2), (2, 1), (8, 1), (16, 1)]
+
+
+def main() -> None:
+    specs = {
+        "fast-ethernet": perseus(16),
+        "gigabit": gigabit_cluster(16),
+    }
+
+    print("benchmarking both networks...")
+    dbs = {}
+    for name, spec in specs.items():
+        bench = MPIBench(spec, seed=1, settings=BenchSettings(reps=40))
+        dbs[name] = bench.sweep_isend(CONFIGS, sizes=SIZES)
+
+    # 1. Raw communication comparison.
+    comps = compare_configs(dbs["fast-ethernet"], dbs["gigabit"], "isend", (16, 1))
+    rows = [
+        [str(c.size), format_time(c.mean_a), format_time(c.mean_b),
+         f"{1 / c.mean_ratio:.1f}x", f"{1 / c.tail_ratio:.1f}x"]
+        for c in comps
+    ]
+    print()
+    print(format_table(
+        ["size (B)", "fast-eth mean", "gigabit mean", "mean speedup", "p99 speedup"],
+        rows,
+        title="16x1 one-way times: network comparison",
+    ))
+
+    # 2. Application prediction on both networks, checked against reality.
+    rows = []
+    for name, spec in specs.items():
+        params = {"iterations": ITERS, "xsize": 256,
+                  "serial_time": spec.jacobi_serial_time}
+        timing = timing_from_db(dbs[name], mode="distribution")
+        pred = predict(parse_jacobi(), 16, timing, runs=4, seed=7, params=params)
+        measured = run_program(
+            spec, jacobi_smpi, nprocs=16, ppn=1, seed=42, args=(ITERS,)
+        ).elapsed
+        err = (pred.mean_time - measured) / measured * 100
+        rows.append([name, format_time(pred.mean_time),
+                     format_time(measured), f"{err:+.1f}%"])
+    print()
+    print(format_table(
+        ["network", "PEVPM predicted", "measured", "error"],
+        rows,
+        title=f"Jacobi ({ITERS} iters, 16 procs) on both networks",
+    ))
+
+    # 3. Parametric what-if: symbolic T(P) sweeps with no extra sampling.
+    print()
+    print("symbolic what-if: Jacobi time vs machine size")
+    header = ["procs"] + list(specs)
+    sweep_rows = []
+    syms = {}
+    for name, spec in specs.items():
+        params = {"iterations": ITERS, "xsize": 256,
+                  "serial_time": spec.jacobi_serial_time}
+        syms[name] = extract_symbolic_model(
+            parse_jacobi(), timing_from_db(dbs[name], "distribution"),
+            anchor_procs=[2, 8, 16], params=params, runs=3, seed=1,
+        )
+    for procs in (2, 4, 8, 16, 32, 64):
+        sweep_rows.append(
+            [str(procs)] + [format_time(syms[n].time(procs)) for n in specs]
+        )
+    print(format_table(header, sweep_rows))
+    print("\n(the 32- and 64-proc rows were never simulated -- that is the")
+    print(" symbolic model answering a what-if in milliseconds)")
+
+
+if __name__ == "__main__":
+    main()

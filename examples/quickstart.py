@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: benchmark a simulated cluster, then predict a program.
+
+This walks the paper's whole pipeline in about a minute:
+
+1. build the simulated Perseus cluster;
+2. run MPIBench on a few configurations to get timing *distributions*;
+3. write a tiny message-passing program model with PEVPM primitives;
+4. predict its run time by Monte Carlo sampling from the distributions;
+5. check the prediction against actually executing the same program on
+   the simulated cluster.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro._tables import format_table, format_time
+from repro.mpibench import BenchSettings, MPIBench
+from repro.pevpm import predict, timing_from_db
+from repro.simnet import perseus
+from repro.smpi import run_program
+
+
+def main() -> None:
+    # 1. The machine: 116 dual-CPU nodes, switched Fast Ethernet.
+    spec = perseus()
+    print(f"cluster: {spec.name}, {spec.n_nodes} nodes, "
+          f"{spec.link_bandwidth * 8 / 1e6:.0f} Mbit/s links")
+
+    # 2. MPIBench: one-way MPI_Isend time distributions at two scales.
+    bench = MPIBench(spec, seed=1, settings=BenchSettings(reps=50))
+    db = bench.sweep_isend([(2, 1), (8, 1)], sizes=[0, 1024, 4096])
+    h = db.result("isend", 8, 1).histograms[1024]
+    print(f"\n8x1, 1 KB one-way times: min {format_time(h.min)}, "
+          f"mean {format_time(h.mean)}, max {format_time(h.max)} "
+          f"(n={h.n})")
+
+    # 3. A tiny program: a ring pass with some computation per hop.
+    HOPS = 50
+    MSG = 1024
+    WORK = 500e-6
+
+    def model(ctx):
+        right = (ctx.procnum + 1) % ctx.numprocs
+        left = (ctx.procnum - 1) % ctx.numprocs
+        for _ in range(HOPS):
+            yield ctx.serial(WORK)
+            if ctx.procnum == 0:
+                yield ctx.send(right, MSG)
+                yield ctx.recv(left)
+            else:
+                yield ctx.recv(left)
+                yield ctx.send(right, MSG)
+
+    # 4. PEVPM prediction, sampling from the measured distributions.
+    timing = timing_from_db(db, mode="distribution")
+    prediction = predict(model, nprocs=8, timing=timing, runs=10, seed=2)
+
+    # 5. Ground truth: the same program on the simulated cluster.
+    def program(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        for _ in range(HOPS):
+            yield from comm.compute(WORK)
+            if comm.rank == 0:
+                yield from comm.send(MSG, dest=right)
+                yield from comm.recv(source=left)
+            else:
+                yield from comm.recv(source=left)
+                yield from comm.send(MSG, dest=right)
+        return None
+
+    measured = run_program(spec, program, nprocs=8, seed=42).elapsed
+
+    err = (prediction.mean_time - measured) / measured * 100
+    print()
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["PEVPM predicted", format_time(prediction.mean_time)],
+            ["simulated (measured)", format_time(measured)],
+            ["prediction error", f"{err:+.1f}%"],
+            ["Monte Carlo runs", prediction.runs],
+            ["eval speed", f"{prediction.simulated_per_wall:.0f}x real time"],
+        ],
+        title="ring program, 8 processes",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Capacity planning with PEVPM: how many workers should a task farm use?
+
+A practical use of the prediction machinery beyond reproducing figures:
+given a bag of heterogeneous tasks, sweep the worker count in the *model*
+(cheap) instead of on the *cluster* (expensive), find the sweet spot, and
+then validate the chosen configuration with one real (simulated) run.
+Also compares against the Amdahl bound to show why a communication-aware
+model is needed.
+
+Run:  python examples/taskfarm_sizing.py
+"""
+
+from repro._tables import format_table, format_time
+from repro.apps.taskfarm import (
+    make_tasks,
+    taskfarm_model,
+    taskfarm_serial_time,
+    taskfarm_smpi,
+)
+from repro.models import amdahl_speedup
+from repro.mpibench import BenchSettings, MPIBench
+from repro.pevpm import predict, timing_from_db
+from repro.simnet import perseus
+from repro.smpi import run_program
+
+
+def main() -> None:
+    spec = perseus(32)
+    tasks = make_tasks(200, mean=4e-3, cv=0.8, seed=11)
+    serial = taskfarm_serial_time(tasks)
+    print(f"bag: {len(tasks)} tasks, {format_time(serial)} of total work, "
+          f"longest {format_time(max(tasks))}")
+
+    print("\nbenchmarking the cluster once...")
+    bench = MPIBench(spec, seed=1, settings=BenchSettings(reps=40))
+    db = bench.sweep_isend([(2, 1), (8, 1), (32, 1)], sizes=[0, 512, 2048])
+    timing = timing_from_db(db, mode="distribution")
+
+    rows = []
+    best = None
+    for nprocs in (2, 4, 8, 16, 32):
+        pred = predict(taskfarm_model(tasks), nprocs, timing, runs=5, seed=3)
+        speedup = serial / pred.mean_time
+        eff = speedup / nprocs
+        amdahl = amdahl_speedup(0.0, nprocs - 1)  # master does no work
+        rows.append([
+            str(nprocs),
+            format_time(pred.mean_time),
+            f"{speedup:.2f}",
+            f"{eff * 100:.0f}%",
+            f"{amdahl:.0f}",
+        ])
+        if eff >= 0.5:
+            best = nprocs
+    print()
+    print(format_table(
+        ["procs", "predicted makespan", "speedup", "efficiency", "Amdahl bound"],
+        rows,
+        title="PEVPM worker-count sweep (model only -- no cluster time)",
+    ))
+
+    if best is None:
+        best = 4
+    print(f"\nvalidating the chosen configuration ({best} procs) with one "
+          "real run...")
+    measured = run_program(spec, taskfarm_smpi, nprocs=best, seed=5,
+                           args=(tasks,)).elapsed
+    pred = predict(taskfarm_model(tasks), best, timing, runs=5, seed=3)
+    err = (pred.mean_time - measured) / measured * 100
+    print(f"predicted {format_time(pred.mean_time)}, "
+          f"measured {format_time(measured)} ({err:+.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro: reproduction of Grove & Coddington's MPIBench + PEVPM.
+
+The package has four layers (see DESIGN.md):
+
+* :mod:`repro.simnet` -- discrete-event cluster/network simulator (the
+  stand-in for the Perseus hardware);
+* :mod:`repro.smpi`   -- a simulated MPI runtime (the stand-in for MPICH);
+* :mod:`repro.mpibench` -- the MPIBench communication benchmark, producing
+  probability distributions of individual operation times;
+* :mod:`repro.pevpm`  -- the Performance Evaluating Virtual Parallel
+  Machine, the paper's performance-prediction contribution.
+
+Plus :mod:`repro.models` (simple analytic baselines) and :mod:`repro.apps`
+(Jacobi / FFT / task-farm example applications).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,129 @@
+"""Plain-text tables and ASCII plots.
+
+The offline environment has no plotting stack, so every "figure" the
+benchmark harness regenerates is emitted as a text table (the data series
+of the paper's plot) plus, where it helps, an ASCII rendering.  These
+helpers are deliberately dependency-free and used by
+:mod:`repro.mpibench.report`, the examples and the benchmark scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_time", "ascii_pdf", "ascii_curve"]
+
+
+def format_time(seconds: float) -> str:
+    """Human-scale rendering of a duration."""
+    if seconds != seconds:  # NaN
+        return "nan"
+    a = abs(seconds)
+    if a >= 1.0:
+        return f"{seconds:.3g}s"
+    if a >= 1e-3:
+        return f"{seconds * 1e3:.3g}ms"
+    if a >= 1e-6:
+        return f"{seconds * 1e6:.3g}us"
+    return f"{seconds * 1e9:.3g}ns"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    ncols = max(len(r) for r in cells)
+    widths = [0] * ncols
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for r, row in enumerate(cells):
+        padded = [c.ljust(widths[i]) for i, c in enumerate(row)]
+        lines.append(" | ".join(padded).rstrip())
+        if r == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def ascii_pdf(
+    centres: np.ndarray,
+    density: np.ndarray,
+    width: int = 60,
+    height: int = 10,
+    label: str = "",
+) -> str:
+    """Render a probability-density curve as a block-character plot.
+
+    Used to eyeball the Figure 3/4 histogram shapes in a terminal.
+    """
+    centres = np.asarray(centres, dtype=float)
+    density = np.asarray(density, dtype=float)
+    if centres.ndim != 1 or centres.shape != density.shape or centres.size == 0:
+        raise ValueError("centres and density must be equal-length 1-D arrays")
+    if width < 2 or height < 1:
+        raise ValueError("width must be >= 2 and height >= 1")
+    # Resample the curve onto `width` columns.
+    xs = np.linspace(centres[0], centres[-1], width)
+    ys = np.interp(xs, centres, density)
+    top = ys.max()
+    lines = []
+    if label:
+        lines.append(label)
+    if top <= 0:
+        lines.append("(all-zero density)")
+        return "\n".join(lines)
+    levels = np.round(ys / top * height).astype(int)
+    for row in range(height, 0, -1):
+        lines.append("".join("#" if lv >= row else " " for lv in levels))
+    lines.append("-" * width)
+    lines.append(f"{format_time(xs[0])}{' ' * max(1, width - 18)}{format_time(xs[-1])}")
+    return "\n".join(lines)
+
+
+def ascii_curve(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    logy: bool = False,
+) -> str:
+    """Render several y(x) series as a scatter of labelled characters.
+
+    Each series is drawn with the first character of its label; collisions
+    show the later series.  Good enough to see orderings and crossovers.
+    """
+    xs = np.asarray(list(xs), dtype=float)
+    if xs.size == 0 or not series:
+        raise ValueError("need at least one point and one series")
+    grid = [[" "] * width for _ in range(height)]
+    all_y = np.concatenate([np.asarray(list(v), dtype=float) for v in series.values()])
+    if logy:
+        all_y = np.log10(np.maximum(all_y, 1e-30))
+    ylo, yhi = float(all_y.min()), float(all_y.max())
+    if yhi == ylo:
+        yhi = ylo + 1.0
+    xlo, xhi = float(xs.min()), float(xs.max())
+    if xhi == xlo:
+        xhi = xlo + 1.0
+    for label, ys in series.items():
+        ys = np.asarray(list(ys), dtype=float)
+        if logy:
+            ys = np.log10(np.maximum(ys, 1e-30))
+        for x, y in zip(xs, ys):
+            col = int((x - xlo) / (xhi - xlo) * (width - 1))
+            row = int((y - ylo) / (yhi - ylo) * (height - 1))
+            grid[height - 1 - row][col] = label[0]
+    lines = ["".join(r) for r in grid]
+    lines.append("-" * width)
+    legend = "  ".join(f"{k[0]}={k}" for k in series)
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Example parallel applications (Section 6).
+
+One application per communication-pattern class the paper identifies:
+
+* :mod:`repro.apps.jacobi`   -- regular-local (stencil exchange);
+* :mod:`repro.apps.fft`      -- regular-global (all-to-all transpose);
+* :mod:`repro.apps.taskfarm` -- irregular (dynamic master/worker).
+
+Each ships as a matched pair: an executable rank program for the simulated
+MPI runtime (the "measured" side of Figure 6) and a PEVPM model (the
+"predicted" side), sharing the same serial-time constants.
+"""
+
+from .fft import (
+    FFT_POINT_TIME,
+    distribute_input,
+    fft_local_work,
+    fft_model,
+    fft_serial_time,
+    fft_smpi,
+    gather_output,
+)
+from .jacobi import (
+    JACOBI_ANNOTATED_SOURCE,
+    JACOBI_XSIZE,
+    jacobi_model,
+    jacobi_serial_time,
+    jacobi_smpi,
+    parse_jacobi,
+)
+from .taskfarm import (
+    RESULT_BYTES,
+    STOP_BYTES,
+    TASK_BYTES,
+    make_tasks,
+    taskfarm_model,
+    taskfarm_serial_time,
+    taskfarm_smpi,
+)
+
+__all__ = [
+    "FFT_POINT_TIME",
+    "JACOBI_ANNOTATED_SOURCE",
+    "JACOBI_XSIZE",
+    "RESULT_BYTES",
+    "STOP_BYTES",
+    "TASK_BYTES",
+    "distribute_input",
+    "fft_local_work",
+    "fft_model",
+    "fft_serial_time",
+    "fft_smpi",
+    "gather_output",
+    "jacobi_model",
+    "jacobi_serial_time",
+    "jacobi_smpi",
+    "make_tasks",
+    "parse_jacobi",
+    "taskfarm_model",
+    "taskfarm_serial_time",
+    "taskfarm_smpi",
+]

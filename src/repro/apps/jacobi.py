@@ -1,0 +1,228 @@
+"""Jacobi Iteration: the paper's Section 6 case study.
+
+"Jacobi Iteration is a common parallel computing example because it is
+simple to explain yet has the same basic computation-communication pattern
+as all parallel algorithms with regular and local communication."
+
+Three forms are provided, kept deliberately in sync:
+
+* :data:`JACOBI_ANNOTATED_SOURCE` -- the annotated C skeleton of the
+  paper's Figure 5 (with explicit edge guards on the even branch), parsed
+  by :func:`repro.pevpm.parser.parse_annotations` into the PEVPM model;
+* :func:`jacobi_model` -- the same model built programmatically;
+* :func:`jacobi_smpi` -- an executable rank program for the simulated MPI
+  runtime (the "actually executing the Jacobi Iteration code on Perseus"
+  side of Figure 6).
+
+The grid is 256 x 256 single-precision, decomposed 1-D by rows; each
+iteration exchanges one ``xsize * sizeof(float)`` = 1024-byte edge with
+each neighbour and then computes, with the serial whole-grid sweep time
+``spec.jacobi_serial_time`` (the paper's measured 3.24 time units per
+iteration) divided by ``numprocs``.
+"""
+
+from __future__ import annotations
+
+from ..pevpm.directives import Block, Loop, Message, Runon, Serial
+from ..pevpm.parser import parse_annotations
+
+__all__ = [
+    "JACOBI_ANNOTATED_SOURCE",
+    "jacobi_model",
+    "parse_jacobi",
+    "jacobi_smpi",
+    "jacobi_serial_time",
+    "JACOBI_XSIZE",
+]
+
+#: grid edge length of the paper's problem (fits in cache at 1-128 procs)
+JACOBI_XSIZE = 256
+
+
+def jacobi_serial_time(spec, iterations: int) -> float:
+    """Total one-process time for *iterations* sweeps (the speedup base)."""
+    return spec.jacobi_serial_time * iterations
+
+
+#: Figure 5's annotated skeleton.  The even branch of the paper's listing
+#: sends to procnum+1 unguarded (valid only for even process counts); the
+#: ``c1 = procnum != numprocs-1`` guards here make the model correct for
+#: any count, matching the odd branch's symmetric guards.
+JACOBI_ANNOTATED_SOURCE = """
+int i, j, k, procnum, numprocs; int iterations = 1000;
+int xsize = 256; int ysize = 256/numprocs+2;
+float grid[size][size]; float griddash[size][size];
+MPI_Comm_rank(MPI_COMM_WORLD, &procnum);
+MPI_Comm_size(MPI_COMM_WORLD, &numprocs);
+// PEVPM Loop iterations = iterations
+// PEVPM {
+  for (i = 0; i < iterations; i++){
+// PEVPM Runon c1 = procnum%2 == 0
+// PEVPM &     c2 = procnum%2 != 0
+// PEVPM {
+    if (procnum%2 == 0){
+// PEVPM Runon c1 = procnum != 0
+// PEVPM {
+      if (procnum != 0){
+// PEVPM Message type = MPI_Send
+// PEVPM &       size = xsize*sizeof(float)
+// PEVPM &       from = procnum
+// PEVPM &       to = procnum-1
+        MPI_Send(grid[1], xsize, ..., procnum-1, ...);
+      }
+// PEVPM }
+// PEVPM Runon c1 = procnum != numprocs-1
+// PEVPM {
+      if (procnum != (numprocs-1)){
+// PEVPM Message type = MPI_Send
+// PEVPM &       size = xsize*sizeof(float)
+// PEVPM &       from = procnum
+// PEVPM &       to = procnum+1
+        MPI_Send(grid[ysize-2], xsize, ..., procnum+1, ...);
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = xsize*sizeof(float)
+// PEVPM &       from = procnum+1
+// PEVPM &       to = procnum
+        MPI_Recv(grid[ysize-1], xsize, ..., procnum+1, ...);
+      }
+// PEVPM }
+// PEVPM Runon c1 = procnum != 0
+// PEVPM {
+      if (procnum != 0){
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = xsize*sizeof(float)
+// PEVPM &       from = procnum-1
+// PEVPM &       to = procnum
+        MPI_Recv(grid[0], xsize, ..., procnum-1, ...);
+      }
+// PEVPM }
+    }
+// PEVPM }
+// PEVPM {
+    else{
+// PEVPM Runon c1 = procnum != numprocs-1
+// PEVPM {
+      if (procnum != (numprocs-1)){
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = xsize*sizeof(float)
+// PEVPM &       from = procnum+1
+// PEVPM &       to = procnum
+        MPI_Recv(grid[ysize-1], xsize, ..., procnum+1, ...);
+      }
+// PEVPM }
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = xsize*sizeof(float)
+// PEVPM &       from = procnum-1
+// PEVPM &       to = procnum
+      MPI_Recv(grid[0], xsize, ..., procnum-1, ...);
+// PEVPM Message type = MPI_Send
+// PEVPM &       size = xsize*sizeof(float)
+// PEVPM &       from = procnum
+// PEVPM &       to = procnum-1
+      MPI_Send(grid[1], xsize, ..., procnum-1, ...);
+// PEVPM Runon c1 = procnum != numprocs-1
+// PEVPM {
+      if (procnum != (numprocs-1)){
+// PEVPM Message type = MPI_Send
+// PEVPM &       size = xsize*sizeof(float)
+// PEVPM &       from = procnum
+// PEVPM &       to = procnum+1
+        MPI_Send(grid[ysize-2], xsize, ..., procnum+1, ...);
+      }
+// PEVPM }
+    }
+// PEVPM }
+// PEVPM Serial on perseus time = serial_time/numprocs
+    for(j = 1; j < ysize-1; j++){
+      for(k = 1; k < xsize-1; k++){
+        griddash[j][k]=0.25*
+          (grid[j][k-1]+grid[j-1][k]+grid[j][k+1]+grid[j+1][k]);
+      }
+    }
+    swap_ptr(grid, griddash);
+  }
+// PEVPM }
+"""
+
+
+def parse_jacobi() -> Block:
+    """Parse the annotated Figure 5 source into a PEVPM model tree.
+
+    Evaluate it with params ``{"iterations": ..., "xsize": 256,
+    "serial_time": spec.jacobi_serial_time}``.
+    """
+    return parse_annotations(JACOBI_ANNOTATED_SOURCE)
+
+
+def jacobi_model(iterations: int = 1000, xsize: int = JACOBI_XSIZE) -> Block:
+    """Build the Figure 5 model programmatically (no parsing involved).
+
+    The ``serial_time`` parameter stays symbolic so one model evaluates on
+    any machine; bind it via the VirtualMachine/predict ``params``.
+    """
+    size_expr = f"{xsize}*sizeof(float)"
+
+    def send(to: str) -> Message:
+        return Message("MPI_Send", size_expr, "procnum", to)
+
+    def recv(frm: str) -> Message:
+        return Message("MPI_Recv", size_expr, frm, "procnum")
+
+    even = Block(
+        [
+            Runon(["procnum != 0"], [Block([send("procnum-1")])]),
+            Runon(
+                ["procnum != numprocs-1"],
+                [Block([send("procnum+1"), recv("procnum+1")])],
+            ),
+            Runon(["procnum != 0"], [Block([recv("procnum-1")])]),
+        ]
+    )
+    odd = Block(
+        [
+            Runon(["procnum != numprocs-1"], [Block([recv("procnum+1")])]),
+            recv("procnum-1"),
+            send("procnum-1"),
+            Runon(["procnum != numprocs-1"], [Block([send("procnum+1")])]),
+        ]
+    )
+    body = Block(
+        [
+            Runon(["procnum%2 == 0", "procnum%2 != 0"], [even, odd]),
+            Serial("serial_time/numprocs", machine="perseus"),
+        ]
+    )
+    return Block([Loop(str(iterations), body=Block([body]))])
+
+
+def jacobi_smpi(comm, iterations: int = 1000, xsize: int = JACOBI_XSIZE):
+    """Executable Jacobi rank program for the simulated MPI runtime.
+
+    Mirrors the Figure 5 skeleton operation-for-operation: even processes
+    send-then-receive, odd processes receive-then-send, then everyone
+    computes its share of the sweep.  Returns this rank's completion time.
+    """
+    me = comm.rank
+    n = comm.size
+    msg = xsize * 4  # xsize * sizeof(float)
+    serial = comm._rt.spec.jacobi_serial_time / n
+    tag = 7
+
+    for _ in range(iterations):
+        if me % 2 == 0:
+            if me != 0:
+                yield from comm.send(msg, dest=me - 1, tag=tag)
+            if me != n - 1:
+                yield from comm.send(msg, dest=me + 1, tag=tag)
+                yield from comm.recv(source=me + 1, tag=tag)
+            if me != 0:
+                yield from comm.recv(source=me - 1, tag=tag)
+        else:
+            if me != n - 1:
+                yield from comm.recv(source=me + 1, tag=tag)
+            yield from comm.recv(source=me - 1, tag=tag)
+            yield from comm.send(msg, dest=me - 1, tag=tag)
+            if me != n - 1:
+                yield from comm.send(msg, dest=me + 1, tag=tag)
+        yield from comm.compute(serial)
+    return comm.true_time()

@@ -1,0 +1,192 @@
+"""Command-line interface: ``repro`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``repro info``      -- describe the simulated cluster;
+* ``repro bench``     -- run an MPIBench campaign, print the Figure 1/2
+  style table, optionally save the distribution database as JSON;
+* ``repro pdf``       -- print distribution tables/ASCII plots for one
+  configuration (the Figure 3/4 views);
+* ``repro predict``   -- build/load a database and predict an example
+  application's run time with PEVPM, comparing timing modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from ._tables import format_table, format_time
+from .apps.jacobi import jacobi_serial_time, jacobi_smpi, parse_jacobi
+from .mpibench import BenchSettings, DistributionDB, MPIBench
+from .mpibench.report import average_times_table, pdf_plots, tail_report
+from .pevpm import compare_timing_modes
+from .simnet import perseus
+from .smpi import run_program
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_SIZES = [0, 256, 1024, 4096, 16384, 65536]
+
+
+def _parse_config(text: str) -> tuple[int, int]:
+    """Parse an ``NxP`` configuration label like ``64x2``."""
+    try:
+        nodes, ppn = text.lower().split("x")
+        return int(nodes), int(ppn)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"config must look like '8x1' or '64x2', got {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MPIBench + PEVPM reproduction (Grove & Coddington)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="describe the simulated cluster")
+    p_info.add_argument("--nodes", type=int, default=116)
+
+    p_bench = sub.add_parser("bench", help="run an MPIBench campaign")
+    p_bench.add_argument(
+        "--config", type=_parse_config, action="append", dest="configs",
+        help="NxP configuration, repeatable (default: 2x1 8x1 32x1)",
+    )
+    p_bench.add_argument("--sizes", type=int, nargs="+", default=DEFAULT_SIZES)
+    p_bench.add_argument("--reps", type=int, default=60)
+    p_bench.add_argument("--seed", type=int, default=1)
+    p_bench.add_argument("--save", metavar="FILE", help="save DB as JSON")
+    p_bench.add_argument(
+        "--export", metavar="FILE.dat",
+        help="also write the mean-time curves as a gnuplot .dat series",
+    )
+
+    p_pdf = sub.add_parser("pdf", help="show timing distributions (Fig 3/4)")
+    p_pdf.add_argument("--config", type=_parse_config, default=(64, 1))
+    p_pdf.add_argument("--sizes", type=int, nargs="+", default=[0, 1024, 16384])
+    p_pdf.add_argument("--reps", type=int, default=60)
+    p_pdf.add_argument("--seed", type=int, default=1)
+
+    p_pred = sub.add_parser("predict", help="PEVPM prediction of Jacobi (Fig 6)")
+    p_pred.add_argument("--db", metavar="FILE", help="load a saved DistributionDB")
+    p_pred.add_argument("--nprocs", type=int, default=16)
+    p_pred.add_argument("--ppn", type=int, default=1)
+    p_pred.add_argument("--iterations", type=int, default=200)
+    p_pred.add_argument("--runs", type=int, default=5)
+    p_pred.add_argument("--seed", type=int, default=1)
+    p_pred.add_argument(
+        "--measure", action="store_true",
+        help="also run the real (simulated) Jacobi for comparison",
+    )
+    return parser
+
+
+def cmd_info(args) -> int:
+    spec = perseus(args.nodes)
+    rows = [
+        ["name", spec.name],
+        ["nodes", spec.n_nodes],
+        ["processors/node", spec.processors_per_node],
+        ["link bandwidth", f"{spec.link_bandwidth * 8 / 1e6:.0f} Mbit/s"],
+        ["switches", f"{spec.n_switches} x {spec.ports_per_switch} ports"],
+        ["backplane/link", f"{spec.backplane_bandwidth * 8 / 1e9:.1f} Gbit/s"],
+        ["eager threshold", f"{spec.eager_threshold} B"],
+        ["TCP RTO", format_time(spec.tcp.rto)],
+    ]
+    print(format_table(["parameter", "value"], rows, title="Simulated cluster"))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    configs = args.configs or [(2, 1), (8, 1), (32, 1)]
+    spec = perseus()
+    bench = MPIBench(spec, seed=args.seed, settings=BenchSettings(reps=args.reps))
+    db = bench.sweep_isend(configs, sizes=args.sizes)
+    print(average_times_table(db, "isend", args.sizes, configs))
+    if args.save:
+        db.save(args.save)
+        print(f"\nsaved distribution database to {args.save}")
+    if args.export:
+        from .mpibench import export_series
+
+        out = export_series(db, "isend", args.export)
+        print(f"exported gnuplot series to {out}")
+    return 0
+
+
+def cmd_pdf(args) -> int:
+    nodes, ppn = args.config
+    spec = perseus()
+    bench = MPIBench(spec, seed=args.seed, settings=BenchSettings(reps=args.reps))
+    result = bench.run_isend(nodes, ppn, args.sizes)
+    print(pdf_plots(result, args.sizes))
+    print()
+    print(tail_report(result))
+    return 0
+
+
+def cmd_predict(args) -> int:
+    spec = perseus()
+    if args.db:
+        db = DistributionDB.load(args.db)
+    else:
+        print("no --db given: running a quick benchmark campaign first...")
+        bench = MPIBench(spec, seed=args.seed, settings=BenchSettings(reps=50))
+        configs = [(1, 2), (2, 1), (8, 1), (16, 1), (32, 1)]
+        db = bench.sweep_isend(configs, sizes=[0, 512, 1024, 2048])
+    params = {
+        "iterations": args.iterations,
+        "xsize": 256,
+        "serial_time": spec.jacobi_serial_time,
+    }
+    serial = jacobi_serial_time(spec, args.iterations)
+    preds = compare_timing_modes(
+        parse_jacobi(), args.nprocs, db, runs=args.runs, seed=args.seed,
+        params=params, ppn=args.ppn,
+    )
+    rows = []
+    measured = None
+    if args.measure:
+        measured = run_program(
+            spec, jacobi_smpi, nprocs=args.nprocs, ppn=args.ppn,
+            seed=42, args=(args.iterations,),
+        ).elapsed
+        rows.append(["measured (simulated run)", format_time(measured),
+                     f"{serial / measured:.2f}", "-"])
+    for name, pred in preds.items():
+        err = (
+            f"{(pred.mean_time - measured) / measured * 100:+.1f}%"
+            if measured
+            else "-"
+        )
+        rows.append([name, format_time(pred.mean_time),
+                     f"{pred.speedup(serial):.2f}", err])
+    print(
+        format_table(
+            ["timing source", "predicted time", "speedup", "error"],
+            rows,
+            title=f"Jacobi {args.iterations} iters on {args.nprocs} procs "
+                  f"(ppn={args.ppn})",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "bench": cmd_bench,
+        "pdf": cmd_pdf,
+        "predict": cmd_predict,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Baseline performance models from the paper's Section 4.
+
+The "simple abstract models" PEVPM is contrasted against: Hockney's
+``T = l + b/W`` point-to-point model, Amdahl's law, and the isoefficiency
+function.  Each is implemented far enough to be *used* in the benchmark
+comparisons, not merely name-checked.
+"""
+
+from .amdahl import (
+    GustafsonModel,
+    amdahl_limit,
+    amdahl_speedup,
+    serial_fraction_from_speedup,
+)
+from .hockney import HockneyFit, fit_hockney, fit_hockney_curve
+from .isoefficiency import EmpiricalIsoefficiency, efficiency, efficiency_curve
+
+__all__ = [
+    "EmpiricalIsoefficiency",
+    "GustafsonModel",
+    "HockneyFit",
+    "amdahl_limit",
+    "amdahl_speedup",
+    "efficiency",
+    "efficiency_curve",
+    "fit_hockney",
+    "fit_hockney_curve",
+    "serial_fraction_from_speedup",
+]

@@ -1,0 +1,61 @@
+"""Amdahl's law and related simple speedup bounds.
+
+Section 4 groups Amdahl's law with the "simple abstract models" that
+"allow the performance of parallel programs under different conditions to
+be quickly and easily estimated" but "are too simplistic to provide much
+useful information for most real parallel applications".  We implement it
+as the baseline that the Figure 6 comparison implicitly sits on top of:
+the speedup ceiling any communication-blind model predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["amdahl_speedup", "amdahl_limit", "serial_fraction_from_speedup", "GustafsonModel"]
+
+
+def amdahl_speedup(serial_fraction: float, nprocs: int) -> float:
+    """Amdahl's law: ``S(P) = 1 / (f + (1 - f)/P)``.
+
+    *serial_fraction* f is the non-parallelisable share of the work.
+    """
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial_fraction must be in [0, 1]")
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / nprocs)
+
+
+def amdahl_limit(serial_fraction: float) -> float:
+    """The asymptotic speedup ceiling ``1 / f`` (infinite for f = 0)."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial_fraction must be in [0, 1]")
+    return float("inf") if serial_fraction == 0.0 else 1.0 / serial_fraction
+
+
+def serial_fraction_from_speedup(speedup: float, nprocs: int) -> float:
+    """Invert Amdahl's law: the serial fraction implied by an observed
+    speedup at *nprocs* processors (the Karp-Flatt metric)."""
+    if nprocs < 2:
+        raise ValueError("nprocs must be >= 2 to infer a serial fraction")
+    if not 0.0 < speedup <= nprocs:
+        raise ValueError(f"speedup must be in (0, {nprocs}]")
+    return (1.0 / speedup - 1.0 / nprocs) / (1.0 - 1.0 / nprocs)
+
+
+@dataclass(frozen=True)
+class GustafsonModel:
+    """Gustafson's scaled-speedup law, the usual companion baseline:
+    ``S(P) = P - f * (P - 1)`` for a workload grown with P."""
+
+    serial_fraction: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.serial_fraction <= 1.0:
+            raise ValueError("serial_fraction must be in [0, 1]")
+
+    def speedup(self, nprocs: int) -> float:
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        return nprocs - self.serial_fraction * (nprocs - 1)

@@ -1,0 +1,100 @@
+"""Hockney's point-to-point communication model: ``T(b) = l + b / W``.
+
+Section 3 of the paper: "message-passing time T can indeed be closely
+modelled by the common approximation T = l + b/W where l is the link
+latency in seconds, b is the size of the message in bytes and W is the
+effective bandwidth" -- *in the absence of contention*.  This module fits
+that model to MPIBench data (by least squares on the minimum-time curve),
+exposes Hockney's classic ``r_inf`` / ``n_half`` parameters, and reports
+the fit residuals -- which blow up exactly where the paper says the model
+breaks (the 16 KB protocol knee, and any contended configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mpibench.results import BenchmarkResult
+
+__all__ = ["HockneyFit", "fit_hockney", "fit_hockney_curve"]
+
+
+@dataclass(frozen=True)
+class HockneyFit:
+    """A fitted latency/bandwidth model."""
+
+    latency: float  #: l, seconds
+    bandwidth: float  #: W, bytes/second
+    rms_residual: float  #: RMS of (model - data) over the fitted points (s)
+    max_residual: float  #: worst absolute residual (s)
+    n_points: int
+
+    def time(self, nbytes: int) -> float:
+        """Predicted transfer time for *nbytes*."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.latency + nbytes / self.bandwidth
+
+    @property
+    def r_inf(self) -> float:
+        """Hockney's asymptotic bandwidth (bytes/s)."""
+        return self.bandwidth
+
+    @property
+    def n_half(self) -> float:
+        """Hockney's half-performance message size: the size achieving half
+        the asymptotic bandwidth (= l * W)."""
+        return self.latency * self.bandwidth
+
+    def relative_error(self, nbytes: int, observed: float) -> float:
+        """(model - observed) / observed for one data point."""
+        if observed <= 0:
+            raise ValueError("observed time must be positive")
+        return (self.time(nbytes) - observed) / observed
+
+
+def fit_hockney_curve(sizes: list[int], times: list[float]) -> HockneyFit:
+    """Least-squares fit of ``l + b/W`` to a (size, time) curve."""
+    if len(sizes) != len(times) or len(sizes) < 2:
+        raise ValueError("need at least two (size, time) points")
+    x = np.asarray(sizes, dtype=float)
+    y = np.asarray(times, dtype=float)
+    if np.any(y <= 0):
+        raise ValueError("times must be positive")
+    # y = l + x * invW  -- linear in (l, invW).
+    A = np.vstack([np.ones_like(x), x]).T
+    (l, inv_w), *_ = np.linalg.lstsq(A, y, rcond=None)
+    if inv_w <= 0:
+        # Degenerate (flat or decreasing) curve: treat as latency-only.
+        inv_w = 1e-18
+    resid = A @ np.array([l, inv_w]) - y
+    return HockneyFit(
+        latency=float(max(0.0, l)),
+        bandwidth=float(1.0 / inv_w),
+        rms_residual=float(np.sqrt(np.mean(resid**2))),
+        max_residual=float(np.max(np.abs(resid))),
+        n_points=len(sizes),
+    )
+
+
+def fit_hockney(
+    result: BenchmarkResult,
+    use: str = "min",
+    max_size: int | None = None,
+) -> HockneyFit:
+    """Fit the model to a benchmark result's min (default) or mean curve.
+
+    *max_size* restricts the fit to sizes at or below it -- fitting only
+    the eager regime (below the 16 KB knee) is the honest use of the
+    model, as the paper's discussion of Figure 2 implies.
+    """
+    if use not in ("min", "mean"):
+        raise ValueError("use must be 'min' or 'mean'")
+    curve = result.min_curve() if use == "min" else result.mean_curve()
+    if max_size is not None:
+        curve = [(s, t) for s, t in curve if s <= max_size]
+    sizes = [s for s, _t in curve]
+    times = [t for _s, t in curve]
+    return fit_hockney_curve(sizes, times)

@@ -1,0 +1,105 @@
+"""Isoefficiency analysis (Grama, Gupta & Kumar).
+
+The third of Section 4's "simple abstract models": the isoefficiency
+function asks how fast the problem size must grow with the machine size to
+hold parallel efficiency constant.  We provide the generic machinery --
+efficiency curves from measured/predicted run times, and an empirical
+isoefficiency estimate from a grid of (problem size, nprocs, time)
+observations -- so the example applications can be analysed the classic
+way alongside PEVPM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["efficiency", "efficiency_curve", "EmpiricalIsoefficiency"]
+
+
+def efficiency(serial_time: float, parallel_time: float, nprocs: int) -> float:
+    """Parallel efficiency ``E = T1 / (P * TP)``."""
+    if serial_time <= 0 or parallel_time <= 0:
+        raise ValueError("times must be positive")
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    return serial_time / (nprocs * parallel_time)
+
+
+def efficiency_curve(
+    serial_time: float, parallel_times: dict[int, float]
+) -> dict[int, float]:
+    """Efficiency at each machine size from a {nprocs: time} map."""
+    return {
+        p: efficiency(serial_time, t, p) for p, t in sorted(parallel_times.items())
+    }
+
+
+@dataclass
+class EmpiricalIsoefficiency:
+    """Estimate the isoefficiency function from observations.
+
+    Feed it (work, nprocs, time) points -- *work* in whatever natural unit
+    the application has (grid points, tasks) with ``serial_time(work)``
+    giving the one-processor time -- then ask for the work needed to hold a
+    target efficiency at each machine size.  The answer is found by
+    log-space interpolation of the measured efficiency-vs-work curve at
+    each nprocs.
+    """
+
+    observations: list[tuple[float, int, float]]  #: (work, nprocs, time)
+    serial_times: dict[float, float]  #: work -> one-processor time
+
+    def _eff(self, work: float, nprocs: int, time: float) -> float:
+        try:
+            t1 = self.serial_times[work]
+        except KeyError:
+            raise KeyError(f"no serial time recorded for work={work}") from None
+        return efficiency(t1, time, nprocs)
+
+    def efficiency_table(self) -> dict[int, list[tuple[float, float]]]:
+        """{nprocs: [(work, efficiency)]}, work ascending."""
+        table: dict[int, list[tuple[float, float]]] = {}
+        for work, nprocs, time in self.observations:
+            table.setdefault(nprocs, []).append(
+                (work, self._eff(work, nprocs, time))
+            )
+        for rows in table.values():
+            rows.sort()
+        return table
+
+    def work_for_efficiency(self, nprocs: int, target: float) -> float | None:
+        """Smallest work achieving *target* efficiency at *nprocs*.
+
+        Interpolates between observed work levels (efficiency is assumed
+        monotone in work, as it is for the regular codes studied here);
+        ``None`` if the target is unreachable within the observed range.
+        """
+        if not 0.0 < target <= 1.0:
+            raise ValueError("target efficiency must be in (0, 1]")
+        rows = self.efficiency_table().get(nprocs)
+        if not rows:
+            raise KeyError(f"no observations at nprocs={nprocs}")
+        works = np.array([w for w, _e in rows])
+        effs = np.array([e for _w, e in rows])
+        if effs.max() < target:
+            return None
+        if effs[0] >= target:
+            return float(works[0])
+        # Find the first crossing and interpolate in log-work space.
+        idx = int(np.argmax(effs >= target))
+        w0, w1 = works[idx - 1], works[idx]
+        e0, e1 = effs[idx - 1], effs[idx]
+        if e1 == e0:
+            return float(w1)
+        frac = (target - e0) / (e1 - e0)
+        return float(np.exp(np.log(w0) + frac * (np.log(w1) - np.log(w0))))
+
+    def isoefficiency_curve(self, target: float) -> dict[int, float | None]:
+        """Work required at each observed machine size for the target
+        efficiency -- the empirical isoefficiency function."""
+        return {
+            p: self.work_for_efficiency(p, target)
+            for p in sorted({n for _w, n, _t in self.observations})
+        }

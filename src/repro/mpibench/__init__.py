@@ -1,0 +1,47 @@
+"""MPIBench: communication benchmarking with a globally synchronised clock.
+
+The reproduction of the paper's benchmark tool (Sections 2-3).  Run it
+against a simulated cluster with :class:`~repro.mpibench.runner.MPIBench`;
+results are per-size :class:`~repro.mpibench.histogram.Histogram` s pooled
+into a :class:`~repro.mpibench.results.DistributionDB`, which is what the
+PEVPM performance model samples from.
+"""
+
+from .clocksync import SYNC_TAG, ClockCorrection, sync_clocks
+from .compare import ConfigComparison, compare_configs, compare_databases, export_series
+from .distfit import ParametricFit, fit_histogram, fit_samples
+from .drivers import (
+    barrier_driver,
+    bcast_driver,
+    isend_driver,
+    pairwise_partner,
+    pingpong_driver,
+)
+from .histogram import Histogram
+from .results import BenchmarkResult, DistributionDB
+from .runner import DEFAULT_LARGE_SIZES, DEFAULT_SMALL_SIZES, BenchSettings, MPIBench
+
+__all__ = [
+    "BenchSettings",
+    "BenchmarkResult",
+    "ClockCorrection",
+    "ConfigComparison",
+    "DEFAULT_LARGE_SIZES",
+    "DEFAULT_SMALL_SIZES",
+    "DistributionDB",
+    "Histogram",
+    "MPIBench",
+    "ParametricFit",
+    "SYNC_TAG",
+    "barrier_driver",
+    "bcast_driver",
+    "compare_configs",
+    "compare_databases",
+    "export_series",
+    "fit_histogram",
+    "fit_samples",
+    "isend_driver",
+    "pairwise_partner",
+    "pingpong_driver",
+    "sync_clocks",
+]

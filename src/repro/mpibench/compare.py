@@ -1,0 +1,134 @@
+"""Cross-campaign comparison and data export.
+
+Utilities for the two workflows MPIBench's insight claims imply:
+
+* **comparing machines / configurations** -- e.g. Fast Ethernet Perseus
+  vs. a Gigabit cluster, or the same cluster before and after a switch
+  upgrade -- via distribution-level and summary-level diffs of two
+  :class:`~repro.mpibench.results.DistributionDB` campaigns;
+* **exporting figure data** -- plain whitespace-separated ``.dat`` series
+  (the gnuplot format of the paper's era) so results plot anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .results import DistributionDB
+
+__all__ = ["ConfigComparison", "compare_configs", "compare_databases", "export_series"]
+
+
+@dataclass(frozen=True)
+class ConfigComparison:
+    """Summary diff of one (op, size) between two campaigns/configs."""
+
+    op: str
+    size: int
+    mean_a: float
+    mean_b: float
+    p99_a: float
+    p99_b: float
+    ks: float = 0.0  #: Kolmogorov-Smirnov distance between the distributions
+
+    @property
+    def mean_ratio(self) -> float:
+        """b / a mean-time ratio (>1: b is slower)."""
+        if self.mean_a <= 0:
+            raise ZeroDivisionError("mean_a must be positive")
+        return self.mean_b / self.mean_a
+
+    @property
+    def tail_ratio(self) -> float:
+        """b / a 99th-percentile ratio -- tail behaviour diff."""
+        if self.p99_a <= 0:
+            raise ZeroDivisionError("p99_a must be positive")
+        return self.p99_b / self.p99_a
+
+
+def compare_configs(
+    db_a: DistributionDB,
+    db_b: DistributionDB,
+    op: str,
+    config_a: tuple[int, int],
+    config_b: tuple[int, int] | None = None,
+) -> list[ConfigComparison]:
+    """Compare one configuration between two campaigns (or two configs of
+    one campaign by passing the same DB twice), at every common size."""
+    config_b = config_b or config_a
+    ra = db_a.result(op, *config_a)
+    rb = db_b.result(op, *config_b)
+    common = sorted(set(ra.sizes) & set(rb.sizes))
+    if not common:
+        raise ValueError(
+            f"no common sizes between {config_a} ({ra.sizes}) and "
+            f"{config_b} ({rb.sizes})"
+        )
+    out = []
+    for size in common:
+        ha, hb = ra.histograms[size], rb.histograms[size]
+        out.append(
+            ConfigComparison(
+                op=op,
+                size=size,
+                mean_a=ha.mean,
+                mean_b=hb.mean,
+                p99_a=ha.quantile(0.99),
+                p99_b=hb.quantile(0.99),
+                ks=ha.ks_distance(hb),
+            )
+        )
+    return out
+
+
+def compare_databases(
+    db_a: DistributionDB, db_b: DistributionDB, op: str = "isend"
+) -> dict[tuple[int, int], list[ConfigComparison]]:
+    """Full-campaign diff over every configuration both campaigns share."""
+    common_cfgs = sorted(set(db_a.configs(op)) & set(db_b.configs(op)))
+    if not common_cfgs:
+        raise ValueError("the two campaigns share no configurations")
+    return {
+        cfg: compare_configs(db_a, db_b, op, cfg) for cfg in common_cfgs
+    }
+
+
+def export_series(
+    db: DistributionDB,
+    op: str,
+    path: str | Path,
+    statistic: str = "mean",
+) -> Path:
+    """Write the Figure 1/2 curve family as a gnuplot-friendly ``.dat``.
+
+    One row per size, one column per configuration (header line labels the
+    columns ``# size 2x1 8x1 ...``); times in seconds.  *statistic* is
+    ``mean``, ``min``, ``max`` or a float in (0, 1) given as a string for
+    a quantile (e.g. ``"0.99"``).
+    """
+    configs = db.configs(op)
+    if not configs:
+        raise KeyError(f"no results for op {op!r}")
+    sizes = sorted(
+        {s for cfg in configs for s in db.result(op, *cfg).sizes}
+    )
+
+    def value(hist):
+        if statistic in ("mean", "min", "max"):
+            return getattr(hist, statistic)
+        q = float(statistic)
+        return hist.quantile(q)
+
+    lines = ["# size " + " ".join(f"{n}x{p}" for n, p in configs)]
+    for size in sizes:
+        row = [str(size)]
+        for cfg in configs:
+            hist = db.result(op, *cfg).histograms.get(size)
+            row.append("nan" if hist is None else f"{value(hist):.9g}")
+        lines.append(" ".join(row))
+    out = Path(path)
+    out.write_text("\n".join(lines) + "\n")
+    return out

@@ -1,0 +1,252 @@
+"""Measurement kernels: the MPI programs MPIBench runs.
+
+Each driver is a rank program (generator) that exercises one MPI operation
+repeatedly and timestamps *individual* operations with the synchronised
+global clock (:mod:`repro.mpibench.clocksync`).  The one-way time of a
+message is computed at the **receiver**: the sender embeds its corrected
+send timestamp in the payload, and the receiver subtracts it from its own
+corrected receive-completion timestamp.  This is exactly what a ping-pong
+average cannot give you, and is the paper's core instrument.
+
+Point-to-point pairing follows MPIBench: with P processes, rank i pairs
+with rank ``i + P/2``.  Under the runtime's block placement this makes all
+pairs inter-node, and for larger P the flows span switch boundaries --
+which is how the paper drives its backplane into saturation (Figure 4).
+Each repetition runs the exchange in *both* directions concurrently, so
+every NIC carries simultaneous send and receive traffic, as on the real
+benchmark.
+"""
+
+from __future__ import annotations
+
+from .clocksync import ClockCorrection, sync_clocks
+
+__all__ = [
+    "P2P_TAG",
+    "pairwise_partner",
+    "isend_driver",
+    "ring_isend_driver",
+    "pingpong_driver",
+    "bcast_driver",
+    "barrier_driver",
+]
+
+P2P_TAG = 37
+
+
+def pairwise_partner(rank: int, nprocs: int) -> int:
+    """MPIBench pairing: rank i exchanges with rank i + P/2 (mod P)."""
+    if nprocs % 2:
+        raise ValueError("point-to-point benchmark needs an even process count")
+    half = nprocs // 2
+    return rank + half if rank < half else rank - half
+
+
+def isend_driver(
+    comm,
+    sizes: list[int],
+    reps: int,
+    warmup: int = 10,
+    sync_rounds: int = 8,
+    drift_gap: float = 0.25,
+):
+    """Benchmark ``MPI_Isend`` (and the matching receive).
+
+    Every rank exchanges messages with its partner; each repetition is one
+    individually-timed bidirectional exchange.  Two quantities are
+    measured per message:
+
+    * ``"isend"`` -- one-way time: sender's pre-send global timestamp
+      (carried in the payload) to receive completion at the other end;
+      needs the synchronised clock;
+    * ``"isend_local"`` -- how long the *sender* was occupied by
+      isend+wait (a purely local duration; this is what a performance
+      model must charge the sending process).
+
+    Returns ``{"isend": {size: [...]}, "isend_local": {size: [...]}}``.
+    """
+    if reps < 1 or warmup < 0:
+        raise ValueError("need reps >= 1 and warmup >= 0")
+    corr: ClockCorrection = yield from sync_clocks(
+        comm, rounds=sync_rounds, drift_gap=drift_gap
+    )
+    partner = pairwise_partner(comm.rank, comm.size)
+    oneway: dict[int, list[float]] = {size: [] for size in sizes}
+    local: dict[int, list[float]] = {size: [] for size in sizes}
+
+    for size in sizes:
+        yield from comm.barrier()
+        for rep in range(warmup + reps):
+            rreq = yield from comm.irecv(source=partner, tag=P2P_TAG)
+            t0_local = comm.clock()
+            t_send = corr.to_global(t0_local)
+            sreq = yield from comm.isend(size, dest=partner, tag=P2P_TAG, payload=t_send)
+            yield from comm.wait(sreq)
+            t1_local = comm.clock()
+            peer_send_time, _st = yield from comm.wait(rreq)
+            t_recv = corr.to_global(comm.clock())
+            if rep >= warmup:
+                oneway[size].append(t_recv - peer_send_time)
+                local[size].append(t1_local - t0_local)
+    return {"isend": oneway, "isend_local": local}
+
+
+def ring_isend_driver(
+    comm,
+    sizes: list[int],
+    reps: int,
+    warmup: int = 10,
+    sync_rounds: int = 8,
+    drift_gap: float = 0.25,
+):
+    """Benchmark ``MPI_Isend`` under a *neighbour* (ring) traffic pattern.
+
+    The default :func:`isend_driver` pairs rank i with rank i + P/2 --
+    sustained cross-cluster flows, the worst case for the switch stack.
+    Many applications (stencils, ring pipelines) instead exchange with
+    nearest neighbours, whose messages rarely cross switches.  Because
+    PEVPM samples are only as representative as the benchmark pattern
+    behind them, MPIBench offers this second pattern: each repetition,
+    every rank exchanges one message with *both* ring neighbours
+    concurrently (the Jacobi communication phase, exactly).
+
+    Returns ``{"isend:ring": {...}, "isend_local:ring": {...}}``.
+    """
+    if reps < 1 or warmup < 0:
+        raise ValueError("need reps >= 1 and warmup >= 0")
+    if comm.size < 3:
+        raise ValueError("ring pattern needs at least 3 ranks")
+    corr: ClockCorrection = yield from sync_clocks(
+        comm, rounds=sync_rounds, drift_gap=drift_gap
+    )
+    left = (comm.rank - 1) % comm.size
+    right = (comm.rank + 1) % comm.size
+    oneway: dict[int, list[float]] = {size: [] for size in sizes}
+    local: dict[int, list[float]] = {size: [] for size in sizes}
+
+    for size in sizes:
+        yield from comm.barrier()
+        for rep in range(warmup + reps):
+            rl = yield from comm.irecv(source=left, tag=P2P_TAG)
+            rr = yield from comm.irecv(source=right, tag=P2P_TAG)
+            t0_local = comm.clock()
+            t_send = corr.to_global(t0_local)
+            sl = yield from comm.isend(size, dest=left, tag=P2P_TAG, payload=t_send)
+            sr = yield from comm.isend(size, dest=right, tag=P2P_TAG, payload=t_send)
+            yield from comm.wait(sl)
+            yield from comm.wait(sr)
+            t1_local = comm.clock()
+            for req in (rl, rr):
+                peer_send_time, _st = yield from comm.wait(req)
+                t_recv = corr.to_global(comm.clock())
+                if rep >= warmup:
+                    oneway[size].append(t_recv - peer_send_time)
+            if rep >= warmup:
+                # Two sends shared the call window; charge half each.
+                local[size].append((t1_local - t0_local) / 2.0)
+                local[size].append((t1_local - t0_local) / 2.0)
+    return {"isend:ring": oneway, "isend_local:ring": local}
+
+
+def pingpong_driver(
+    comm,
+    sizes: list[int],
+    reps: int,
+    warmup: int = 10,
+):
+    """The conventional benchmark the paper criticises: round-trip / 2.
+
+    Each pair runs a classic ping-pong; the *lower* rank of each pair
+    times the round trip on its local clock (no synchronisation needed --
+    which is exactly why every other benchmark works this way) and halves
+    it.  Returns ``{"pingpong_half": {size: [rtt/2 samples]}}``.
+
+    Comparing these against the ``isend`` one-way distributions shows what
+    RTT/2 hides: under asymmetric load the two directions differ, and the
+    average conceals the distribution entirely.
+    """
+    if reps < 1 or warmup < 0:
+        raise ValueError("need reps >= 1 and warmup >= 0")
+    partner = pairwise_partner(comm.rank, comm.size)
+    initiator = comm.rank < partner
+    samples: dict[int, list[float]] = {size: [] for size in sizes}
+    for size in sizes:
+        yield from comm.barrier()
+        for rep in range(warmup + reps):
+            if initiator:
+                t0 = comm.clock()
+                yield from comm.send(size, dest=partner, tag=P2P_TAG)
+                yield from comm.recv(source=partner, tag=P2P_TAG)
+                t1 = comm.clock()
+                if rep >= warmup:
+                    samples[size].append((t1 - t0) / 2.0)
+            else:
+                yield from comm.recv(source=partner, tag=P2P_TAG)
+                yield from comm.send(size, dest=partner, tag=P2P_TAG)
+    return {"pingpong_half": samples}
+
+
+def bcast_driver(
+    comm,
+    sizes: list[int],
+    reps: int,
+    root: int = 0,
+    warmup: int = 5,
+    sync_rounds: int = 8,
+    drift_gap: float = 0.25,
+):
+    """Benchmark ``MPI_Bcast`` completion at *every* process.
+
+    The root embeds its corrected start timestamp in the broadcast payload;
+    each rank's sample is its own completion time minus that start.  This
+    is the "measure all processes, not just one" capability the paper
+    contrasts with other benchmarks.  Returns ``{"bcast": {size: [times]}}``.
+    """
+    if reps < 1 or warmup < 0:
+        raise ValueError("need reps >= 1 and warmup >= 0")
+    corr: ClockCorrection = yield from sync_clocks(
+        comm, rounds=sync_rounds, drift_gap=drift_gap
+    )
+    samples: dict[int, list[float]] = {size: [] for size in sizes}
+    for size in sizes:
+        for rep in range(warmup + reps):
+            yield from comm.barrier()
+            t0 = corr.to_global(comm.clock()) if comm.rank == root else None
+            t0 = yield from comm.bcast(size, root=root, payload=t0)
+            t_done = corr.to_global(comm.clock())
+            if rep >= warmup:
+                samples[size].append(t_done - t0)
+    return {"bcast": samples}
+
+
+def barrier_driver(
+    comm,
+    reps: int,
+    warmup: int = 5,
+    sync_rounds: int = 8,
+    drift_gap: float = 0.25,
+):
+    """Benchmark ``MPI_Barrier``: per-rank time from the *last* entry to
+    this rank's exit, using the global clock to find the last entry.
+
+    Returns ``{"barrier": {0: [times]}}`` (keyed by size 0 for
+    uniformity with the other drivers).
+    """
+    if reps < 1 or warmup < 0:
+        raise ValueError("need reps >= 1 and warmup >= 0")
+    corr: ClockCorrection = yield from sync_clocks(
+        comm, rounds=sync_rounds, drift_gap=drift_gap
+    )
+    samples: list[float] = []
+    for rep in range(warmup + reps):
+        # Align, then measure a barrier proper.
+        yield from comm.barrier()
+        t_enter = corr.to_global(comm.clock())
+        # Everyone learns the latest entry time via an allreduce(max) of
+        # entry stamps piggybacked on 8-byte messages.
+        latest = yield from comm.allreduce(8, payload=t_enter, op=max)
+        yield from comm.barrier()
+        t_exit = corr.to_global(comm.clock())
+        if rep >= warmup:
+            samples.append(t_exit - latest)
+    return {"barrier": {0: samples}}

@@ -1,0 +1,341 @@
+"""Probability distributions of communication times.
+
+MPIBench's defining feature (Section 2 of the paper) is that it produces
+*distributions* of individual operation times, "in the form of histograms",
+rather than the single averages other benchmarks report.  This module
+implements that representation:
+
+* :class:`Histogram` -- fixed-bin counts over a [min, max] support, built
+  from raw samples, with pdf/cdf/quantile queries, merging, and inverse-CDF
+  sampling (what PEVPM draws from during its match phases);
+* summary statistics (mean/std/min/max/quantiles) computed from the raw
+  samples where available so they are exact, with the binned form used for
+  persistence and sampling -- deliberately so, because the paper attributes
+  PEVPM's residual prediction error to "the granularity (i.e. histogram
+  bin size) of the benchmark results", an effect we reproduce and expose
+  via the ``bins`` parameter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Histogram"]
+
+
+class Histogram:
+    """An empirical distribution with equal-width bins.
+
+    Construct with :meth:`from_samples`; direct construction takes
+    pre-computed ``edges`` (length ``nbins+1``) and ``counts`` (length
+    ``nbins``).
+    """
+
+    __slots__ = ("edges", "counts", "n", "_mean", "_std", "_min", "_max", "_samples", "_sorted", "_cum")
+
+    def __init__(
+        self,
+        edges: np.ndarray,
+        counts: np.ndarray,
+        *,
+        mean: float | None = None,
+        std: float | None = None,
+        vmin: float | None = None,
+        vmax: float | None = None,
+        samples: np.ndarray | None = None,
+    ):
+        edges = np.asarray(edges, dtype=float)
+        counts = np.asarray(counts, dtype=float)
+        if edges.ndim != 1 or counts.ndim != 1 or len(edges) != len(counts) + 1:
+            raise ValueError("edges must be 1-D with len(counts)+1 entries")
+        if len(counts) == 0:
+            raise ValueError("histogram needs at least one bin")
+        if np.any(np.diff(edges) <= 0):
+            raise ValueError("edges must be strictly increasing")
+        if np.any(counts < 0):
+            raise ValueError("counts must be non-negative")
+        total = float(counts.sum())
+        if total <= 0:
+            raise ValueError("histogram must contain at least one sample")
+        self.edges = edges
+        self.counts = counts
+        self.n = int(round(total))
+        self._samples = samples
+        self._sorted = None  # lazily cached sorted samples (fast quantiles)
+        self._cum = None  # lazily cached cumulative bin counts (fast sampling)
+        # Exact moments when raw samples are retained; binned estimates
+        # otherwise.
+        if samples is not None and len(samples):
+            self._mean = float(np.mean(samples))
+            self._std = float(np.std(samples))
+            self._min = float(np.min(samples))
+            self._max = float(np.max(samples))
+        else:
+            centres = 0.5 * (edges[:-1] + edges[1:])
+            w = counts / total
+            self._mean = mean if mean is not None else float(np.dot(w, centres))
+            if std is not None:
+                self._std = std
+            else:
+                var = float(np.dot(w, (centres - self._mean) ** 2))
+                self._std = math.sqrt(max(0.0, var))
+            self._min = vmin if vmin is not None else float(edges[0])
+            self._max = vmax if vmax is not None else float(edges[-1])
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Iterable[float],
+        bins: int = 100,
+        keep_samples: bool = True,
+    ) -> "Histogram":
+        """Bin raw timing samples into an equal-width histogram.
+
+        *bins* is the paper's granularity knob: fewer bins -> coarser
+        distribution -> larger PEVPM sampling error.  With
+        ``keep_samples=True`` the raw data rides along, making summary
+        statistics exact and allowing re-binning.
+        """
+        arr = np.asarray(list(samples), dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot build a histogram from zero samples")
+        if np.any(~np.isfinite(arr)):
+            raise ValueError("samples must be finite")
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        lo, hi = float(arr.min()), float(arr.max())
+        if lo == hi:
+            # Degenerate: all samples identical; widen a hair so the single
+            # bin has positive width.
+            eps = max(abs(lo) * 1e-12, 1e-15)
+            edges = np.array([lo - eps, hi + eps])
+            counts = np.array([float(arr.size)])
+        else:
+            counts, edges = np.histogram(arr, bins=bins, range=(lo, hi))
+            counts = counts.astype(float)
+        return cls(edges, counts, samples=arr if keep_samples else None)
+
+    def rebinned(self, bins: int) -> "Histogram":
+        """Re-bin (requires retained samples)."""
+        if self._samples is None:
+            raise ValueError("cannot re-bin a histogram without raw samples")
+        return Histogram.from_samples(self._samples, bins=bins)
+
+    # -- statistics ----------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        return self._std
+
+    @property
+    def min(self) -> float:
+        return self._min
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    @property
+    def samples(self) -> np.ndarray | None:
+        """The raw samples, when retained."""
+        return self._samples
+
+    @property
+    def nbins(self) -> int:
+        return len(self.counts)
+
+    def pdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """(bin centres, probability density) -- the curves of Figures 3-4."""
+        widths = np.diff(self.edges)
+        centres = 0.5 * (self.edges[:-1] + self.edges[1:])
+        density = self.counts / (self.counts.sum() * widths)
+        return centres, density
+
+    def cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """(edges[1:], cumulative probability)."""
+        cum = np.cumsum(self.counts) / self.counts.sum()
+        return self.edges[1:], cum
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF with linear interpolation inside bins (or, when raw
+        samples are retained, over the sorted samples -- exact and fast via
+        a cached sort)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self._samples is not None:
+            srt = self._sorted
+            if srt is None:
+                srt = self._sorted = np.sort(self._samples)
+            pos = q * (len(srt) - 1)
+            lo = int(pos)
+            hi = min(lo + 1, len(srt) - 1)
+            frac = pos - lo
+            return float(srt[lo] * (1.0 - frac) + srt[hi] * frac)
+        cum = np.cumsum(self.counts)
+        total = cum[-1]
+        target = q * total
+        idx = int(np.searchsorted(cum, target, side="left"))
+        idx = min(idx, len(self.counts) - 1)
+        prev = cum[idx - 1] if idx > 0 else 0.0
+        inbin = self.counts[idx]
+        frac = 0.0 if inbin == 0 else (target - prev) / inbin
+        lo, hi = self.edges[idx], self.edges[idx + 1]
+        return float(lo + frac * (hi - lo))
+
+    def ks_distance(self, other: "Histogram") -> float:
+        """Kolmogorov-Smirnov distance between two distributions: the
+        largest CDF gap over the union of their supports.  Used by the
+        campaign-comparison tooling to say not just how much slower a
+        configuration is but how differently it *behaves*."""
+        lo = min(self.min, other.min)
+        hi = max(self.max, other.max)
+        if hi <= lo:
+            return 0.0
+        xs = np.linspace(lo, hi, 512)
+
+        def cdf_at(hist, points):
+            cum = hist._cum
+            if cum is None:
+                cum = hist._cum = np.cumsum(hist.counts)
+            total = cum[-1]
+            idx = np.searchsorted(hist.edges, points, side="right") - 1
+            out = np.empty_like(points)
+            below = idx < 0
+            above = idx >= len(hist.counts)
+            mid = ~(below | above)
+            out[below] = 0.0
+            out[above] = 1.0
+            i = idx[mid]
+            prev = np.where(i > 0, cum[np.maximum(i - 1, 0)], 0.0)
+            width = hist.edges[i + 1] - hist.edges[i]
+            frac = (points[mid] - hist.edges[i]) / width
+            out[mid] = (prev + frac * hist.counts[i]) / total
+            return out
+
+        return float(np.max(np.abs(cdf_at(self, xs) - cdf_at(other, xs))))
+
+    def quantiles(self, qs: np.ndarray) -> np.ndarray:
+        """Vectorised inverse CDF (see :meth:`quantile`) for an array of
+        probabilities -- the fast path for batched PEVPM sampling."""
+        qs = np.asarray(qs, dtype=float)
+        if self._samples is not None:
+            srt = self._sorted
+            if srt is None:
+                srt = self._sorted = np.sort(self._samples)
+            pos = qs * (len(srt) - 1)
+            lo = pos.astype(int)
+            hi = np.minimum(lo + 1, len(srt) - 1)
+            frac = pos - lo
+            return srt[lo] * (1.0 - frac) + srt[hi] * frac
+        cum = self._cum
+        if cum is None:
+            cum = self._cum = np.cumsum(self.counts)
+        total = cum[-1]
+        target = qs * total
+        idx = np.minimum(
+            np.searchsorted(cum, target, side="left"), len(self.counts) - 1
+        )
+        prev = np.where(idx > 0, cum[np.maximum(idx - 1, 0)], 0.0)
+        inbin = self.counts[idx]
+        frac = np.where(inbin > 0, (target - prev) / np.where(inbin > 0, inbin, 1.0), 0.0)
+        lo = self.edges[idx]
+        hi = self.edges[idx + 1]
+        return lo + frac * (hi - lo)
+
+    def tail_mass(self, threshold: float) -> float:
+        """Fraction of samples above *threshold* -- used to quantify the
+        RTO outlier clusters of Figure 4."""
+        if self._samples is not None:
+            return float(np.mean(self._samples > threshold))
+        idx = np.searchsorted(self.edges, threshold, side="left")
+        if idx <= 0:
+            return 1.0
+        if idx > len(self.counts):
+            return 0.0
+        # Whole bins above, plus a partial bin containing the threshold.
+        above = self.counts[idx:].sum()
+        binlo, binhi = self.edges[idx - 1], self.edges[idx]
+        frac = (binhi - threshold) / (binhi - binlo)
+        above += self.counts[idx - 1] * np.clip(frac, 0.0, 1.0)
+        return float(above / self.counts.sum())
+
+    # -- sampling --------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw from the *binned* distribution (inverse CDF, uniform within
+        the bin).
+
+        This is intentionally the binned -- not the raw-sample -- form:
+        PEVPM's inputs are histograms, and the binning granularity is part
+        of the method's error budget (Section 6).
+        """
+        cum = self._cum
+        if cum is None:
+            cum = self._cum = np.cumsum(self.counts)
+        total = cum[-1]
+        if size is None:
+            # Scalar fast path: one uniform draw, one binary search.
+            u = rng.random() * total
+            idx = int(np.searchsorted(cum, u, side="right"))
+            idx = min(idx, len(self.counts) - 1)
+            lo = self.edges[idx]
+            hi = self.edges[idx + 1]
+            return float(lo + rng.random() * (hi - lo))
+        u = rng.random(size) * total
+        idx = np.minimum(
+            np.searchsorted(cum, u, side="right"), len(self.counts) - 1
+        )
+        lo = self.edges[idx]
+        hi = self.edges[idx + 1]
+        return lo + rng.random(size) * (hi - lo)
+
+    # -- combination -------------------------------------------------------------------
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Pool two histograms (e.g. per-rank sample sets) into one.
+
+        Requires retained samples on both (exact pooling); re-bins to the
+        larger bin count of the two.
+        """
+        if self._samples is None or other._samples is None:
+            raise ValueError("merge requires retained samples on both histograms")
+        pooled = np.concatenate([self._samples, other._samples])
+        return Histogram.from_samples(pooled, bins=max(self.nbins, other.nbins))
+
+    # -- persistence --------------------------------------------------------------------
+    def to_dict(self, include_samples: bool = False) -> dict:
+        d = {
+            "edges": self.edges.tolist(),
+            "counts": self.counts.tolist(),
+            "mean": self._mean,
+            "std": self._std,
+            "min": self._min,
+            "max": self._max,
+        }
+        if include_samples and self._samples is not None:
+            d["samples"] = self._samples.tolist()
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Histogram":
+        samples = d.get("samples")
+        return cls(
+            np.asarray(d["edges"]),
+            np.asarray(d["counts"]),
+            mean=d.get("mean"),
+            std=d.get("std"),
+            vmin=d.get("min"),
+            vmax=d.get("max"),
+            samples=None if samples is None else np.asarray(samples, dtype=float),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Histogram n={self.n} bins={self.nbins} "
+            f"mean={self.mean:.3g} min={self.min:.3g} max={self.max:.3g}>"
+        )

@@ -1,0 +1,153 @@
+"""Figure/table generation from benchmark results.
+
+Each function reproduces the *data series* behind one of the paper's
+figures as a text table (plus optional ASCII plot); the benchmark scripts
+under ``benchmarks/`` call these and assert the expected qualitative shape
+(see DESIGN.md section 4 for the acceptance criteria).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._tables import ascii_pdf, format_table, format_time
+from .results import BenchmarkResult, DistributionDB
+
+__all__ = [
+    "average_times_table",
+    "pdf_table",
+    "pdf_plots",
+    "goodput_table",
+    "contention_ratio",
+]
+
+
+def average_times_table(
+    db: DistributionDB,
+    op: str,
+    sizes: list[int],
+    configs: list[tuple[int, int]] | None = None,
+    include_min: bool = True,
+    title: str = "",
+) -> str:
+    """The Figure 1/2 table: average one-way time per size per n x p curve.
+
+    The ``min`` column is the minimum observed between one pair of
+    communicating processes, taken from the smallest configuration -- the
+    paper's contention-free reference curve.
+    """
+    configs = configs or db.configs(op)
+    headers = ["size (B)"] + [f"{n}x{p}" for n, p in configs]
+    if include_min:
+        headers.append("min")
+    smallest = min(configs, key=lambda c: c[0] * c[1])
+    rows = []
+    for size in sizes:
+        row: list[str] = [str(size)]
+        for n, p in configs:
+            hist = db.result(op, n, p).histograms.get(size)
+            row.append(format_time(hist.mean) if hist else "-")
+        if include_min:
+            hist = db.result(op, *smallest).histograms.get(size)
+            row.append(format_time(hist.min) if hist else "-")
+        rows.append(row)
+    return format_table(headers, rows, title=title or f"Average {op} times on {db.cluster}")
+
+
+def pdf_table(result: BenchmarkResult, size: int, bins: int = 12) -> str:
+    """Numeric PDF of one distribution (Figure 3/4 series, tabulated)."""
+    hist = result.histograms[size]
+    h = hist.rebinned(bins) if hist.samples is not None else hist
+    centres, density = h.pdf()
+    rows = [
+        [format_time(c), f"{d:.4g}", f"{h.counts[i]:.0f}"]
+        for i, (c, d) in enumerate(zip(centres, density))
+    ]
+    return format_table(
+        ["time", "density", "count"],
+        rows,
+        title=f"{result.op} PDF, {result.label}, {size} B (n={hist.n})",
+    )
+
+
+def pdf_plots(
+    result: BenchmarkResult,
+    sizes: list[int] | None = None,
+    width: int = 60,
+    height: int = 8,
+) -> str:
+    """ASCII renderings of the distributions (the Figure 3/4 curves)."""
+    sizes = sizes or result.sizes
+    blocks = []
+    for size in sizes:
+        hist = result.histograms.get(size)
+        if hist is None:
+            continue
+        centres, density = hist.pdf()
+        label = (
+            f"{result.op} {result.label} size={size}B  "
+            f"min={format_time(hist.min)} mean={format_time(hist.mean)} "
+            f"max={format_time(hist.max)}"
+        )
+        blocks.append(ascii_pdf(centres, density, width=width, height=height, label=label))
+    return "\n\n".join(blocks)
+
+
+def goodput_table(result: BenchmarkResult, title: str = "") -> str:
+    """Payload goodput per message size -- the paper's '81 Mbit/s for
+    16 KB messages' style of statement."""
+    rows = []
+    for size in result.sizes:
+        hist = result.histograms[size]
+        if size == 0 or hist.mean <= 0:
+            rows.append([str(size), "-", format_time(hist.mean)])
+            continue
+        goodput_mbit = size / hist.mean * 8 / 1e6
+        rows.append([str(size), f"{goodput_mbit:.1f}", format_time(hist.mean)])
+    return format_table(
+        ["size (B)", "goodput (Mbit/s)", "mean time"],
+        rows,
+        title=title or f"{result.op} goodput, {result.label}",
+    )
+
+
+def contention_ratio(
+    db: DistributionDB, op: str, size: int, big: tuple[int, int], small: tuple[int, int]
+) -> float:
+    """Mean-time ratio between two configurations at one size -- the
+    paper's '70% longer for 64x1 than 2x1 at 1 KB' measurement."""
+    hb = db.result(op, *big).histograms[size]
+    hs = db.result(op, *small).histograms[size]
+    return float(hb.mean / hs.mean)
+
+
+def tail_report(result: BenchmarkResult, rto: float = 0.2) -> str:
+    """Outlier quantification for Figure 4: the fraction of samples beyond
+    half the RTO (retransmission stalls) per message size."""
+    rows = []
+    for size in result.sizes:
+        hist = result.histograms[size]
+        frac = hist.tail_mass(rto / 2)
+        rows.append([str(size), f"{frac * 100:.2f}%", format_time(hist.max)])
+    return format_table(
+        ["size (B)", "RTO-outlier fraction", "max time"],
+        rows,
+        title=f"{result.op} {result.label} retransmission outliers",
+    )
+
+
+def summary_stats(result: BenchmarkResult) -> dict[int, dict[str, float]]:
+    """Machine-readable per-size summary, used by EXPERIMENTS.md."""
+    out = {}
+    for size in result.sizes:
+        h = result.histograms[size]
+        out[size] = {
+            "mean": h.mean,
+            "min": h.min,
+            "max": h.max,
+            "std": h.std,
+            "p50": h.quantile(0.5),
+            "p99": h.quantile(0.99),
+            "n": h.n,
+        }
+    return out

@@ -1,0 +1,288 @@
+"""Benchmark results and the distribution database.
+
+A :class:`BenchmarkResult` holds the histograms from one benchmark run
+(one operation on one n x p configuration).  A :class:`DistributionDB`
+aggregates results across configurations and is the hand-off artefact from
+MPIBench to PEVPM: PEVPM's match phase asks it for the distribution of an
+operation at a given message size *and contention level*, exactly as the
+paper describes ("These probability distributions are a function of
+message size and the total number of messages on the scoreboard").
+
+Lookup semantics:
+
+* configuration: the benchmark config whose total process count is nearest
+  to the requested contention level (in log-space, since configs are
+  typically powers of two);
+* message size: either the nearest measured size, or quantile-space
+  interpolation between the two bracketing sizes (``interpolate=True``),
+  which samples ``u ~ U(0,1)`` once and blends the two inverse CDFs.
+
+Everything serialises to JSON so a benchmark campaign can be saved and
+reloaded without re-simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .histogram import Histogram
+
+__all__ = ["BenchmarkResult", "DistributionDB"]
+
+
+@dataclass
+class BenchmarkResult:
+    """All histograms from one (operation, nodes x ppn) benchmark run."""
+
+    op: str  #: e.g. "isend", "bcast", "barrier"
+    nodes: int
+    ppn: int
+    cluster: str  #: spec name, e.g. "perseus"
+    histograms: dict[int, Histogram]  #: message size -> distribution
+    reps: int = 0
+    seed: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def nprocs(self) -> int:
+        return self.nodes * self.ppn
+
+    @property
+    def label(self) -> str:
+        """The paper's n x p curve label, e.g. ``64x2``."""
+        return f"{self.nodes}x{self.ppn}"
+
+    @property
+    def sizes(self) -> list[int]:
+        return sorted(self.histograms)
+
+    def mean_curve(self) -> list[tuple[int, float]]:
+        """(size, mean time) series -- one line of Figure 1/2."""
+        return [(s, self.histograms[s].mean) for s in self.sizes]
+
+    def min_curve(self) -> list[tuple[int, float]]:
+        """(size, min time) series -- the paper's ``min`` curve."""
+        return [(s, self.histograms[s].min) for s in self.sizes]
+
+    def to_dict(self, include_samples: bool = False) -> dict:
+        return {
+            "op": self.op,
+            "nodes": self.nodes,
+            "ppn": self.ppn,
+            "cluster": self.cluster,
+            "reps": self.reps,
+            "seed": self.seed,
+            "metadata": self.metadata,
+            "histograms": {
+                str(size): h.to_dict(include_samples=include_samples)
+                for size, h in self.histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BenchmarkResult":
+        return cls(
+            op=d["op"],
+            nodes=d["nodes"],
+            ppn=d["ppn"],
+            cluster=d["cluster"],
+            reps=d.get("reps", 0),
+            seed=d.get("seed", 0),
+            metadata=d.get("metadata", {}),
+            histograms={
+                int(size): Histogram.from_dict(h)
+                for size, h in d["histograms"].items()
+            },
+        )
+
+
+class DistributionDB:
+    """Queryable store of benchmark distributions across configurations."""
+
+    def __init__(self, cluster: str = ""):
+        self.cluster = cluster
+        #: op -> {(nodes, ppn) -> BenchmarkResult}
+        self._results: dict[str, dict[tuple[int, int], BenchmarkResult]] = {}
+        # Lookup caches (PEVPM samples millions of times per study).
+        self._nearest_cache: dict[tuple, tuple[int, int]] = {}
+        self._bracket_cache: dict[tuple, tuple[int, int]] = {}
+
+    # -- population --------------------------------------------------------------
+    def add(self, result: BenchmarkResult) -> None:
+        if not result.histograms:
+            raise ValueError("refusing to add an empty BenchmarkResult")
+        if self.cluster and result.cluster != self.cluster:
+            raise ValueError(
+                f"result from cluster {result.cluster!r} does not belong in "
+                f"a DB for {self.cluster!r}"
+            )
+        if not self.cluster:
+            self.cluster = result.cluster
+        self._results.setdefault(result.op, {})[(result.nodes, result.ppn)] = result
+        self._nearest_cache.clear()
+        self._bracket_cache.clear()
+
+    def ops(self) -> list[str]:
+        return sorted(self._results)
+
+    def configs(self, op: str) -> list[tuple[int, int]]:
+        """(nodes, ppn) configurations measured for *op*."""
+        return sorted(self._results.get(op, {}))
+
+    def result(self, op: str, nodes: int, ppn: int) -> BenchmarkResult:
+        try:
+            return self._results[op][(nodes, ppn)]
+        except KeyError:
+            raise KeyError(
+                f"no benchmark for op={op!r} config {nodes}x{ppn}; "
+                f"have {self.configs(op)}"
+            ) from None
+
+    # -- lookup ---------------------------------------------------------------------
+    def _configs_for(self, op: str, intra: bool) -> list[tuple[int, int]]:
+        """Configurations relevant to intra-node (single-node benchmark)
+        or inter-node (multi-node) messages, falling back to everything
+        when no dedicated measurements exist."""
+        configs = self.configs(op)
+        if not configs:
+            raise KeyError(f"no benchmarks recorded for op {op!r}")
+        if intra:
+            picked = [c for c in configs if c[0] == 1]
+        else:
+            picked = [c for c in configs if c[0] > 1]
+        return picked or configs
+
+    def nearest_config(self, op: str, nprocs: int, intra: bool = False) -> tuple[int, int]:
+        """Config whose total process count is nearest *nprocs* (log-space).
+
+        With ``intra=True``, only single-node (shared-memory) benchmark
+        configurations are considered -- intra-node messages have an
+        entirely different time scale than wire messages."""
+        key = (op, nprocs, intra)
+        cached = self._nearest_cache.get(key)
+        if cached is not None:
+            return cached
+        configs = self._configs_for(op, intra)
+        target = math.log(max(1, nprocs))
+        best = min(configs, key=lambda c: abs(math.log(c[0] * c[1]) - target))
+        self._nearest_cache[key] = best
+        return best
+
+    def histogram(
+        self, op: str, size: int, nodes: int, ppn: int
+    ) -> Histogram:
+        """Exact-config lookup with nearest measured size."""
+        result = self.result(op, nodes, ppn)
+        sizes = result.sizes
+        nearest = min(sizes, key=lambda s: abs(s - size))
+        return result.histograms[nearest]
+
+    def bracketing_sizes(
+        self, op: str, size: int, nodes: int, ppn: int
+    ) -> tuple[int, int]:
+        """The two measured sizes bracketing *size* (equal at the ends)."""
+        key = (op, size, nodes, ppn)
+        cached = self._bracket_cache.get(key)
+        if cached is not None:
+            return cached
+        sizes = self.result(op, nodes, ppn).sizes
+        below = [s for s in sizes if s <= size]
+        above = [s for s in sizes if s >= size]
+        lo = max(below) if below else min(sizes)
+        hi = min(above) if above else max(sizes)
+        self._bracket_cache[key] = (lo, hi)
+        return lo, hi
+
+    def sample_time(
+        self,
+        op: str,
+        size: int,
+        contention: int,
+        rng: np.random.Generator,
+        interpolate: bool = True,
+        intra: bool = False,
+    ) -> float:
+        """Draw one operation time -- PEVPM's match-phase primitive.
+
+        *contention* is the number of messages on the scoreboard (PEVPM's
+        contention level); it selects the benchmark configuration whose
+        process count is nearest, since a benchmark with P communicating
+        processes keeps ~P messages in flight.  *intra* selects the
+        shared-memory (single-node) measurements.
+        """
+        nodes, ppn = self.nearest_config(op, max(2, contention), intra=intra)
+        result = self.result(op, nodes, ppn)
+        lo, hi = self.bracketing_sizes(op, size, nodes, ppn)
+        if not interpolate or lo == hi:
+            nearest = lo if abs(size - lo) <= abs(hi - size) else hi
+            return float(result.histograms[nearest].sample(rng))
+        # Quantile-space interpolation between the bracketing sizes.
+        w = (size - lo) / (hi - lo)
+        u = float(rng.random())
+        qlo = result.histograms[lo].quantile(u)
+        qhi = result.histograms[hi].quantile(u)
+        return float((1.0 - w) * qlo + w * qhi)
+
+    def sample_times(
+        self,
+        op: str,
+        size: int,
+        contention: int,
+        rng: np.random.Generator,
+        n: int,
+        intra: bool = False,
+    ) -> np.ndarray:
+        """Vectorised version of :meth:`sample_time`: *n* independent
+        draws at once (quantile-space size interpolation included)."""
+        nodes, ppn = self.nearest_config(op, max(2, contention), intra=intra)
+        result = self.result(op, nodes, ppn)
+        lo, hi = self.bracketing_sizes(op, size, nodes, ppn)
+        u = rng.random(n)
+        if lo == hi:
+            return result.histograms[lo].quantiles(u)
+        w = (size - lo) / (hi - lo)
+        qlo = result.histograms[lo].quantiles(u)
+        qhi = result.histograms[hi].quantiles(u)
+        return (1.0 - w) * qlo + w * qhi
+
+    def mean_time(self, op: str, size: int, contention: int, intra: bool = False) -> float:
+        """Average-time lookup (the 'avg' ablation of Figure 6)."""
+        nodes, ppn = self.nearest_config(op, max(2, contention), intra=intra)
+        return self.histogram(op, size, nodes, ppn).mean
+
+    def min_time(self, op: str, size: int, contention: int, intra: bool = False) -> float:
+        """Minimum-time lookup (the 'min' ablation of Figure 6)."""
+        nodes, ppn = self.nearest_config(op, max(2, contention), intra=intra)
+        return self.histogram(op, size, nodes, ppn).min
+
+    # -- persistence -------------------------------------------------------------------
+    def save(self, path: str | Path, include_samples: bool = True) -> None:
+        """Write the whole DB as JSON."""
+        doc = {
+            "cluster": self.cluster,
+            "results": [
+                r.to_dict(include_samples=include_samples)
+                for per_op in self._results.values()
+                for r in per_op.values()
+            ],
+        }
+        Path(path).write_text(json.dumps(doc))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DistributionDB":
+        doc = json.loads(Path(path).read_text())
+        db = cls(cluster=doc.get("cluster", ""))
+        for rd in doc["results"]:
+            db.add(BenchmarkResult.from_dict(rd))
+        return db
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._results.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DistributionDB cluster={self.cluster!r} results={len(self)}>"

@@ -1,0 +1,178 @@
+"""Benchmark orchestration: run MPIBench campaigns on a simulated cluster.
+
+:class:`MPIBench` is the user-facing tool: point it at a cluster spec,
+describe a configuration sweep, and it launches one dedicated simulated
+MPI job per (operation, nodes x ppn) configuration -- "MPIBench was run in
+a dedicated fashion" -- pools the per-rank samples and returns
+:class:`~repro.mpibench.results.BenchmarkResult` objects (or a whole
+:class:`~repro.mpibench.results.DistributionDB` for a sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simnet.topology import ClusterSpec
+from ..smpi.runtime import run_program
+from . import drivers
+from .histogram import Histogram
+from .results import BenchmarkResult, DistributionDB
+
+__all__ = ["BenchSettings", "MPIBench", "DEFAULT_SMALL_SIZES", "DEFAULT_LARGE_SIZES"]
+
+#: message sizes of the paper's Figure 1 (small) sweep
+DEFAULT_SMALL_SIZES = [0, 64, 128, 256, 512, 1024]
+#: message sizes of the paper's Figure 2 (large) sweep
+DEFAULT_LARGE_SIZES = [1024, 4096, 16384, 32768, 65536, 131072, 262144]
+
+
+@dataclass
+class BenchSettings:
+    """Knobs common to every benchmark run."""
+
+    reps: int = 100  #: timed repetitions per message size
+    warmup: int = 10  #: untimed repetitions per message size
+    bins: int = 60  #: histogram bin count (the paper's granularity knob)
+    sync_rounds: int = 8  #: ping-pongs per rank during clock sync
+    drift_gap: float = 0.25  #: idle gap between the two sync passes (s)
+    keep_samples: bool = True  #: retain raw samples inside histograms
+
+    def validate(self) -> None:
+        if self.reps < 1:
+            raise ValueError("reps must be >= 1")
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        if self.bins < 1:
+            raise ValueError("bins must be >= 1")
+
+
+class MPIBench:
+    """The benchmark tool.
+
+    >>> bench = MPIBench(perseus(64), seed=1)
+    >>> result = bench.run_isend(nodes=8, ppn=1, sizes=[0, 1024])
+    >>> result.histograms[1024].mean  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        seed: int = 0,
+        settings: BenchSettings | None = None,
+    ):
+        self.spec = spec
+        self.seed = seed
+        self.settings = settings or BenchSettings()
+        self.settings.validate()
+
+    # -- single-configuration runs ---------------------------------------------------
+    def _pool(self, per_rank: list[dict[int, list[float]]]) -> dict[int, Histogram]:
+        """Pool per-rank sample lists into one histogram per size."""
+        pooled: dict[int, list[float]] = {}
+        for rank_samples in per_rank:
+            for size, values in rank_samples.items():
+                pooled.setdefault(size, []).extend(values)
+        return {
+            size: Histogram.from_samples(
+                values, bins=self.settings.bins,
+                keep_samples=self.settings.keep_samples,
+            )
+            for size, values in pooled.items()
+            if values
+        }
+
+    def _run(self, driver_args, driver, nodes: int, ppn: int) -> dict[str, BenchmarkResult]:
+        if nodes > self.spec.n_nodes:
+            raise ValueError(
+                f"{nodes} nodes requested; cluster {self.spec.name!r} has "
+                f"{self.spec.n_nodes}"
+            )
+        nprocs = nodes * ppn
+        result = run_program(
+            self.spec,
+            driver,
+            nprocs=nprocs,
+            ppn=ppn,
+            seed=self.seed,
+            args=driver_args,
+        )
+        # Drivers return {op: {size: samples}} per rank.
+        ops = sorted({op for rank_out in result.returns for op in rank_out})
+        out: dict[str, BenchmarkResult] = {}
+        for op in ops:
+            histograms = self._pool([rank_out.get(op, {}) for rank_out in result.returns])
+            out[op] = BenchmarkResult(
+                op=op,
+                nodes=nodes,
+                ppn=ppn,
+                cluster=self.spec.name,
+                histograms=histograms,
+                reps=self.settings.reps,
+                seed=self.seed,
+                metadata={
+                    "elapsed_simulated_s": result.elapsed,
+                    "warmup": self.settings.warmup,
+                    "bins": self.settings.bins,
+                },
+            )
+        return out
+
+    def run_isend_all(
+        self, nodes: int, ppn: int, sizes: list[int], pattern: str = "pairs"
+    ) -> dict[str, BenchmarkResult]:
+        """Benchmark MPI_Isend on a nodes x ppn config; returns both the
+        one-way ("isend") and sender-occupancy ("isend_local") results.
+
+        *pattern* selects the traffic shape: "pairs" (rank i with i + P/2,
+        sustained cross-cluster flows) or "ring" (both nearest neighbours,
+        the stencil pattern; ops are suffixed ``:ring``)."""
+        s = self.settings
+        args = (list(sizes), s.reps, s.warmup, s.sync_rounds, s.drift_gap)
+        if pattern == "pairs":
+            return self._run(args, drivers.isend_driver, nodes, ppn)
+        if pattern == "ring":
+            return self._run(args, drivers.ring_isend_driver, nodes, ppn)
+        raise ValueError(f"unknown pattern {pattern!r}")
+
+    def run_isend(self, nodes: int, ppn: int, sizes: list[int]) -> BenchmarkResult:
+        """Benchmark MPI_Isend/recv one-way times on a nodes x ppn config."""
+        return self.run_isend_all(nodes, ppn, sizes)["isend"]
+
+    def run_pingpong(self, nodes: int, ppn: int, sizes: list[int]) -> BenchmarkResult:
+        """Benchmark conventional ping-pong RTT/2 times (for contrast with
+        the one-way distributions -- the paper's criticism of other
+        benchmarks)."""
+        s = self.settings
+        args = (list(sizes), s.reps, s.warmup)
+        return self._run(args, drivers.pingpong_driver, nodes, ppn)["pingpong_half"]
+
+    def run_bcast(
+        self, nodes: int, ppn: int, sizes: list[int], root: int = 0
+    ) -> BenchmarkResult:
+        """Benchmark MPI_Bcast completion times at every rank."""
+        s = self.settings
+        args = (list(sizes), s.reps, root, s.warmup, s.sync_rounds, s.drift_gap)
+        return self._run(args, drivers.bcast_driver, nodes, ppn)["bcast"]
+
+    def run_barrier(self, nodes: int, ppn: int) -> BenchmarkResult:
+        """Benchmark MPI_Barrier times."""
+        s = self.settings
+        args = (s.reps, s.warmup, s.sync_rounds, s.drift_gap)
+        return self._run(args, drivers.barrier_driver, nodes, ppn)["barrier"]
+
+    # -- sweeps ------------------------------------------------------------------------
+    def sweep_isend(
+        self,
+        configs: list[tuple[int, int]],
+        sizes: list[int],
+        db: DistributionDB | None = None,
+        pattern: str = "pairs",
+    ) -> DistributionDB:
+        """Run the isend benchmark across several nodes x ppn configs,
+        returning (or extending) a :class:`DistributionDB` -- the artefact
+        PEVPM consumes."""
+        db = db if db is not None else DistributionDB(cluster=self.spec.name)
+        for nodes, ppn in configs:
+            for result in self.run_isend_all(nodes, ppn, sizes, pattern=pattern).values():
+                db.add(result)
+        return db

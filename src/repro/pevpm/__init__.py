@@ -1,0 +1,91 @@
+"""PEVPM: the Performance Evaluating Virtual Parallel Machine.
+
+The paper's primary contribution (Sections 5-6): an execution-driven
+performance model that simulates a message-passing program's time
+structure by interleaved sweep/match phases, sampling operation times
+from MPIBench distributions conditioned on the contention scoreboard.
+
+Typical use::
+
+    from repro.pevpm import parse_annotations, predict, timing_from_db
+
+    model = parse_annotations(open("jacobi.c").read())
+    timing = timing_from_db(db, mode="distribution")
+    prediction = predict(model, nprocs=64, timing=timing, runs=10)
+    prediction.mean_time
+"""
+
+from .directives import (
+    Block,
+    Loop,
+    Message,
+    MessageKind,
+    ModelError,
+    Runon,
+    Serial,
+    validate_model,
+)
+from .expr import ExprError, evaluate
+from .interpreter import compile_model, model_messages
+from .machine import ANY_SOURCE, MachineResult, ModelDeadlock, ProcContext, VirtualMachine
+from . import patterns
+from .parser import ParseError, parse_annotations
+from .predict import Prediction, compare_timing_modes, predict, predict_speedups
+from .scoreboard import Scoreboard, ScoreboardEntry
+from .symbolic import StaticProfile, SymbolicModel, extract_symbolic_model, static_profile
+from .timeline import iteration_profile, render_timeline
+from .timing import (
+    AverageTiming,
+    DistributionTiming,
+    HockneyTiming,
+    MinimumTiming,
+    ParametricTiming,
+    TimingModel,
+    timing_from_db,
+)
+from .trace import LossReport, TraceEvent, TraceRecorder
+
+__all__ = [
+    "ANY_SOURCE",
+    "AverageTiming",
+    "Block",
+    "DistributionTiming",
+    "ExprError",
+    "HockneyTiming",
+    "Loop",
+    "LossReport",
+    "MachineResult",
+    "Message",
+    "MessageKind",
+    "MinimumTiming",
+    "ModelDeadlock",
+    "ModelError",
+    "ParametricTiming",
+    "ParseError",
+    "Prediction",
+    "ProcContext",
+    "Runon",
+    "Scoreboard",
+    "ScoreboardEntry",
+    "Serial",
+    "StaticProfile",
+    "SymbolicModel",
+    "TimingModel",
+    "TraceEvent",
+    "TraceRecorder",
+    "VirtualMachine",
+    "compare_timing_modes",
+    "compile_model",
+    "evaluate",
+    "extract_symbolic_model",
+    "static_profile",
+    "model_messages",
+    "parse_annotations",
+    "patterns",
+    "predict",
+    "predict_speedups",
+    "render_timeline",
+    "iteration_profile",
+    "timing_from_db",
+    "validate_model",
+]

@@ -1,0 +1,167 @@
+"""Safe arithmetic expression evaluation for PEVPM directives.
+
+PEVPM directives carry symbolic expressions -- ``size = xsize*sizeof(float)``,
+``time = 3.24/numprocs``, ``c1 = procnum%2 == 0`` -- that are evaluated per
+process with ``procnum``/``numprocs`` (and any user parameters) bound.  The
+paper stresses that keeping these *symbolic* is what makes PEVPM models
+re-evaluable "under different input and environmental conditions", so the
+expressions stay as text in the model and are compiled here.
+
+Evaluation uses a whitelisted AST walk: arithmetic, comparisons, boolean
+logic, a few math functions, and ``sizeof(<ctype>)``.  No attribute access,
+no subscripts, no calls beyond the whitelist -- a model file cannot execute
+arbitrary code.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Any, Mapping
+
+__all__ = ["ExprError", "compile_expr", "evaluate", "SIZEOF"]
+
+
+class ExprError(ValueError):
+    """A directive expression failed to parse or evaluate."""
+
+
+#: C type extents accepted by ``sizeof(...)`` in size expressions.
+SIZEOF = {
+    "char": 1,
+    "byte": 1,
+    "short": 2,
+    "int": 4,
+    "float": 4,
+    "long": 8,
+    "double": 8,
+}
+
+_FUNCTIONS: dict[str, Any] = {
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "int": int,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "sqrt": math.sqrt,
+    "log": math.log,
+    "log2": math.log2,
+}
+
+_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.Pow: lambda a, b: a**b,
+}
+
+_CMPOPS = {
+    ast.Eq: lambda a, b: a == b,
+    ast.NotEq: lambda a, b: a != b,
+    ast.Lt: lambda a, b: a < b,
+    ast.LtE: lambda a, b: a <= b,
+    ast.Gt: lambda a, b: a > b,
+    ast.GtE: lambda a, b: a >= b,
+}
+
+
+class _Evaluator(ast.NodeVisitor):
+    def __init__(self, names: Mapping[str, Any]):
+        self.names = names
+
+    def visit_Expression(self, node):
+        return self.visit(node.body)
+
+    def visit_Constant(self, node):
+        if isinstance(node.value, (int, float, bool)):
+            return node.value
+        raise ExprError(f"constant {node.value!r} not allowed")
+
+    def visit_Name(self, node):
+        try:
+            return self.names[node.id]
+        except KeyError:
+            raise ExprError(f"unknown variable {node.id!r}") from None
+
+    def visit_BinOp(self, node):
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            raise ExprError(f"operator {type(node.op).__name__} not allowed")
+        try:
+            return op(self.visit(node.left), self.visit(node.right))
+        except ZeroDivisionError:
+            raise ExprError("division by zero in directive expression") from None
+
+    def visit_UnaryOp(self, node):
+        val = self.visit(node.operand)
+        if isinstance(node.op, ast.USub):
+            return -val
+        if isinstance(node.op, ast.UAdd):
+            return +val
+        if isinstance(node.op, ast.Not):
+            return not val
+        raise ExprError(f"unary {type(node.op).__name__} not allowed")
+
+    def visit_BoolOp(self, node):
+        values = [self.visit(v) for v in node.values]
+        if isinstance(node.op, ast.And):
+            return all(values)
+        return any(values)
+
+    def visit_Compare(self, node):
+        left = self.visit(node.left)
+        for op, comparator in zip(node.ops, node.comparators):
+            fn = _CMPOPS.get(type(op))
+            if fn is None:
+                raise ExprError(f"comparison {type(op).__name__} not allowed")
+            right = self.visit(comparator)
+            if not fn(left, right):
+                return False
+            left = right
+        return True
+
+    def visit_Call(self, node):
+        if not isinstance(node.func, ast.Name):
+            raise ExprError("only simple function calls are allowed")
+        name = node.func.id
+        if node.keywords:
+            raise ExprError("keyword arguments not allowed")
+        if name == "sizeof":
+            if len(node.args) != 1 or not isinstance(node.args[0], ast.Name):
+                raise ExprError("sizeof takes one bare type name")
+            ctype = node.args[0].id
+            try:
+                return SIZEOF[ctype]
+            except KeyError:
+                raise ExprError(f"unknown C type {ctype!r} in sizeof") from None
+        fn = _FUNCTIONS.get(name)
+        if fn is None:
+            raise ExprError(f"function {name!r} not allowed")
+        return fn(*(self.visit(a) for a in node.args))
+
+    def visit_IfExp(self, node):
+        return self.visit(node.body) if self.visit(node.test) else self.visit(node.orelse)
+
+    def generic_visit(self, node):
+        raise ExprError(f"syntax {type(node).__name__} not allowed in directives")
+
+
+def compile_expr(text: str) -> ast.Expression:
+    """Parse a directive expression to an AST, validating the syntax."""
+    if not isinstance(text, str) or not text.strip():
+        raise ExprError("empty expression")
+    try:
+        tree = ast.parse(text.strip(), mode="eval")
+    except SyntaxError as exc:
+        raise ExprError(f"cannot parse expression {text!r}: {exc.msg}") from None
+    return tree
+
+
+def evaluate(expr: str | ast.Expression, names: Mapping[str, Any]) -> Any:
+    """Evaluate a directive expression with the given variable bindings."""
+    tree = compile_expr(expr) if isinstance(expr, str) else expr
+    return _Evaluator(names).visit(tree)

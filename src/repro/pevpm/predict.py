@@ -1,0 +1,193 @@
+"""High-level prediction API: Monte Carlo evaluation and speedups.
+
+"The PEVPM approach is like a Monte Carlo simulation of performance, and
+the number of [runs] can be chosen so that the statistical error in the
+mean is negligibly small" (Section 6).  :func:`predict` evaluates a model
+several times with independent random streams and aggregates; helpers
+compute speedups (for Figure 6) and compare the paper's timing-source
+variants side by side.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Generator
+
+import numpy as np
+
+from .directives import Block
+from .interpreter import compile_model
+from .machine import MachineResult, ProcContext, VirtualMachine
+from .timing import TimingModel, timing_from_db
+from .trace import LossReport
+
+__all__ = ["Prediction", "predict", "predict_speedups", "compare_timing_modes"]
+
+
+@dataclass
+class Prediction:
+    """Aggregated Monte Carlo prediction for one (model, nprocs, timing)."""
+
+    nprocs: int
+    timing_name: str
+    times: list[float]  #: predicted completion time of each MC run
+    results: list[MachineResult] = field(repr=False, default_factory=list)
+    wall_time: float = 0.0  #: host seconds spent evaluating (the paper's cost metric)
+
+    @property
+    def mean_time(self) -> float:
+        return float(np.mean(self.times))
+
+    @property
+    def std_time(self) -> float:
+        return float(np.std(self.times))
+
+    @property
+    def stderr(self) -> float:
+        return self.std_time / len(self.times) ** 0.5
+
+    @property
+    def runs(self) -> int:
+        return len(self.times)
+
+    def speedup(self, serial_time: float) -> float:
+        """Predicted speedup relative to a one-process time."""
+        if serial_time <= 0:
+            raise ValueError("serial_time must be positive")
+        return serial_time / self.mean_time
+
+    @property
+    def simulated_per_wall(self) -> float:
+        """Simulated processor-seconds evaluated per host wall second --
+        the paper's '67.5 times its actual execution speed' metric
+        (which counts all processors' time)."""
+        if self.wall_time <= 0:
+            return float("inf")
+        total_proc_seconds = sum(self.times) * self.nprocs
+        return total_proc_seconds / self.wall_time
+
+    def loss_report(self) -> LossReport | None:
+        """Attribution for the last run, when it was traced."""
+        last = self.results[-1] if self.results else None
+        if last is None or last.trace is None:
+            return None
+        return LossReport(last.trace, last.elapsed, self.nprocs)
+
+
+def _as_program(model) -> Callable[[ProcContext], Generator]:
+    if isinstance(model, Block):
+        return compile_model(model)
+    if callable(model):
+        return model
+    raise TypeError(
+        "model must be a directive Block or a program callable(ctx) -> generator"
+    )
+
+
+def predict(
+    model,
+    nprocs: int,
+    timing: TimingModel,
+    runs: int = 5,
+    seed: int = 0,
+    params: dict | None = None,
+    trace_last: bool = False,
+    nic_serialisation: str = "tx",
+    ppn: int = 1,
+) -> Prediction:
+    """Evaluate *model* (directive Block or program callable) *runs* times.
+
+    Each run uses an independent RNG stream derived from *seed*; the last
+    run can be traced for loss attribution.
+    """
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    if isinstance(model, Block) and params is not None:
+        program = compile_model(model, params)
+    else:
+        program = _as_program(model)
+    times: list[float] = []
+    results: list[MachineResult] = []
+    t0 = _time.perf_counter()
+    for run in range(runs):
+        vm = VirtualMachine(
+            nprocs,
+            timing,
+            seed=seed * 1_000_003 + run,
+            params=params,
+            trace=trace_last and run == runs - 1,
+            nic_serialisation=nic_serialisation,
+            ppn=ppn,
+        )
+        result = vm.run(program)
+        times.append(result.elapsed)
+        results.append(result)
+    wall = _time.perf_counter() - t0
+    return Prediction(
+        nprocs=nprocs,
+        timing_name=timing.name,
+        times=times,
+        results=results,
+        wall_time=wall,
+    )
+
+
+def predict_speedups(
+    model_factory: Callable[[int], object],
+    proc_counts: list[int],
+    timing_factory: Callable[[int], TimingModel],
+    serial_time: float,
+    runs: int = 5,
+    seed: int = 0,
+    params: dict | None = None,
+    ppn: int = 1,
+) -> dict[int, float]:
+    """Speedup curve across machine sizes (the Figure 6 x-axis).
+
+    *model_factory(nprocs)* builds the model for each size (symbolic
+    models just return the same Block); *timing_factory(nprocs)* builds
+    the timing source (average-n x p models depend on nprocs).
+    """
+    out: dict[int, float] = {}
+    for nprocs in proc_counts:
+        timing = timing_factory(nprocs)
+        pred = predict(
+            model_factory(nprocs), nprocs, timing, runs=runs, seed=seed,
+            params=params, ppn=ppn,
+        )
+        out[nprocs] = pred.speedup(serial_time)
+    return out
+
+
+def compare_timing_modes(
+    model,
+    nprocs: int,
+    db,
+    modes: list[tuple[str, str]] | None = None,
+    runs: int = 5,
+    seed: int = 0,
+    params: dict | None = None,
+    nic_serialisation: str = "tx",
+    ppn: int = 1,
+) -> dict[str, Prediction]:
+    """Run the paper's Figure 6 ablation at one machine size.
+
+    *modes* is a list of (mode, source) pairs; defaults to the paper's
+    four: distribution sampling vs. min/avg ping-pong vs. avg n x p.
+    """
+    modes = modes or [
+        ("distribution", "nxp"),
+        ("average", "2x1"),
+        ("minimum", "2x1"),
+        ("average", "nxp"),
+    ]
+    out: dict[str, Prediction] = {}
+    for mode, source in modes:
+        timing = timing_from_db(db, mode=mode, source=source, nprocs=nprocs)
+        pred = predict(
+            model, nprocs, timing, runs=runs, seed=seed, params=params,
+            nic_serialisation=nic_serialisation, ppn=ppn,
+        )
+        out[f"{mode}-{source}"] = pred
+    return out

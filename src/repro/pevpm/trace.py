@@ -1,0 +1,143 @@
+"""Event tracing and performance-loss attribution.
+
+Section 5: "because all of these events can be annotated, PEVPM is capable
+of automatically determining and highlighting the location and extent of
+performance loss due to any source."  The :class:`TraceRecorder` collects
+per-process (category, label, start, end) intervals during a traced
+virtual-machine run; :class:`LossReport` turns them into the attribution
+the paper describes: how much of each process's time went to computation,
+to send overhead, and to *waiting* at each annotated receive -- the losses.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from .._tables import format_table, format_time
+
+__all__ = ["TraceEvent", "TraceRecorder", "LossReport"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    proc: int
+    category: str  #: "serial" | "send" | "recv"
+    label: str  #: user / directive annotation
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Accumulates trace events during a virtual-machine run."""
+
+    def __init__(self):
+        self.events: list[TraceEvent] = []
+
+    def record(self, proc: int, category: str, label: str, start: float, end: float) -> None:
+        self.events.append(TraceEvent(proc, category, label, start, end))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def for_proc(self, proc: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.proc == proc]
+
+    def by_label(self) -> dict[tuple[str, str], float]:
+        """Total time per (category, label) across all processes."""
+        totals: dict[tuple[str, str], float] = defaultdict(float)
+        for e in self.events:
+            totals[(e.category, e.label)] += e.duration
+        return dict(totals)
+
+
+class LossReport:
+    """Performance-loss attribution over a traced run.
+
+    *elapsed* is the run's virtual completion time; anything a process
+    spent not computing is a loss, broken down by the annotation labels.
+    """
+
+    def __init__(self, trace: TraceRecorder, elapsed: float, nprocs: int):
+        if elapsed < 0:
+            raise ValueError("elapsed must be non-negative")
+        self.trace = trace
+        self.elapsed = elapsed
+        self.nprocs = nprocs
+
+    # -- aggregates ------------------------------------------------------------
+    def per_process(self) -> list[dict[str, float]]:
+        """compute/send/wait/idle seconds per process.
+
+        'idle' is time between a process's finish and the slowest process's
+        finish -- load imbalance loss.
+        """
+        out = []
+        for p in range(self.nprocs):
+            events = self.trace.for_proc(p)
+            compute = sum(e.duration for e in events if e.category == "serial")
+            send = sum(e.duration for e in events if e.category == "send")
+            wait = sum(e.duration for e in events if e.category == "recv")
+            finish = max((e.end for e in events), default=0.0)
+            out.append(
+                {
+                    "compute": compute,
+                    "send": send,
+                    "wait": wait,
+                    "idle": max(0.0, self.elapsed - finish),
+                }
+            )
+        return out
+
+    def total_loss_fraction(self) -> float:
+        """Fraction of aggregate processor time lost to anything but
+        computation -- the headline number."""
+        per = self.per_process()
+        total = self.elapsed * self.nprocs
+        if total == 0:
+            return 0.0
+        compute = sum(p["compute"] for p in per)
+        return 1.0 - compute / total
+
+    def hotspots(self, top: int = 5) -> list[tuple[str, str, float]]:
+        """The annotation labels costing the most aggregate time,
+        excluding computation -- where to look first."""
+        items = [
+            (cat, label, t)
+            for (cat, label), t in self.trace.by_label().items()
+            if cat != "serial"
+        ]
+        items.sort(key=lambda x: x[2], reverse=True)
+        return items[:top]
+
+    # -- rendering -----------------------------------------------------------------
+    def format(self) -> str:
+        per = self.per_process()
+        rows = []
+        for p, d in enumerate(per):
+            rows.append(
+                [
+                    str(p),
+                    format_time(d["compute"]),
+                    format_time(d["send"]),
+                    format_time(d["wait"]),
+                    format_time(d["idle"]),
+                ]
+            )
+        table = format_table(
+            ["proc", "compute", "send", "recv wait", "imbalance idle"],
+            rows,
+            title="PEVPM performance-loss attribution",
+        )
+        hot = self.hotspots()
+        lines = [table, ""]
+        lines.append(f"aggregate loss fraction: {self.total_loss_fraction() * 100:.1f}%")
+        if hot:
+            lines.append("top loss sites:")
+            for cat, label, t in hot:
+                lines.append(f"  {cat:5s} {label!r}: {format_time(t)} total")
+        return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Simulated per-node clocks with offset and drift.
+
+The paper's central instrumentation claim is that benchmarking individual
+(one-way) MPI operations requires "a very precise, globally synchronised
+clock".  To reproduce that claim we give every simulated node its own local
+clock that disagrees with true simulated time:
+
+    ``local(t) = (1 + drift) * t + offset``
+
+Timestamps taken by benchmark code on different nodes are therefore *not*
+directly comparable -- exactly the situation on a real cluster -- and
+:mod:`repro.mpibench.clocksync` must estimate and remove the offsets and
+drifts.  Because the simulator knows true time, tests can verify that the
+synchronisation algorithm actually recovers it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .rng import RngRegistry
+
+__all__ = ["NodeClock", "ClockManager"]
+
+
+class NodeClock:
+    """One node's local clock: an affine distortion of true time."""
+
+    __slots__ = ("node", "offset", "drift")
+
+    def __init__(self, node: int, offset: float = 0.0, drift: float = 0.0):
+        if drift <= -1.0:
+            raise ValueError("drift must exceed -1 (time must move forward)")
+        self.node = node
+        self.offset = offset
+        self.drift = drift
+
+    def local_time(self, true_time: float) -> float:
+        """What this node's clock reads at true simulated time *true_time*."""
+        return (1.0 + self.drift) * true_time + self.offset
+
+    def true_time(self, local_time: float) -> float:
+        """Invert :meth:`local_time`."""
+        return (local_time - self.offset) / (1.0 + self.drift)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeClock(node={self.node}, offset={self.offset:.3g}, drift={self.drift:.3g})"
+
+
+class ClockManager:
+    """Creates and holds the per-node clocks of a cluster.
+
+    *offset_spread* is the standard deviation (seconds) of the initial
+    clock offsets; *drift_spread* the standard deviation of the fractional
+    frequency error.  Commodity PC oscillators of the period drifted on the
+    order of tens of parts-per-million, and NTP-era offsets were in the
+    milliseconds; the defaults reflect that.
+
+    With ``perfect=True`` every clock reads true time -- convenient for
+    tests that want to isolate other machinery from clock error.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        rngs: RngRegistry,
+        offset_spread: float = 5e-3,
+        drift_spread: float = 30e-6,
+        perfect: bool = False,
+    ):
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if offset_spread < 0 or drift_spread < 0:
+            raise ValueError("spreads must be non-negative")
+        self.n_nodes = n_nodes
+        self.perfect = perfect
+        rng = rngs.stream("clock.skew")
+        self.clocks: list[NodeClock] = []
+        for node in range(n_nodes):
+            if perfect:
+                self.clocks.append(NodeClock(node))
+            else:
+                offset = float(rng.normal(0.0, offset_spread))
+                drift = float(rng.normal(0.0, drift_spread))
+                # Guard against absurd draws that would break monotonicity.
+                drift = float(np.clip(drift, -1e-3, 1e-3))
+                self.clocks.append(NodeClock(node, offset=offset, drift=drift))
+
+    def local_time(self, node: int, true_time: float) -> float:
+        """Local reading of *node*'s clock at *true_time*."""
+        return self.clocks[node].local_time(true_time)
+
+    def true_time(self, node: int, local_time: float) -> float:
+        """True time corresponding to a local reading on *node*."""
+        return self.clocks[node].true_time(local_time)
+
+    def max_disagreement(self, true_time: float) -> float:
+        """Largest pairwise clock disagreement at *true_time* (diagnostics)."""
+        readings = [c.local_time(true_time) for c in self.clocks]
+        return max(readings) - min(readings)

@@ -1,0 +1,104 @@
+"""Ethernet framing arithmetic and effective-bandwidth helpers.
+
+The paper reasons explicitly about framing overhead when diagnosing the
+backplane saturation in Figure 4:
+
+    "The onset of performance degradation began when a total of
+    approximately 24 x 84.25 Mbit/s (since 81 Mbit/s is achieved between
+    two processes for 16 Kbyte messages, plus 3.25 Mbit/s of Ethernet
+    framing overhead) i.e. 2.02 Gbit/s was being delivered between the two
+    fully utilised switches."
+
+This module provides the payload/wire-rate conversions needed to make the
+same argument about the simulated cluster: given a payload goodput, what
+wire bandwidth does it consume, and how much of a switch backplane does a
+set of flows occupy?
+"""
+
+from __future__ import annotations
+
+from .topology import ClusterSpec, TcpModel
+
+__all__ = [
+    "frame_count",
+    "wire_bytes",
+    "framing_efficiency",
+    "payload_goodput",
+    "wire_rate_for_goodput",
+    "framing_overhead_rate",
+    "backplane_load",
+]
+
+
+def frame_count(payload: int, tcp: TcpModel) -> int:
+    """Frames needed to carry *payload* bytes (>= 1: even a 0-byte MPI
+    message sends one frame of headers)."""
+    return tcp.frames_for(payload)
+
+
+def wire_bytes(payload: int, tcp: TcpModel) -> int:
+    """Total on-the-wire bytes for *payload*, including Ethernet/IP/TCP
+    headers, preamble and inter-frame gap."""
+    return tcp.wire_bytes(payload)
+
+
+def framing_efficiency(payload: int, tcp: TcpModel) -> float:
+    """payload / wire bytes: the fraction of wire capacity that is useful.
+
+    Tends to ~0.949 for large messages with a 1500-byte MTU and 78 bytes of
+    per-frame overhead, and to ~0 for tiny messages.
+    """
+    if payload < 0:
+        raise ValueError("payload must be non-negative")
+    wb = tcp.wire_bytes(payload)
+    return payload / wb if wb else 0.0
+
+
+def payload_goodput(payload: int, elapsed: float) -> float:
+    """Observed payload bytes/second given a measured transfer time."""
+    if elapsed <= 0:
+        raise ValueError("elapsed must be positive")
+    return payload / elapsed
+
+
+def wire_rate_for_goodput(payload: int, goodput: float, tcp: TcpModel) -> float:
+    """Wire bytes/second consumed by a flow achieving *goodput* payload
+    bytes/second with messages of *payload* bytes.
+
+    This is the quantity to compare against link and backplane capacities
+    when predicting saturation (the paper's 84.25 Mbit/s per flow).
+    """
+    if goodput < 0:
+        raise ValueError("goodput must be non-negative")
+    eff = framing_efficiency(payload, tcp)
+    if eff == 0.0:
+        raise ValueError("zero-payload flows carry no goodput")
+    return goodput / eff
+
+
+def framing_overhead_rate(payload: int, goodput: float, tcp: TcpModel) -> float:
+    """Wire bytes/second spent purely on framing for the given flow --
+    the paper's '3.25 Mbit/s of Ethernet framing overhead' term."""
+    return wire_rate_for_goodput(payload, goodput, tcp) - goodput
+
+
+def backplane_load(
+    spec: ClusterSpec,
+    flows: list[tuple[int, int, float, int]],
+) -> list[float]:
+    """Aggregate wire load (bytes/s) on each stacking link of the cluster.
+
+    *flows* is a list of ``(src_node, dst_node, goodput_bytes_per_s,
+    message_payload_bytes)`` tuples.  Returns one load figure per stacking
+    link (there are ``n_switches - 1``); compare each against
+    ``spec.backplane_bandwidth`` to predict inter-switch saturation.
+    """
+    loads = [0.0] * max(0, spec.n_switches - 1)
+    for src, dst, goodput, payload in flows:
+        ssw, dsw = spec.switch_of(src), spec.switch_of(dst)
+        if ssw == dsw:
+            continue
+        rate = wire_rate_for_goodput(payload, goodput, spec.tcp)
+        for link in spec.stacking_links(ssw, dsw):
+            loads[link] += rate
+    return loads

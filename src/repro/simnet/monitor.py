@@ -1,0 +1,91 @@
+"""Fabric utilisation monitoring and saturation diagnosis.
+
+The paper diagnoses the Figure 4 performance collapse by an explicit
+capacity argument: the aggregate wire rate crossing the switch stack
+(~2.02 Gbit/s) reached the 2.1 Gbit/s backplane limit.  This module lets
+experiments make the same argument about a simulated run: which pipes were
+busiest, which saturated, and how much time messages spent queued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .transport import Network
+
+__all__ = ["ResourceReport", "NetworkMonitor"]
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """One pipe's utilisation summary over an observation window."""
+
+    name: str
+    rate: float  #: capacity in bytes/s
+    messages: int
+    bytes: int
+    utilisation: float  #: busy fraction of the window
+    max_backlog: float  #: worst queueing delay seen by an arrival (s)
+    queued_fraction: float  #: fraction of arrivals that found the pipe busy
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic saturation flag: pipe busy >85% of the window or
+        arrivals routinely queueing behind >2.5 ms of backlog."""
+        return self.utilisation > 0.85 or self.max_backlog > 2.5e-3
+
+
+class NetworkMonitor:
+    """Summarises a :class:`~repro.simnet.transport.Network` after a run."""
+
+    def __init__(self, network: Network):
+        self.network = network
+
+    def _report(self, res) -> ResourceReport:
+        stats = res.stats
+        elapsed = self.network.sim.now
+        util = res.utilisation(elapsed)
+        queued_fraction = (
+            stats.queued_messages / stats.messages if stats.messages else 0.0
+        )
+        return ResourceReport(
+            name=res.name,
+            rate=res.rate,
+            messages=stats.messages,
+            bytes=stats.bytes,
+            utilisation=util,
+            max_backlog=stats.max_backlog,
+            queued_fraction=queued_fraction,
+        )
+
+    def reports(self) -> list[ResourceReport]:
+        """One report per pipe, sorted by utilisation descending."""
+        net = self.network
+        resources = [*net.nic_tx, *net.nic_rx, *net.fabric, *net.stack.values()]
+        reports = [self._report(r) for r in resources]
+        reports.sort(key=lambda r: r.utilisation, reverse=True)
+        return reports
+
+    def saturated(self) -> list[ResourceReport]:
+        """Just the pipes the heuristic flags as saturated."""
+        return [r for r in self.reports() if r.saturated]
+
+    def backplane_reports(self) -> list[ResourceReport]:
+        """Reports for the stacking links only -- the paper's bottleneck."""
+        return [self._report(r) for r in self.network.stack.values()]
+
+    def total_bytes(self) -> int:
+        """Total *wire* bytes (payload plus framing) that crossed any NIC
+        transmit pipe -- the amount of inter-node traffic injected."""
+        return sum(r.stats.bytes for r in self.network.nic_tx)
+
+    def summary(self) -> dict:
+        """Compact dict for EXPERIMENTS.md and report printing."""
+        reports = self.reports()
+        return {
+            "elapsed_s": self.network.sim.now,
+            "busiest": reports[0].name if reports else None,
+            "busiest_utilisation": reports[0].utilisation if reports else 0.0,
+            "n_saturated": sum(1 for r in reports if r.saturated),
+            "total_inter_node_bytes": self.total_bytes(),
+        }

@@ -1,0 +1,104 @@
+"""TCP loss and retransmission-timeout behaviour.
+
+Commodity clusters of the paper's era ran MPI over TCP on Fast Ethernet.
+Under heavy contention, switch buffers overflow, segments are dropped and
+the sender stalls for a *retransmission timeout* (RTO) -- 200 ms minimum on
+the Linux 2.2 kernels Perseus ran.  The paper identifies these stalls as
+the source of the extreme outliers in its measured distributions (Figures
+3-4) and notes they matter because "the performance of most parallel
+programs is strongly influenced by their slowest process".
+
+We model loss at message granularity: each transmission attempt across the
+network is dropped with a probability that ramps up with the backlog at the
+bottleneck resource the message crosses (a proxy for buffer occupancy).
+A dropped attempt costs one RTO (with jitter) before the retry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .rng import RngRegistry
+from .topology import TcpModel
+
+__all__ = ["TcpBehaviour", "TransmissionAborted"]
+
+
+class TransmissionAborted(RuntimeError):
+    """Raised when a message exceeds ``max_retransmits`` attempts.
+
+    On a real network this would surface as a TCP connection reset and an
+    MPI job abort; tests exercise it by forcing 100% loss.
+    """
+
+    def __init__(self, attempts: int):
+        super().__init__(f"message dropped on all {attempts} attempts")
+        self.attempts = attempts
+
+
+class TcpBehaviour:
+    """Stochastic loss/RTO decisions, fed by a dedicated RNG stream."""
+
+    def __init__(self, model: TcpModel, rngs: RngRegistry):
+        model.validate()
+        self.model = model
+        self._rng = rngs.stream("tcp.loss")
+
+    def loss_probability(self, backlog: float) -> float:
+        """Per-attempt drop probability given bottleneck *backlog* seconds.
+
+        Zero below ``loss_backlog_threshold``, then a linear ramp over
+        ``loss_backlog_scale`` up to ``loss_max_probability``.  The ramp
+        shape is deliberately simple: the figures' qualitative features
+        (no outliers unsaturated, a discrete outlier cluster near the RTO
+        when saturated) only need loss to switch on with congestion.
+        """
+        m = self.model
+        if m.loss_max_probability == 0.0:
+            return 0.0
+        excess = backlog - m.loss_backlog_threshold
+        if excess <= 0.0:
+            return 0.0
+        frac = min(1.0, excess / m.loss_backlog_scale)
+        return m.loss_max_probability * frac
+
+    def attempt_is_lost(self, backlog: float) -> bool:
+        """Sample the Bernoulli drop decision for one attempt."""
+        p = self.loss_probability(backlog)
+        if p <= 0.0:
+            return False
+        return bool(self._rng.random() < p)
+
+    def sample_rto(self) -> float:
+        """One retransmission-timeout stall, with uniform jitter."""
+        m = self.model
+        if m.rto_jitter == 0.0:
+            return m.rto
+        return float(m.rto + self._rng.uniform(0.0, m.rto_jitter))
+
+    def expected_stall(self, backlog: float) -> float:
+        """Mean RTO stall per message at the given backlog (analysis aid).
+
+        Sums the geometric series of repeated losses, truncated at
+        ``max_retransmits``.
+        """
+        p = self.loss_probability(backlog)
+        if p <= 0.0:
+            return 0.0
+        mean_rto = self.model.rto + self.model.rto_jitter / 2.0
+        # Expected number of stalls for a truncated geometric distribution.
+        n = self.model.max_retransmits
+        expected_losses = sum(p**k for k in range(1, n + 1))
+        return mean_rto * expected_losses
+
+    def describe(self) -> dict:
+        """Parameter snapshot for reports and EXPERIMENTS.md."""
+        m = self.model
+        return {
+            "rto_s": m.rto,
+            "rto_jitter_s": m.rto_jitter,
+            "loss_backlog_threshold_s": m.loss_backlog_threshold,
+            "loss_backlog_scale_s": m.loss_backlog_scale,
+            "loss_max_probability": m.loss_max_probability,
+            "max_retransmits": m.max_retransmits,
+        }

@@ -1,0 +1,49 @@
+"""Simulated MPI runtime (the stand-in for MPICH 1.2 on Perseus).
+
+Rank programs are generators driven by the discrete-event kernel; all
+communication calls are invoked with ``yield from``.  See
+:mod:`repro.smpi.comm` for the point-to-point semantics (eager vs.
+rendezvous) and :mod:`repro.smpi.collectives` for the tree algorithms.
+"""
+
+from .comm import CTRL_MSG_BYTES, MAX_USER_TAG, Comm, CommStats
+from .datatypes import BYTE, CHAR, DOUBLE, FLOAT, INT, LONG, SHORT, Datatype, nbytes
+from .matching import Envelope, EnvelopeKind, Mailbox, PostedRecv
+from .request import Request, RequestKind
+from .runtime import MpiDeadlock, MpiRun, RunResult, run_program
+from .status import ANY_SOURCE, ANY_TAG, CommAbort, MpiError, RankError, Status, TagError
+from .subcomm import SubComm
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "BYTE",
+    "CHAR",
+    "CTRL_MSG_BYTES",
+    "Comm",
+    "CommAbort",
+    "CommStats",
+    "DOUBLE",
+    "Datatype",
+    "Envelope",
+    "EnvelopeKind",
+    "FLOAT",
+    "INT",
+    "LONG",
+    "MAX_USER_TAG",
+    "Mailbox",
+    "MpiDeadlock",
+    "MpiError",
+    "MpiRun",
+    "PostedRecv",
+    "RankError",
+    "Request",
+    "RequestKind",
+    "RunResult",
+    "SHORT",
+    "Status",
+    "SubComm",
+    "TagError",
+    "nbytes",
+    "run_program",
+]

@@ -1,0 +1,229 @@
+"""Collective operations, built from point-to-point messages.
+
+The algorithms are the classic MPICH-era ones, chosen because their
+message *counts and shapes* determine collective timing on the simulated
+fabric exactly as they did on Perseus:
+
+* broadcast / reduce: binomial tree (ceil(log2 P) rounds),
+* barrier: dissemination algorithm (ceil(log2 P) rounds of 0-byte pairs),
+* allreduce: reduce-to-0 followed by broadcast,
+* gather / scatter: linear to/from the root,
+* allgather: ring (P-1 steps),
+* alltoall: P-1 shifted pairwise exchanges.
+
+All functions are generators taking the calling rank's
+:class:`~repro.smpi.comm.Comm` and must be driven with ``yield from``; all
+ranks must call the same collectives in the same order (as MPI requires) --
+tags are drawn from a per-rank sequence counter that stays aligned across
+ranks precisely because of that requirement.
+
+Payload semantics: these collectives move *byte counts* for timing, but
+also carry optional Python payloads so application examples (e.g. the task
+farm) can move real values through them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .status import RankError
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+]
+
+
+def _check_root(comm, root: int) -> None:
+    if not 0 <= root < comm.size:
+        raise RankError(f"root {root} outside communicator of size {comm.size}")
+
+
+def barrier(comm):
+    """Dissemination barrier: in round k every rank exchanges a 0-byte
+    message with the ranks at distance 2**k; after ceil(log2 P) rounds
+    everyone transitively heard from everyone."""
+    tag = comm._next_coll_tag()
+    size = comm.size
+    if size == 1:
+        return None
+    mask = 1
+    while mask < size:
+        dest = (comm.rank + mask) % size
+        source = (comm.rank - mask) % size
+        yield from comm.sendrecv(0, dest=dest, source=source, sendtag=tag, recvtag=tag)
+        mask <<= 1
+    return None
+
+
+def bcast(comm, size: int, root: int = 0, payload: Any = None):
+    """Binomial-tree broadcast of *size* bytes from *root*.
+
+    Returns the payload (at every rank).
+    """
+    _check_root(comm, root)
+    tag = comm._next_coll_tag()
+    P = comm.size
+    if P == 1:
+        return payload
+    relative = (comm.rank - root) % P
+
+    if relative != 0:
+        # Receive from the parent: the rank that differs in our lowest set bit.
+        lsb = relative & (-relative)
+        parent = (comm.rank - lsb) % P
+        payload, _status = yield from comm.recv(source=parent, tag=tag)
+        mask = lsb >> 1
+    else:
+        mask = 1
+        while mask < P:
+            mask <<= 1
+        mask >>= 1
+
+    while mask >= 1:
+        if relative + mask < P:
+            child = (comm.rank + mask) % P
+            yield from comm.send(size, dest=child, tag=tag, payload=payload)
+        mask >>= 1
+    return payload
+
+
+def reduce(
+    comm,
+    size: int,
+    root: int = 0,
+    payload: Any = None,
+    op: Callable[[Any, Any], Any] | None = None,
+):
+    """Binomial-tree reduction of *size*-byte contributions to *root*.
+
+    *op* combines two payloads; with the default ``None`` the payloads are
+    ignored (timing-only reduction).  Returns the reduced payload at the
+    root and ``None`` elsewhere.
+    """
+    _check_root(comm, root)
+    tag = comm._next_coll_tag()
+    P = comm.size
+    if P == 1:
+        return payload
+    relative = (comm.rank - root) % P
+    acc = payload
+
+    mask = 1
+    while mask < P:
+        if relative & mask:
+            parent = (comm.rank - mask) % P
+            yield from comm.send(size, dest=parent, tag=tag, payload=acc)
+            return None
+        partner_rel = relative + mask
+        if partner_rel < P:
+            child = (comm.rank + mask) % P
+            child_payload, _status = yield from comm.recv(source=child, tag=tag)
+            if op is not None:
+                acc = op(acc, child_payload)
+        mask <<= 1
+    return acc
+
+
+def allreduce(
+    comm,
+    size: int,
+    payload: Any = None,
+    op: Callable[[Any, Any], Any] | None = None,
+):
+    """Reduce to rank 0, then broadcast the result (MPICH's small-message
+    allreduce).  Returns the reduced payload at every rank."""
+    reduced = yield from reduce(comm, size, root=0, payload=payload, op=op)
+    result = yield from bcast(comm, size, root=0, payload=reduced)
+    return result
+
+
+def gather(comm, size: int, root: int = 0, payload: Any = None):
+    """Linear gather of *size*-byte contributions to *root*.
+
+    Returns the list of payloads indexed by rank at the root, ``None``
+    elsewhere.
+    """
+    _check_root(comm, root)
+    tag = comm._next_coll_tag()
+    P = comm.size
+    if comm.rank != root:
+        yield from comm.send(size, dest=root, tag=tag, payload=payload)
+        return None
+    results: list[Any] = [None] * P
+    results[root] = payload
+    for _ in range(P - 1):
+        item, status = yield from comm.recv(tag=tag)
+        results[status.source] = item
+    return results
+
+
+def scatter(comm, size: int, root: int = 0, payloads: list | None = None):
+    """Linear scatter of *size*-byte pieces from *root*.
+
+    *payloads* (root only) is a list of per-rank values; returns this
+    rank's piece.
+    """
+    _check_root(comm, root)
+    tag = comm._next_coll_tag()
+    P = comm.size
+    if comm.rank == root:
+        if payloads is not None and len(payloads) != P:
+            raise ValueError(f"scatter needs {P} payloads, got {len(payloads)}")
+        for dest in range(P):
+            if dest == root:
+                continue
+            item = payloads[dest] if payloads is not None else None
+            yield from comm.send(size, dest=dest, tag=tag, payload=item)
+        return payloads[root] if payloads is not None else None
+    item, _status = yield from comm.recv(source=root, tag=tag)
+    return item
+
+
+def allgather(comm, size: int, payload: Any = None):
+    """Ring allgather: P-1 steps, each forwarding one *size*-byte block to
+    the next rank.  Returns the list of payloads indexed by rank."""
+    tag = comm._next_coll_tag()
+    P = comm.size
+    results: list[Any] = [None] * P
+    results[comm.rank] = payload
+    if P == 1:
+        return results
+    right = (comm.rank + 1) % P
+    left = (comm.rank - 1) % P
+    # Each step forwards the block received in the previous step.
+    block_origin = comm.rank
+    block = payload
+    for _ in range(P - 1):
+        rreq = yield from comm.irecv(source=left, tag=tag)
+        yield from comm.send(size, dest=right, tag=tag, payload=(block_origin, block))
+        (block_origin, block), _status = yield from comm.wait(rreq)
+        results[block_origin] = block
+    return results
+
+
+def alltoall(comm, size: int, payloads: list | None = None):
+    """Shifted pairwise alltoall: in step k each rank sends its block for
+    rank (rank+k) and receives from (rank-k).  Returns the list of blocks
+    received, indexed by source rank."""
+    tag = comm._next_coll_tag()
+    P = comm.size
+    if payloads is not None and len(payloads) != P:
+        raise ValueError(f"alltoall needs {P} payloads, got {len(payloads)}")
+    results: list[Any] = [None] * P
+    results[comm.rank] = payloads[comm.rank] if payloads is not None else None
+    for step in range(1, P):
+        dest = (comm.rank + step) % P
+        source = (comm.rank - step) % P
+        item = payloads[dest] if payloads is not None else None
+        received, _status = yield from comm.sendrecv(
+            size, dest=dest, source=source, sendtag=tag, recvtag=tag, payload=item
+        )
+        results[source] = received
+    return results

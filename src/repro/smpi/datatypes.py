@@ -1,0 +1,54 @@
+"""MPI datatypes (sizing only).
+
+The simulator moves *byte counts*, not real buffers, so a datatype here is
+just a name and an extent.  The set matches the C types the paper's codes
+use (the Jacobi example sends ``xsize * sizeof(float)`` bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Datatype",
+    "BYTE",
+    "CHAR",
+    "SHORT",
+    "INT",
+    "LONG",
+    "FLOAT",
+    "DOUBLE",
+    "nbytes",
+]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI datatype: a name and its extent in bytes."""
+
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"datatype {self.name!r} must have positive size")
+
+    def extent(self, count: int) -> int:
+        """Bytes occupied by *count* elements of this type."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return count * self.size
+
+
+BYTE = Datatype("MPI_BYTE", 1)
+CHAR = Datatype("MPI_CHAR", 1)
+SHORT = Datatype("MPI_SHORT", 2)
+INT = Datatype("MPI_INT", 4)
+LONG = Datatype("MPI_LONG", 8)
+FLOAT = Datatype("MPI_FLOAT", 4)
+DOUBLE = Datatype("MPI_DOUBLE", 8)
+
+
+def nbytes(count: int, datatype: Datatype = BYTE) -> int:
+    """Message size in bytes for *count* elements of *datatype*."""
+    return datatype.extent(count)

@@ -1,0 +1,141 @@
+"""Message matching: posted receives and the unexpected-message queue.
+
+Each rank owns a :class:`Mailbox`.  Incoming envelopes either match an
+already-posted receive or park in the unexpected queue; a newly posted
+receive first scans that queue.  Matching follows MPI semantics:
+
+* a receive specifies an exact source or :data:`~repro.smpi.status.ANY_SOURCE`,
+  and an exact tag or :data:`~repro.smpi.status.ANY_TAG`;
+* candidates are considered in arrival order (for receives) / posting
+  order (for envelopes), which preserves MPI's non-overtaking guarantee
+  given that the transport layer delivers each sender's messages in order
+  (our runtime enforces per-pair FIFO, mirroring one-TCP-connection-per-
+  pair MPICH).
+
+Envelopes come in two kinds: ``EAGER`` carries the payload with it (the
+message has already physically arrived); ``RTS`` is a rendezvous
+ready-to-send handshake whose match triggers the clear-to-send exchange in
+:mod:`repro.smpi.comm`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .status import ANY_SOURCE, ANY_TAG
+
+__all__ = ["EnvelopeKind", "Envelope", "PostedRecv", "Mailbox"]
+
+
+class EnvelopeKind(enum.Enum):
+    EAGER = "eager"
+    RTS = "rts"
+
+
+@dataclass
+class Envelope:
+    """One incoming message (or rendezvous handshake) at a receiver."""
+
+    kind: EnvelopeKind
+    source: int  #: sender rank
+    tag: int
+    size: int  #: payload bytes
+    payload: Any = None
+    arrival_time: float = 0.0  #: true time the message (or RTS) arrived
+    transit_time: float = 0.0
+    attempts: int = 1
+    #: RTS only -- called with the matching PostedRecv to start the
+    #: clear-to-send exchange.
+    on_match: Callable[["PostedRecv"], None] | None = None
+
+
+@dataclass
+class PostedRecv:
+    """One posted (pending) receive."""
+
+    source: int  #: exact rank or ANY_SOURCE
+    tag: int  #: exact tag or ANY_TAG
+    #: engine Event that the receiving rank waits on; succeeds with the
+    #: matched Envelope once the message data is fully available.
+    event: Any = None
+    matched: bool = False
+
+    def accepts(self, env: Envelope) -> bool:
+        if self.source != ANY_SOURCE and self.source != env.source:
+            return False
+        if self.tag != ANY_TAG and self.tag != env.tag:
+            return False
+        return True
+
+
+class Mailbox:
+    """Matching state for one rank."""
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.posted: list[PostedRecv] = []
+        self.unexpected: list[Envelope] = []
+        # Counters for diagnostics / tests.
+        self.n_matched = 0
+        self.n_unexpected = 0
+
+    # -- receiver side -------------------------------------------------------
+    def post(self, recv: PostedRecv) -> Envelope | None:
+        """Post a receive.
+
+        If an unexpected envelope already matches, it is removed and
+        returned (the caller completes the receive immediately); otherwise
+        the receive is queued and ``None`` is returned.
+        """
+        for i, env in enumerate(self.unexpected):
+            if recv.accepts(env):
+                del self.unexpected[i]
+                recv.matched = True
+                self.n_matched += 1
+                return env
+        self.posted.append(recv)
+        return None
+
+    def cancel(self, recv: PostedRecv) -> bool:
+        """Remove a posted receive (used on abort paths); returns whether
+        it was still pending."""
+        try:
+            self.posted.remove(recv)
+            return True
+        except ValueError:
+            return False
+
+    # -- network side -------------------------------------------------------------
+    def deliver(self, env: Envelope) -> PostedRecv | None:
+        """Hand an incoming envelope to the matcher.
+
+        Returns the matching :class:`PostedRecv` if one was waiting, else
+        parks the envelope in the unexpected queue and returns ``None``.
+        """
+        for i, recv in enumerate(self.posted):
+            if recv.accepts(env):
+                del self.posted[i]
+                recv.matched = True
+                self.n_matched += 1
+                return recv
+        self.unexpected.append(env)
+        self.n_unexpected += 1
+        return None
+
+    # -- probing ------------------------------------------------------------------
+    def probe(self, source: int, tag: int) -> Envelope | None:
+        """Return (without removing) the first unexpected envelope matching
+        (source, tag), or ``None``.  Supports wildcards like a receive."""
+        pattern = PostedRecv(source=source, tag=tag)
+        for env in self.unexpected:
+            if pattern.accepts(env):
+                return env
+        return None
+
+    @property
+    def has_pending_state(self) -> bool:
+        """True if any receive is still posted or any message unconsumed --
+        used by the runtime to warn about requests leaked at finalize."""
+        return bool(self.posted or self.unexpected)

@@ -1,0 +1,64 @@
+"""Nonblocking-communication request objects.
+
+A :class:`Request` wraps the engine event that fires when the operation
+completes, mirroring mpi4py's ``Request`` with ``wait``/``test``.  Because
+rank programs are generators, waiting is expressed by yielding::
+
+    req = yield from comm.isend(1024, dest=3)
+    ...
+    status = yield from comm.wait(req)
+
+``comm.wait`` also charges the receive-side software overhead for receive
+requests, which is why requests are completed through the Comm rather than
+by yielding ``req.completion`` directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from ..simnet.engine import Event
+
+__all__ = ["RequestKind", "Request"]
+
+
+class RequestKind(enum.Enum):
+    SEND = "send"
+    RECV = "recv"
+
+
+class Request:
+    """Handle for an in-flight nonblocking operation."""
+
+    __slots__ = ("kind", "completion", "_result", "_consumed", "peer", "tag", "size")
+
+    def __init__(self, kind: RequestKind, completion: Event, peer: int, tag: int, size: int):
+        self.kind = kind
+        self.completion = completion
+        self.peer = peer  #: dest rank for sends, source pattern for recvs
+        self.tag = tag
+        self.size = size
+        self._result: Any = None
+        self._consumed = False
+
+    @property
+    def complete(self) -> bool:
+        """True once the underlying operation has finished (the MPI
+        ``MPI_Test`` flag)."""
+        return self.completion.triggered
+
+    @property
+    def consumed(self) -> bool:
+        """True once ``comm.wait`` has been called on this request."""
+        return self._consumed
+
+    def _mark_consumed(self) -> None:
+        self._consumed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "complete" if self.complete else "pending"
+        return (
+            f"<Request {self.kind.value} peer={self.peer} tag={self.tag} "
+            f"size={self.size} {state}>"
+        )

@@ -1,0 +1,56 @@
+"""Statuses, wildcards and MPI error types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Status",
+    "MpiError",
+    "RankError",
+    "TagError",
+    "CommAbort",
+]
+
+#: Wildcard accepted by receive calls to match a message from any sender.
+ANY_SOURCE = -1
+#: Wildcard accepted by receive calls to match a message with any tag.
+ANY_TAG = -1
+
+
+class MpiError(RuntimeError):
+    """Base class for errors raised by the simulated MPI runtime."""
+
+
+class RankError(MpiError):
+    """A rank argument was outside the communicator."""
+
+
+class TagError(MpiError):
+    """A tag argument was negative (and not the ANY_TAG wildcard)."""
+
+
+class CommAbort(MpiError):
+    """The run was aborted (e.g. transport gave up after max retransmits)."""
+
+
+@dataclass(frozen=True)
+class Status:
+    """Completion information for a receive, like ``MPI_Status``.
+
+    *transit_time* and *attempts* are simulator extensions -- MPIBench uses
+    them for ground-truth cross-checks but real benchmark code must not
+    (a physical cluster would not provide them).
+    """
+
+    source: int
+    tag: int
+    size: int  #: message payload size in bytes
+    transit_time: float = 0.0
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("status size must be non-negative")

@@ -1,0 +1,197 @@
+"""Tests for the Section 4 baseline models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpibench import BenchmarkResult, Histogram
+from repro.models import (
+    EmpiricalIsoefficiency,
+    GustafsonModel,
+    HockneyFit,
+    amdahl_limit,
+    amdahl_speedup,
+    efficiency,
+    efficiency_curve,
+    fit_hockney,
+    fit_hockney_curve,
+    serial_fraction_from_speedup,
+)
+
+
+class TestHockney:
+    def test_exact_recovery_from_linear_data(self):
+        l, w = 60e-6, 12.5e6
+        sizes = [0, 1024, 4096, 16384]
+        times = [l + s / w for s in sizes]
+        fit = fit_hockney_curve(sizes, times)
+        assert fit.latency == pytest.approx(l, rel=1e-6)
+        assert fit.bandwidth == pytest.approx(w, rel=1e-6)
+        assert fit.rms_residual < 1e-12
+        assert fit.time(8192) == pytest.approx(l + 8192 / w)
+
+    def test_r_inf_and_n_half(self):
+        fit = HockneyFit(latency=100e-6, bandwidth=10e6, rms_residual=0,
+                         max_residual=0, n_points=2)
+        assert fit.r_inf == 10e6
+        assert fit.n_half == pytest.approx(1000.0)
+
+    def test_relative_error(self):
+        fit = HockneyFit(latency=0.0, bandwidth=1e6, rms_residual=0,
+                         max_residual=0, n_points=2)
+        assert fit.relative_error(1_000_000, 2.0) == pytest.approx(-0.5)
+        with pytest.raises(ValueError):
+            fit.relative_error(1, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_hockney_curve([1], [1.0])
+        with pytest.raises(ValueError):
+            fit_hockney_curve([1, 2], [1.0, -1.0])
+        fit = fit_hockney_curve([0, 10], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit.time(-1)
+
+    def test_fit_from_benchmark_result(self):
+        rng = np.random.default_rng(0)
+        hists = {}
+        for size in (0, 1024, 8192):
+            base = 50e-6 + size / 12.5e6
+            hists[size] = Histogram.from_samples(
+                base + rng.gamma(2.0, 3e-6, size=100), bins=20
+            )
+        result = BenchmarkResult(
+            op="isend", nodes=2, ppn=1, cluster="c", histograms=hists
+        )
+        fit = fit_hockney(result, use="min")
+        assert fit.latency == pytest.approx(50e-6, rel=0.2)
+        assert fit.bandwidth == pytest.approx(12.5e6, rel=0.2)
+        fit_mean = fit_hockney(result, use="mean")
+        assert fit_mean.latency > fit.latency  # means sit above minima
+
+    def test_max_size_restricts_fit(self):
+        result = BenchmarkResult(
+            op="isend", nodes=2, ppn=1, cluster="c",
+            histograms={
+                s: Histogram.from_samples([50e-6 + s / 1e7] * 3)
+                for s in (0, 1024, 65536)
+            },
+        )
+        fit = fit_hockney(result, max_size=2048)
+        assert fit.n_points == 2
+
+    def test_use_validation(self):
+        result = BenchmarkResult(
+            op="isend", nodes=2, ppn=1, cluster="c",
+            histograms={0: Histogram.from_samples([1e-4] * 3),
+                        8: Histogram.from_samples([2e-4] * 3)},
+        )
+        with pytest.raises(ValueError):
+            fit_hockney(result, use="median")
+
+
+class TestAmdahl:
+    def test_known_values(self):
+        assert amdahl_speedup(0.0, 8) == pytest.approx(8.0)
+        assert amdahl_speedup(1.0, 8) == pytest.approx(1.0)
+        assert amdahl_speedup(0.1, 10) == pytest.approx(1.0 / (0.1 + 0.09))
+
+    def test_limit(self):
+        assert amdahl_limit(0.25) == pytest.approx(4.0)
+        assert amdahl_limit(0.0) == float("inf")
+
+    def test_inversion_roundtrip(self):
+        f = 0.07
+        s = amdahl_speedup(f, 16)
+        assert serial_fraction_from_speedup(s, 16) == pytest.approx(f)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(-0.1, 4)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0)
+        with pytest.raises(ValueError):
+            amdahl_limit(2.0)
+        with pytest.raises(ValueError):
+            serial_fraction_from_speedup(5.0, 4)
+        with pytest.raises(ValueError):
+            serial_fraction_from_speedup(1.0, 1)
+
+    def test_gustafson(self):
+        g = GustafsonModel(serial_fraction=0.1)
+        assert g.speedup(1) == pytest.approx(1.0)
+        assert g.speedup(10) == pytest.approx(10 - 0.9)
+        with pytest.raises(ValueError):
+            GustafsonModel(serial_fraction=1.5)
+        with pytest.raises(ValueError):
+            g.speedup(0)
+
+
+class TestIsoefficiency:
+    def test_efficiency(self):
+        assert efficiency(10.0, 2.0, 5) == pytest.approx(1.0)
+        assert efficiency(10.0, 5.0, 4) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            efficiency(0.0, 1.0, 2)
+
+    def test_efficiency_curve(self):
+        curve = efficiency_curve(8.0, {2: 5.0, 4: 3.0})
+        assert curve[2] == pytest.approx(0.8)
+        assert curve[4] == pytest.approx(8.0 / 12.0)
+
+    def _iso(self):
+        # Synthetic scalable workload: T(w, p) = w/p + 0.1 (fixed overhead)
+        serial = {w: float(w) for w in (1.0, 4.0, 16.0, 64.0)}
+        obs = [
+            (w, p, w / p + 0.1)
+            for w in serial
+            for p in (2, 4, 8)
+        ]
+        return EmpiricalIsoefficiency(obs, serial)
+
+    def test_efficiency_table(self):
+        iso = self._iso()
+        table = iso.efficiency_table()
+        assert set(table) == {2, 4, 8}
+        effs = [e for _w, e in table[4]]
+        assert effs == sorted(effs)  # efficiency rises with work
+
+    def test_work_for_efficiency_interpolates(self):
+        iso = self._iso()
+        w = iso.work_for_efficiency(4, 0.8)
+        # E(w,4) = (w/4)/(w/4+0.1) = 0.8 at w = 1.6.
+        assert w == pytest.approx(1.6, rel=0.3)
+
+    def test_isoefficiency_curve_grows_with_procs(self):
+        iso = self._iso()
+        curve = iso.isoefficiency_curve(0.8)
+        assert curve[2] < curve[4] < curve[8]
+
+    def test_unreachable_target(self):
+        serial = {1.0: 1.0}
+        iso = EmpiricalIsoefficiency([(1.0, 4, 10.0)], serial)
+        assert iso.work_for_efficiency(4, 0.9) is None
+
+    def test_validation(self):
+        iso = self._iso()
+        with pytest.raises(ValueError):
+            iso.work_for_efficiency(2, 0.0)
+        with pytest.raises(KeyError):
+            iso.work_for_efficiency(99, 0.5)
+        bad = EmpiricalIsoefficiency([(3.0, 2, 1.0)], {})
+        with pytest.raises(KeyError):
+            bad.efficiency_table()
+
+
+@given(
+    f=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    p=st.integers(min_value=1, max_value=4096),
+)
+@settings(max_examples=80, deadline=None)
+def test_amdahl_bounds(f, p):
+    """Speedup is always in [1, P] and monotone decreasing in f."""
+    s = amdahl_speedup(f, p)
+    assert 1.0 - 1e-12 <= s <= p + 1e-9
+    if f < 0.99:
+        assert amdahl_speedup(f + 0.01, p) <= s + 1e-12

@@ -1,0 +1,135 @@
+"""Integration tests: MPIBench measuring the simulated cluster.
+
+These run real (small) benchmark campaigns and assert the qualitative
+shapes the paper reports; the full-size sweeps live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpibench import BenchSettings, MPIBench
+from repro.mpibench.drivers import pairwise_partner
+from repro.simnet import ideal_cluster, perseus
+
+
+@pytest.fixture(scope="module")
+def small_db():
+    """A small sweep shared by several tests (module-scoped for speed)."""
+    bench = MPIBench(perseus(16), seed=3, settings=BenchSettings(reps=30, warmup=3))
+    return bench.sweep_isend([(2, 1), (8, 1), (8, 2)], sizes=[0, 1024, 4096])
+
+
+class TestPairing:
+    def test_partner_is_symmetric(self):
+        for nprocs in (2, 4, 8, 64):
+            for rank in range(nprocs):
+                partner = pairwise_partner(rank, nprocs)
+                assert pairwise_partner(partner, nprocs) == rank
+                assert partner != rank
+
+    def test_odd_process_count_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_partner(0, 3)
+
+
+class TestIsendBench:
+    def test_sample_counts(self, small_db):
+        r = small_db.result("isend", 8, 1)
+        for size in (0, 1024, 4096):
+            # reps per rank x nprocs ranks pooled together
+            assert r.histograms[size].n == 30 * 8
+
+    def test_mean_grows_with_size(self, small_db):
+        for cfg in [(2, 1), (8, 1), (8, 2)]:
+            r = small_db.result("isend", *cfg)
+            means = [r.histograms[s].mean for s in (0, 1024, 4096)]
+            assert means == sorted(means)
+
+    def test_contention_orders_configs(self, small_db):
+        """More communicating processes -> slower average (Figure 1)."""
+        m2 = small_db.result("isend", 2, 1).histograms[1024].mean
+        m8 = small_db.result("isend", 8, 1).histograms[1024].mean
+        m8x2 = small_db.result("isend", 8, 2).histograms[1024].mean
+        assert m2 < m8 < m8x2
+
+    def test_min_bounded_by_contention_free(self, small_db):
+        """Every distribution's minimum is at or above the 2x1 minimum
+        (the contention-free bound)."""
+        base = small_db.result("isend", 2, 1).histograms[1024].min
+        for cfg in [(8, 1), (8, 2)]:
+            h = small_db.result("isend", *cfg).histograms[1024]
+            assert h.min >= base * 0.9  # jitter-free floor, small tolerance
+
+    def test_2x1_min_close_to_mean(self, small_db):
+        """The paper: without contention, min and average nearly coincide."""
+        h = small_db.result("isend", 2, 1).histograms[1024]
+        assert h.mean < h.min * 1.1
+
+    def test_dispersion_grows_with_contention(self, small_db):
+        s2 = small_db.result("isend", 2, 1).histograms[1024].std
+        s8x2 = small_db.result("isend", 8, 2).histograms[1024].std
+        assert s8x2 > s2
+
+    def test_one_way_times_positive_and_sane(self, small_db):
+        for cfg in [(2, 1), (8, 1), (8, 2)]:
+            r = small_db.result("isend", *cfg)
+            for size, h in r.histograms.items():
+                assert h.min > 0
+                assert h.max < 1.0  # no absurd values in a lossless regime
+
+    def test_metadata_recorded(self, small_db):
+        r = small_db.result("isend", 2, 1)
+        assert r.reps == 30
+        assert r.cluster == "perseus"
+        assert r.label == "2x1"
+        assert r.metadata["elapsed_simulated_s"] > 0
+
+
+class TestProtocolKnee:
+    def test_knee_at_eager_threshold(self):
+        """Normalised cost jumps when crossing 16 KB (Figure 2's knee)."""
+        bench = MPIBench(
+            ideal_cluster(2), seed=1, settings=BenchSettings(reps=10, warmup=2)
+        )
+        r = bench.run_isend(nodes=2, ppn=1, sizes=[16384, 16640])
+        below = r.histograms[16384].mean
+        above = r.histograms[16640].mean
+        # 256 extra bytes of bandwidth is ~20 us; the RTS/CTS round trip
+        # costs far more.
+        assert above - below > 100e-6
+
+
+class TestBcastBarrier:
+    def test_bcast_times_scale_with_ranks(self):
+        bench = MPIBench(perseus(16), seed=5, settings=BenchSettings(reps=20, warmup=2))
+        r4 = bench.run_bcast(nodes=4, ppn=1, sizes=[1024])
+        r16 = bench.run_bcast(nodes=16, ppn=1, sizes=[1024])
+        assert r16.histograms[1024].mean > r4.histograms[1024].mean
+
+    def test_barrier_produces_samples(self):
+        bench = MPIBench(perseus(8), seed=5, settings=BenchSettings(reps=15, warmup=2))
+        r = bench.run_barrier(nodes=4, ppn=1)
+        h = r.histograms[0]
+        assert h.n == 15 * 4
+        assert h.min > 0
+
+
+class TestValidation:
+    def test_too_many_nodes(self):
+        bench = MPIBench(perseus(4), seed=0)
+        with pytest.raises(ValueError):
+            bench.run_isend(nodes=8, ppn=1, sizes=[0])
+
+    def test_bad_settings(self):
+        with pytest.raises(ValueError):
+            BenchSettings(reps=0).validate()
+        with pytest.raises(ValueError):
+            BenchSettings(warmup=-1).validate()
+        with pytest.raises(ValueError):
+            BenchSettings(bins=0).validate()
+
+    def test_reproducible_campaign(self):
+        settings = BenchSettings(reps=10, warmup=2)
+        a = MPIBench(perseus(4), seed=9, settings=settings).run_isend(2, 1, [256])
+        b = MPIBench(perseus(4), seed=9, settings=settings).run_isend(2, 1, [256])
+        assert np.allclose(a.histograms[256].samples, b.histograms[256].samples)

@@ -1,0 +1,189 @@
+"""Tests for the ping-pong driver, campaign comparison and data export."""
+
+import numpy as np
+import pytest
+
+from repro.mpibench import (
+    BenchSettings,
+    MPIBench,
+    compare_configs,
+    compare_databases,
+    export_series,
+)
+from repro.simnet import gigabit_cluster, perseus
+
+
+@pytest.fixture(scope="module")
+def dbs():
+    settings = BenchSettings(reps=25, warmup=3)
+    fast = MPIBench(perseus(16), seed=4, settings=settings).sweep_isend(
+        [(2, 1), (16, 1)], sizes=[0, 1024, 4096]
+    )
+    giga = MPIBench(gigabit_cluster(16), seed=4, settings=settings).sweep_isend(
+        [(2, 1), (16, 1)], sizes=[0, 1024, 4096]
+    )
+    return fast, giga
+
+
+class TestPingpongDriver:
+    def test_rtt_half_close_to_one_way_without_contention(self):
+        """At 2x1 the network is symmetric and idle, so RTT/2 ~ one-way."""
+        bench = MPIBench(perseus(4), seed=2, settings=BenchSettings(reps=30, warmup=3))
+        oneway = bench.run_isend(2, 1, sizes=[1024]).histograms[1024]
+        half = bench.run_pingpong(2, 1, sizes=[1024]).histograms[1024]
+        assert half.mean == pytest.approx(oneway.mean, rel=0.15)
+
+    def test_rtt_half_hides_contention_dispersion(self):
+        """The paper's criticism: under contention the one-way distribution
+        disperses far more than the averaged RTT/2 reveals."""
+        bench = MPIBench(perseus(16), seed=2, settings=BenchSettings(reps=30, warmup=3))
+        oneway = bench.run_isend(16, 1, sizes=[1024]).histograms[1024]
+        half = bench.run_pingpong(16, 1, sizes=[1024]).histograms[1024]
+        # Relative spread of individual one-way times exceeds that of the
+        # round-trip halves (which average the two directions).
+        assert oneway.std / oneway.mean > half.std / half.mean
+
+    def test_only_initiators_record(self):
+        bench = MPIBench(perseus(8), seed=2, settings=BenchSettings(reps=10, warmup=2))
+        r = bench.run_pingpong(8, 1, sizes=[256])
+        # 4 initiator ranks x 10 reps.
+        assert r.histograms[256].n == 40
+
+    def test_driver_validation(self):
+        from repro.mpibench.drivers import pingpong_driver
+        from repro.smpi import run_program
+
+        def prog(comm):
+            with pytest.raises(ValueError):
+                yield from pingpong_driver(comm, [64], reps=0)
+            yield from comm.barrier()
+            return True
+
+        r = run_program(perseus(4), prog, nprocs=2)
+        assert r.returns == [True, True]
+
+
+class TestGigabitCluster:
+    def test_factory_properties(self):
+        spec = gigabit_cluster(32)
+        assert spec.name == "gigabit"
+        assert spec.link_bandwidth == pytest.approx(125e6)
+        assert spec.n_switches == 1
+        with pytest.raises(ValueError):
+            gigabit_cluster(0)
+
+    def test_faster_than_perseus(self, dbs):
+        fast, giga = dbs
+        for size in (0, 1024, 4096):
+            tf = fast.result("isend", 2, 1).histograms[size].mean
+            tg = giga.result("isend", 2, 1).histograms[size].mean
+            assert tg < tf, f"gigabit should beat fast ethernet at {size} B"
+
+    def test_milder_contention_than_perseus(self, dbs):
+        """Cross-network claim: contention effects depend on the network."""
+        fast, giga = dbs
+
+        def ratio(db):
+            a = db.result("isend", 16, 1).histograms[1024].mean
+            b = db.result("isend", 2, 1).histograms[1024].mean
+            return a / b
+
+        assert ratio(giga) < ratio(fast)
+
+
+class TestCompare:
+    def test_compare_configs(self, dbs):
+        fast, giga = dbs
+        comps = compare_configs(fast, giga, "isend", (2, 1))
+        assert [c.size for c in comps] == [0, 1024, 4096]
+        for c in comps:
+            assert c.mean_ratio < 1.0  # gigabit faster
+            assert c.tail_ratio > 0.0
+
+    def test_compare_within_one_db(self, dbs):
+        fast, _ = dbs
+        comps = compare_configs(fast, fast, "isend", (2, 1), (16, 1))
+        assert all(c.mean_ratio > 1.0 for c in comps)  # contention slower
+
+    def test_compare_databases(self, dbs):
+        fast, giga = dbs
+        diff = compare_databases(fast, giga)
+        assert set(diff) == {(2, 1), (16, 1)}
+
+    def test_no_common_sizes_rejected(self, dbs):
+        fast, _ = dbs
+        lonely = MPIBench(
+            perseus(2), seed=1, settings=BenchSettings(reps=5, warmup=1)
+        ).sweep_isend([(2, 1)], sizes=[128])
+        with pytest.raises(ValueError):
+            compare_configs(fast, lonely, "isend", (2, 1))
+
+    def test_zero_division_guards(self):
+        from repro.mpibench.compare import ConfigComparison
+
+        c = ConfigComparison("isend", 0, 0.0, 1.0, 0.0, 1.0)
+        with pytest.raises(ZeroDivisionError):
+            c.mean_ratio
+        with pytest.raises(ZeroDivisionError):
+            c.tail_ratio
+
+
+class TestExport:
+    def test_export_mean_series(self, dbs, tmp_path):
+        fast, _ = dbs
+        out = export_series(fast, "isend", tmp_path / "fig.dat")
+        lines = out.read_text().strip().splitlines()
+        assert lines[0] == "# size 2x1 16x1"
+        assert len(lines) == 1 + 3  # header + three sizes
+        size, a, b = lines[2].split()
+        assert int(size) == 1024
+        assert float(b) > float(a)  # 16x1 slower than 2x1
+
+    def test_export_quantile_series(self, dbs, tmp_path):
+        fast, _ = dbs
+        out = export_series(fast, "isend", tmp_path / "p99.dat", statistic="0.99")
+        assert "nan" not in out.read_text()
+
+    def test_export_unknown_op(self, dbs, tmp_path):
+        fast, _ = dbs
+        with pytest.raises(KeyError):
+            export_series(fast, "warp", tmp_path / "x.dat")
+
+
+class TestKsDistance:
+    def test_identical_distributions_have_zero_distance(self):
+        import numpy as np
+
+        from repro.mpibench import Histogram
+
+        rng = np.random.default_rng(0)
+        data = rng.gamma(3, 1e-5, 400)
+        h = Histogram.from_samples(data, bins=30)
+        assert h.ks_distance(h) == pytest.approx(0.0, abs=1e-12)
+
+    def test_shifted_distributions_have_large_distance(self):
+        import numpy as np
+
+        from repro.mpibench import Histogram
+
+        rng = np.random.default_rng(1)
+        a = Histogram.from_samples(1e-4 + rng.gamma(3, 1e-6, 400), bins=30)
+        b = Histogram.from_samples(5e-4 + rng.gamma(3, 1e-6, 400), bins=30)
+        assert a.ks_distance(b) > 0.95
+
+    def test_symmetry(self):
+        import numpy as np
+
+        from repro.mpibench import Histogram
+
+        rng = np.random.default_rng(2)
+        a = Histogram.from_samples(rng.gamma(2, 1.0, 300), bins=25)
+        b = Histogram.from_samples(rng.gamma(4, 1.0, 300), bins=25)
+        assert a.ks_distance(b) == pytest.approx(b.ks_distance(a))
+        assert 0.0 < a.ks_distance(b) <= 1.0
+
+    def test_comparisons_carry_ks(self, dbs):
+        fast, giga = dbs
+        comps = compare_configs(fast, giga, "isend", (2, 1))
+        # Entirely different time scales: distributions barely overlap.
+        assert all(c.ks > 0.9 for c in comps)

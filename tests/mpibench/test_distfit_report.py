@@ -1,0 +1,189 @@
+"""Tests for parametric distribution fits and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro._tables import ascii_curve, ascii_pdf, format_table, format_time
+from repro.mpibench import (
+    BenchmarkResult,
+    DistributionDB,
+    Histogram,
+    fit_histogram,
+    fit_samples,
+)
+from repro.mpibench.distfit import ParametricFit
+from repro.mpibench.report import (
+    average_times_table,
+    contention_ratio,
+    goodput_table,
+    pdf_plots,
+    pdf_table,
+    summary_stats,
+    tail_report,
+)
+
+
+def _gamma_samples(n=2000, loc=100e-6, seed=0):
+    rng = np.random.default_rng(seed)
+    return loc + rng.gamma(3.0, 15e-6, size=n)
+
+
+class TestDistFit:
+    def test_fit_recovers_gamma_mean(self):
+        data = _gamma_samples()
+        fit = fit_samples(data)
+        assert fit.mean == pytest.approx(float(np.mean(data)), rel=0.05)
+        assert fit.ks < 0.1
+
+    def test_support_min_below_data_min(self):
+        data = _gamma_samples()
+        fit = fit_samples(data)
+        assert fit.support_min <= data.min()
+
+    def test_sampling_from_fit(self):
+        data = _gamma_samples()
+        fit = fit_samples(data)
+        rng = np.random.default_rng(1)
+        draws = fit.sample(rng, 5000)
+        assert float(np.mean(draws)) == pytest.approx(float(np.mean(data)), rel=0.1)
+        scalar = fit.sample(rng)
+        assert isinstance(scalar, float)
+
+    def test_lognormal_data_prefers_lognorm(self):
+        rng = np.random.default_rng(2)
+        data = 50e-6 + rng.lognormal(mean=-9.0, sigma=0.8, size=3000)
+        fit = fit_samples(data)
+        assert fit.family == "lognorm"
+
+    def test_degenerate_point_mass(self):
+        fit = fit_samples(np.full(100, 3.0))
+        assert fit.ks == 0.0
+        rng = np.random.default_rng(0)
+        assert fit.sample(rng) == pytest.approx(3.0, abs=1e-6)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_samples(np.array([1.0, 2.0]))
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_samples(np.array([-1.0] * 20))
+
+    def test_fit_histogram_requires_samples(self):
+        h = Histogram.from_dict(
+            Histogram.from_samples(_gamma_samples(200)).to_dict()
+        )
+        with pytest.raises(ValueError):
+            fit_histogram(h)
+
+    def test_dict_roundtrip(self):
+        fit = fit_samples(_gamma_samples())
+        fit2 = ParametricFit.from_dict(fit.to_dict())
+        assert fit2.family == fit.family
+        assert fit2.mean == pytest.approx(fit.mean)
+
+    def test_pdf_evaluates(self):
+        fit = fit_samples(_gamma_samples())
+        xs = np.linspace(fit.support_min, fit.support_min + 1e-3, 50)
+        ys = fit.pdf(xs)
+        assert np.all(ys >= 0)
+        assert ys.max() > 0
+
+
+def _tiny_db():
+    rng = np.random.default_rng(3)
+    db = DistributionDB()
+    for nodes, scale in [(2, 1.0), (16, 1.6)]:
+        hists = {
+            size: Histogram.from_samples(
+                scale * (100e-6 + size * 1e-8) + rng.gamma(2.0, 5e-6, size=150),
+                bins=20,
+            )
+            for size in (0, 1024)
+        }
+        db.add(
+            BenchmarkResult(
+                op="isend", nodes=nodes, ppn=1, cluster="perseus", histograms=hists
+            )
+        )
+    return db
+
+
+class TestReport:
+    def test_average_times_table_contains_all_series(self):
+        db = _tiny_db()
+        table = average_times_table(db, "isend", [0, 1024])
+        assert "2x1" in table and "16x1" in table and "min" in table
+        assert "1024" in table
+
+    def test_contention_ratio(self):
+        db = _tiny_db()
+        ratio = contention_ratio(db, "isend", 1024, big=(16, 1), small=(2, 1))
+        assert ratio == pytest.approx(1.6, rel=0.05)
+
+    def test_pdf_table_and_plots(self):
+        db = _tiny_db()
+        r = db.result("isend", 16, 1)
+        table = pdf_table(r, 1024, bins=8)
+        assert "density" in table
+        plots = pdf_plots(r, sizes=[0, 1024])
+        assert "size=1024B" in plots
+        assert "#" in plots
+
+    def test_goodput_table(self):
+        db = _tiny_db()
+        table = goodput_table(db.result("isend", 2, 1))
+        assert "goodput" in table
+        assert "-" in table  # the size-0 row has no goodput
+
+    def test_tail_report(self):
+        db = _tiny_db()
+        out = tail_report(db.result("isend", 2, 1))
+        assert "outlier" in out
+
+    def test_summary_stats(self):
+        db = _tiny_db()
+        stats = summary_stats(db.result("isend", 2, 1))
+        assert set(stats) == {0, 1024}
+        assert stats[1024]["p99"] >= stats[1024]["p50"]
+
+
+class TestTables:
+    def test_format_time_scales(self):
+        assert format_time(2.5) == "2.5s"
+        assert format_time(2.5e-3) == "2.5ms"
+        assert format_time(2.5e-6) == "2.5us"
+        assert format_time(2.5e-9) == "2.5ns"
+        assert format_time(float("nan")) == "nan"
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "---" in lines[2]
+        assert len({len(l) for l in lines[1:2]}) == 1
+
+    def test_ascii_pdf_validation(self):
+        with pytest.raises(ValueError):
+            ascii_pdf(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            ascii_pdf(np.array([1.0]), np.array([1.0]), width=1)
+
+    def test_ascii_pdf_renders(self):
+        xs = np.linspace(0, 1e-3, 50)
+        ys = np.exp(-((xs - 4e-4) ** 2) / 1e-8)
+        out = ascii_pdf(xs, ys, width=40, height=6, label="L")
+        assert out.startswith("L")
+        assert "#" in out
+
+    def test_ascii_curve_renders_series(self):
+        xs = [1, 2, 4, 8]
+        out = ascii_curve(
+            xs, {"measured": [1, 2, 3, 4], "predicted": [1, 2, 2.5, 3]}, width=30, height=8
+        )
+        assert "m=measured" in out
+        assert "p=predicted" in out
+
+    def test_ascii_curve_validation(self):
+        with pytest.raises(ValueError):
+            ascii_curve([], {})

@@ -1,0 +1,211 @@
+"""Tests for the Histogram distribution type."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpibench import Histogram
+
+
+def _h(samples, **kw):
+    return Histogram.from_samples(samples, **kw)
+
+
+class TestConstruction:
+    def test_from_samples_basic(self):
+        h = _h([1.0, 2.0, 3.0, 4.0], bins=4)
+        assert h.n == 4
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.mean == pytest.approx(2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            _h([])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            _h([1.0, float("nan")])
+        with pytest.raises(ValueError):
+            _h([1.0, float("inf")])
+
+    def test_degenerate_identical_samples(self):
+        h = _h([5.0] * 10)
+        assert h.n == 10
+        assert h.mean == pytest.approx(5.0)
+        rng = np.random.default_rng(0)
+        draws = h.sample(rng, 100)
+        assert np.allclose(draws, 5.0, atol=1e-9)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            _h([1.0, 2.0], bins=0)
+
+    def test_direct_construction_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(np.array([0.0, 1.0]), np.array([1.0, 2.0]))  # len mismatch
+        with pytest.raises(ValueError):
+            Histogram(np.array([1.0, 0.0]), np.array([1.0]))  # decreasing edges
+        with pytest.raises(ValueError):
+            Histogram(np.array([0.0, 1.0]), np.array([-1.0]))  # negative count
+        with pytest.raises(ValueError):
+            Histogram(np.array([0.0, 1.0]), np.array([0.0]))  # zero mass
+
+
+class TestStatistics:
+    def test_pdf_integrates_to_one(self):
+        rng = np.random.default_rng(1)
+        h = _h(rng.gamma(3.0, 2.0, size=5000), bins=50)
+        centres, density = h.pdf()
+        widths = np.diff(h.edges)
+        assert float(np.sum(density * widths)) == pytest.approx(1.0)
+
+    def test_cdf_monotone_ending_at_one(self):
+        rng = np.random.default_rng(2)
+        h = _h(rng.exponential(1.0, size=1000), bins=30)
+        _, cum = h.cdf()
+        assert np.all(np.diff(cum) >= -1e-12)
+        assert cum[-1] == pytest.approx(1.0)
+
+    def test_quantiles(self):
+        h = _h(np.arange(1, 101, dtype=float), bins=100)
+        assert h.quantile(0.0) == pytest.approx(1.0)
+        assert h.quantile(1.0) == pytest.approx(100.0)
+        assert h.quantile(0.5) == pytest.approx(50.5, rel=0.05)
+
+    def test_quantile_bounds_checked(self):
+        h = _h([1.0, 2.0])
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_tail_mass(self):
+        h = _h(np.concatenate([np.full(90, 1.0), np.full(10, 100.0)]), bins=50)
+        assert h.tail_mass(50.0) == pytest.approx(0.1)
+        assert h.tail_mass(0.0) == pytest.approx(1.0)
+        assert h.tail_mass(1000.0) == 0.0
+
+    def test_tail_mass_binned_only(self):
+        h0 = _h(np.concatenate([np.full(90, 1.0), np.full(10, 100.0)]), bins=50)
+        h = Histogram.from_dict(h0.to_dict())  # drops samples
+        assert h.tail_mass(50.0) == pytest.approx(0.1, abs=0.02)
+
+
+class TestSampling:
+    def test_samples_within_support(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(10.0, 1.0, size=2000)
+        h = _h(data, bins=40)
+        draws = h.sample(rng, 5000)
+        assert draws.min() >= h.min - 1e-9
+        assert draws.max() <= h.max + 1e-9
+
+    def test_sample_mean_matches(self):
+        rng = np.random.default_rng(4)
+        data = rng.gamma(4.0, 1.0, size=4000)
+        h = _h(data, bins=60)
+        draws = h.sample(rng, 20000)
+        assert float(draws.mean()) == pytest.approx(h.mean, rel=0.03)
+
+    def test_scalar_sample(self):
+        rng = np.random.default_rng(5)
+        h = _h([1.0, 2.0, 3.0])
+        v = h.sample(rng)
+        assert isinstance(v, float)
+
+    def test_coarse_bins_add_quantisation_error(self):
+        """The paper's granularity claim: coarser bins distort sampling."""
+        rng = np.random.default_rng(6)
+        data = rng.gamma(2.0, 1.0, size=4000)
+        fine = _h(data, bins=200)
+        coarse = _h(data, bins=3)
+        dfine = fine.sample(rng, 20000)
+        dcoarse = coarse.sample(rng, 20000)
+        err_fine = abs(np.quantile(dfine, 0.9) - np.quantile(data, 0.9))
+        err_coarse = abs(np.quantile(dcoarse, 0.9) - np.quantile(data, 0.9))
+        assert err_coarse > err_fine
+
+
+class TestMergeAndPersistence:
+    def test_merge_pools_samples(self):
+        a = _h([1.0, 2.0], bins=10)
+        b = _h([3.0, 4.0], bins=20)
+        m = a.merge(b)
+        assert m.n == 4
+        assert m.min == 1.0 and m.max == 4.0
+        assert m.nbins == 20
+
+    def test_merge_requires_samples(self):
+        a = _h([1.0, 2.0])
+        b = Histogram.from_dict(_h([3.0, 4.0]).to_dict())
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_dict_roundtrip_without_samples(self):
+        h = _h(np.linspace(0, 1, 100), bins=10)
+        h2 = Histogram.from_dict(h.to_dict())
+        assert np.allclose(h2.edges, h.edges)
+        assert np.allclose(h2.counts, h.counts)
+        assert h2.mean == pytest.approx(h.mean)
+        assert h2.min == pytest.approx(h.min)
+        assert h2.samples is None
+
+    def test_dict_roundtrip_with_samples(self):
+        h = _h([1.0, 5.0, 9.0])
+        h2 = Histogram.from_dict(h.to_dict(include_samples=True))
+        assert np.allclose(h2.samples, [1.0, 5.0, 9.0])
+
+    def test_rebinned(self):
+        h = _h(np.linspace(0, 1, 1000), bins=100)
+        h2 = h.rebinned(10)
+        assert h2.nbins == 10
+        assert h2.n == h.n
+
+    def test_rebin_requires_samples(self):
+        h = Histogram.from_dict(_h([1.0, 2.0]).to_dict())
+        with pytest.raises(ValueError):
+            h.rebinned(5)
+
+
+# -- property-based ----------------------------------------------------------------
+
+
+@given(
+    data=st.lists(
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=300,
+    ),
+    bins=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=80, deadline=None)
+def test_histogram_invariants(data, bins):
+    """Mass conservation, support bounds and moment consistency hold for
+    arbitrary sample sets."""
+    h = Histogram.from_samples(data, bins=bins)
+    assert h.n == len(data)
+    assert h.counts.sum() == pytest.approx(len(data))
+    assert h.min == pytest.approx(min(data))
+    assert h.max == pytest.approx(max(data))
+    assert h.min - 1e-9 <= h.mean <= h.max + 1e-9
+    # Quantiles are monotone in q.
+    qs = [h.quantile(q) for q in (0.0, 0.25, 0.5, 0.75, 1.0)]
+    assert all(b >= a - 1e-12 for a, b in zip(qs, qs[1:]))
+
+
+@given(
+    data=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=2,
+        max_size=100,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_sampling_stays_in_support(data):
+    h = Histogram.from_samples(data, bins=16)
+    rng = np.random.default_rng(0)
+    draws = h.sample(rng, 256)
+    assert np.all(draws >= h.min - 1e-9)
+    assert np.all(draws <= h.max + 1e-9)

@@ -1,0 +1,160 @@
+"""Tests for BenchmarkResult / DistributionDB (persistence and lookup)."""
+
+import numpy as np
+import pytest
+
+from repro.mpibench import BenchmarkResult, DistributionDB, Histogram
+
+
+def _result(op="isend", nodes=4, ppn=1, sizes=(0, 1024), centre=100e-6, cluster="perseus"):
+    rng = np.random.default_rng(nodes * 1000 + ppn)
+    hists = {}
+    for size in sizes:
+        loc = centre * (1 + size / 1024) * (nodes * ppn) ** 0.25
+        hists[size] = Histogram.from_samples(
+            loc + rng.gamma(3.0, loc / 10, size=200), bins=30
+        )
+    return BenchmarkResult(
+        op=op, nodes=nodes, ppn=ppn, cluster=cluster, histograms=hists, reps=200
+    )
+
+
+@pytest.fixture()
+def db():
+    d = DistributionDB()
+    for nodes, ppn in [(2, 1), (8, 1), (32, 1), (32, 2)]:
+        d.add(_result(nodes=nodes, ppn=ppn))
+    return d
+
+
+class TestBenchmarkResult:
+    def test_properties(self):
+        r = _result(nodes=8, ppn=2)
+        assert r.nprocs == 16
+        assert r.label == "8x2"
+        assert r.sizes == [0, 1024]
+
+    def test_curves(self):
+        r = _result()
+        mean_curve = r.mean_curve()
+        assert [s for s, _ in mean_curve] == [0, 1024]
+        assert all(t > 0 for _, t in mean_curve)
+        assert all(
+            mn <= mean for (_, mn), (_, mean) in zip(r.min_curve(), mean_curve)
+        )
+
+    def test_dict_roundtrip(self):
+        r = _result()
+        r2 = BenchmarkResult.from_dict(r.to_dict(include_samples=True))
+        assert r2.label == r.label
+        assert r2.sizes == r.sizes
+        assert r2.histograms[1024].mean == pytest.approx(r.histograms[1024].mean)
+
+
+class TestDbPopulation:
+    def test_add_and_query(self, db):
+        assert db.ops() == ["isend"]
+        assert db.configs("isend") == [(2, 1), (8, 1), (32, 1), (32, 2)]
+        assert db.result("isend", 8, 1).nprocs == 8
+
+    def test_cluster_consistency_enforced(self, db):
+        with pytest.raises(ValueError):
+            db.add(_result(cluster="other"))
+
+    def test_empty_result_rejected(self):
+        d = DistributionDB()
+        empty = BenchmarkResult(
+            op="isend", nodes=2, ppn=1, cluster="x", histograms={}
+        )
+        with pytest.raises(ValueError):
+            d.add(empty)
+
+    def test_missing_lookup_raises(self, db):
+        with pytest.raises(KeyError):
+            db.result("isend", 64, 1)
+        with pytest.raises(KeyError):
+            db.result("bcast", 2, 1)
+
+    def test_len(self, db):
+        assert len(db) == 4
+
+
+class TestLookup:
+    def test_nearest_config_log_space(self, db):
+        assert db.nearest_config("isend", 2) == (2, 1)
+        assert db.nearest_config("isend", 7) == (8, 1)
+        assert db.nearest_config("isend", 1000) == (32, 2)
+        assert db.nearest_config("isend", 1) == (2, 1)
+
+    def test_histogram_nearest_size(self, db):
+        h_exact = db.histogram("isend", 1024, 8, 1)
+        h_near = db.histogram("isend", 900, 8, 1)
+        assert h_near is h_exact
+
+    def test_bracketing_sizes(self, db):
+        assert db.bracketing_sizes("isend", 512, 8, 1) == (0, 1024)
+        assert db.bracketing_sizes("isend", 0, 8, 1) == (0, 0)
+        assert db.bracketing_sizes("isend", 4096, 8, 1) == (1024, 1024)
+
+    def test_sample_time_within_support(self, db):
+        rng = np.random.default_rng(0)
+        h = db.histogram("isend", 1024, 32, 2)
+        for _ in range(100):
+            t = db.sample_time("isend", 1024, contention=64, rng=rng, interpolate=False)
+            assert h.min - 1e-12 <= t <= h.max + 1e-12
+
+    def test_sample_time_interpolation_between_sizes(self, db):
+        """Interpolated samples for a mid-size land between the bracketing
+        distributions' supports."""
+        rng = np.random.default_rng(1)
+        lo = db.histogram("isend", 0, 8, 1)
+        hi = db.histogram("isend", 1024, 8, 1)
+        draws = [
+            db.sample_time("isend", 512, contention=8, rng=rng, interpolate=True)
+            for _ in range(300)
+        ]
+        assert min(draws) >= lo.min - 1e-12
+        assert max(draws) <= hi.max + 1e-12
+        mid_mean = np.mean(draws)
+        assert lo.mean < mid_mean < hi.mean
+
+    def test_mean_and_min_lookups(self, db):
+        m = db.mean_time("isend", 1024, contention=8)
+        mn = db.min_time("isend", 1024, contention=8)
+        assert mn < m
+        assert m == pytest.approx(db.histogram("isend", 1024, 8, 1).mean)
+
+    def test_contention_selects_config(self, db):
+        """Higher contention levels pull samples from bigger configs,
+        which are slower on average."""
+        low = db.mean_time("isend", 1024, contention=2)
+        high = db.mean_time("isend", 1024, contention=64)
+        assert high > low
+
+    def test_empty_db_raises(self):
+        with pytest.raises(KeyError):
+            DistributionDB().nearest_config("isend", 4)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, db, tmp_path):
+        path = tmp_path / "db.json"
+        db.save(path)
+        loaded = DistributionDB.load(path)
+        assert len(loaded) == len(db)
+        assert loaded.configs("isend") == db.configs("isend")
+        a = db.histogram("isend", 1024, 8, 1)
+        b = loaded.histogram("isend", 1024, 8, 1)
+        assert b.mean == pytest.approx(a.mean)
+        assert np.allclose(b.counts, a.counts)
+
+    def test_save_without_samples_is_smaller_but_usable(self, db, tmp_path):
+        full = tmp_path / "full.json"
+        lean = tmp_path / "lean.json"
+        db.save(full, include_samples=True)
+        db.save(lean, include_samples=False)
+        assert lean.stat().st_size < full.stat().st_size
+        loaded = DistributionDB.load(lean)
+        rng = np.random.default_rng(0)
+        t = loaded.sample_time("isend", 1024, contention=8, rng=rng)
+        assert t > 0

@@ -1,0 +1,68 @@
+"""Tests for the ring (neighbour) benchmark pattern."""
+
+import numpy as np
+import pytest
+
+from repro.mpibench import BenchSettings, MPIBench
+from repro.pevpm.timing import DistributionTiming
+from repro.simnet import perseus
+
+
+@pytest.fixture(scope="module")
+def ring_db():
+    bench = MPIBench(perseus(16), seed=7, settings=BenchSettings(reps=25, warmup=3))
+    db = bench.sweep_isend([(2, 1), (8, 1)], sizes=[0, 1024])
+    return bench.sweep_isend([(8, 1), (16, 1)], sizes=[0, 1024], db=db, pattern="ring")
+
+
+class TestRingDriver:
+    def test_ops_are_suffixed(self, ring_db):
+        assert "isend:ring" in ring_db.ops()
+        assert "isend_local:ring" in ring_db.ops()
+        assert ring_db.configs("isend:ring") == [(8, 1), (16, 1)]
+
+    def test_sample_counts(self, ring_db):
+        # Every rank receives two messages per rep: 25 reps x 8 ranks x 2.
+        h = ring_db.result("isend:ring", 8, 1).histograms[1024]
+        assert h.n == 25 * 8 * 2
+
+    def test_ring_needs_three_ranks(self):
+        bench = MPIBench(perseus(4), seed=1, settings=BenchSettings(reps=5, warmup=1))
+        with pytest.raises(Exception):
+            bench.run_isend_all(2, 1, [64], pattern="ring")
+
+    def test_unknown_pattern_rejected(self):
+        bench = MPIBench(perseus(4), seed=1)
+        with pytest.raises(ValueError):
+            bench.run_isend_all(4, 1, [64], pattern="spiral")
+
+    def test_ring_load_exceeds_pairs_load(self, ring_db):
+        """Every rank keeps two messages in flight under the ring pattern,
+        so at the same machine size its distributions sit above the
+        pairwise ones."""
+        ring = ring_db.result("isend:ring", 8, 1).histograms[1024]
+        pairs = ring_db.result("isend", 8, 1).histograms[1024]
+        assert ring.mean > pairs.mean
+
+
+class TestPatternTiming:
+    def test_pattern_selects_ring_ops(self, ring_db):
+        t = DistributionTiming(ring_db, pattern="ring")
+        assert t._oneway_op == "isend:ring"
+        assert "ring" in t.name
+
+    def test_missing_pattern_falls_back_to_pairs(self, ring_db):
+        t = DistributionTiming(ring_db, pattern="torus")
+        assert t._oneway_op == "isend"
+
+    def test_ring_sampling_draws_from_ring_data(self, ring_db):
+        rng = np.random.default_rng(0)
+        t_ring = DistributionTiming(ring_db, pattern="ring")
+        t_pairs = DistributionTiming(ring_db)
+        ring_mean = np.mean(
+            [t_ring.one_way_time(1024, 8, rng) for _ in range(300)]
+        )
+        pairs_mean = np.mean(
+            [t_pairs.one_way_time(1024, 8, rng) for _ in range(300)]
+        )
+        assert ring_mean > pairs_mean

@@ -1,0 +1,121 @@
+"""Details of the benchmark runner and DB lookup corner cases."""
+
+import numpy as np
+import pytest
+
+from repro.mpibench import BenchSettings, BenchmarkResult, DistributionDB, Histogram, MPIBench
+from repro.simnet import perseus
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    bench = MPIBench(perseus(4), seed=6, settings=BenchSettings(reps=15, warmup=2))
+    return bench.run_isend_all(nodes=2, ppn=1, sizes=[256, 1024])
+
+
+class TestIsendAll:
+    def test_both_ops_produced(self, all_results):
+        assert set(all_results) == {"isend", "isend_local"}
+
+    def test_local_times_below_one_way(self, all_results):
+        """The sender is occupied for far less than the full one-way time
+        for eager messages."""
+        for size in (256, 1024):
+            local = all_results["isend_local"].histograms[size].mean
+            oneway = all_results["isend"].histograms[size].mean
+            assert local < 0.5 * oneway
+
+    def test_local_times_grow_with_size(self, all_results):
+        h = all_results["isend_local"].histograms
+        assert h[1024].mean > h[256].mean
+
+    def test_sample_counts_match(self, all_results):
+        for op in ("isend", "isend_local"):
+            assert all_results[op].histograms[256].n == 15 * 2
+
+
+class TestDbCornerCases:
+    def _db_without_intra(self):
+        rng = np.random.default_rng(0)
+        db = DistributionDB()
+        hists = {
+            64: Histogram.from_samples(1e-4 + rng.gamma(2, 1e-5, 100), bins=10)
+        }
+        db.add(BenchmarkResult(op="isend", nodes=4, ppn=1, cluster="c",
+                               histograms=hists))
+        return db
+
+    def test_intra_lookup_falls_back_to_inter_configs(self):
+        """Without a single-node benchmark, intra lookups reuse what exists
+        rather than failing."""
+        db = self._db_without_intra()
+        assert db.nearest_config("isend", 2, intra=True) == (4, 1)
+
+    def test_inter_lookup_ignores_single_node_configs_when_possible(self):
+        rng = np.random.default_rng(1)
+        db = self._db_without_intra()
+        db.add(
+            BenchmarkResult(
+                op="isend", nodes=1, ppn=2, cluster="c",
+                histograms={
+                    64: Histogram.from_samples(1e-5 + rng.gamma(2, 1e-6, 50))
+                },
+            )
+        )
+        assert db.nearest_config("isend", 2, intra=False) == (4, 1)
+        assert db.nearest_config("isend", 2, intra=True) == (1, 2)
+
+    def test_caches_invalidate_on_add(self):
+        db = self._db_without_intra()
+        assert db.nearest_config("isend", 2) == (4, 1)
+        rng = np.random.default_rng(2)
+        db.add(
+            BenchmarkResult(
+                op="isend", nodes=2, ppn=1, cluster="c",
+                histograms={
+                    64: Histogram.from_samples(1e-4 + rng.gamma(2, 1e-5, 50))
+                },
+            )
+        )
+        assert db.nearest_config("isend", 2) == (2, 1)
+
+    def test_vectorised_sample_times(self):
+        db = self._db_without_intra()
+        rng = np.random.default_rng(3)
+        values = db.sample_times("isend", 64, contention=4, rng=rng, n=500)
+        h = db.histogram("isend", 64, 4, 1)
+        assert values.shape == (500,)
+        assert values.min() >= h.min - 1e-12
+        assert values.max() <= h.max + 1e-12
+        assert np.mean(values) == pytest.approx(h.mean, rel=0.05)
+
+    def test_vectorised_interpolation(self):
+        rng = np.random.default_rng(4)
+        db = DistributionDB()
+        hists = {
+            0: Histogram.from_samples(1e-4 + rng.gamma(2, 1e-6, 200), bins=20),
+            2048: Histogram.from_samples(3e-4 + rng.gamma(2, 1e-6, 200), bins=20),
+        }
+        db.add(BenchmarkResult(op="isend", nodes=2, ppn=1, cluster="c",
+                               histograms=hists))
+        values = db.sample_times("isend", 1024, contention=2, rng=rng, n=400)
+        assert hists[0].mean < np.mean(values) < hists[2048].mean
+
+
+class TestHistogramVectorisedQuantiles:
+    def test_quantiles_match_scalar(self):
+        rng = np.random.default_rng(5)
+        h = Histogram.from_samples(rng.gamma(3, 1.0, 500), bins=40)
+        qs = np.linspace(0, 1, 21)
+        vec = h.quantiles(qs)
+        scalar = np.array([h.quantile(float(q)) for q in qs])
+        assert np.allclose(vec, scalar)
+
+    def test_binned_quantiles_match_scalar(self):
+        rng = np.random.default_rng(6)
+        h0 = Histogram.from_samples(rng.gamma(3, 1.0, 500), bins=40)
+        h = Histogram.from_dict(h0.to_dict())  # samples dropped
+        qs = np.linspace(0, 1, 11)
+        vec = h.quantiles(qs)
+        scalar = np.array([h.quantile(float(q)) for q in qs])
+        assert np.allclose(vec, scalar)

@@ -1,0 +1,139 @@
+"""Tests for the safe directive-expression evaluator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pevpm.expr import ExprError, compile_expr, evaluate
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        names = {"x": 7, "y": 2}
+        assert evaluate("x + y", names) == 9
+        assert evaluate("x - y", names) == 5
+        assert evaluate("x * y", names) == 14
+        assert evaluate("x / y", names) == 3.5
+        assert evaluate("x // y", names) == 3
+        assert evaluate("x % y", names) == 1
+        assert evaluate("x ** y", names) == 49
+        assert evaluate("-x", names) == -7
+        assert evaluate("+x", names) == 7
+
+    def test_paper_expressions(self):
+        """The exact expressions of Figure 5."""
+        names = {"procnum": 3, "numprocs": 8, "xsize": 256}
+        assert evaluate("xsize*sizeof(float)", names) == 1024
+        assert evaluate("3.24/numprocs", names) == pytest.approx(0.405)
+        assert evaluate("procnum%2 == 0", names) is False
+        assert evaluate("procnum%2 != 0", names) is True
+        assert evaluate("procnum != 0", names) is True
+        assert evaluate("procnum != numprocs-1", names) is True
+        assert evaluate("procnum-1", names) == 2
+        assert evaluate("procnum+1", names) == 4
+
+    def test_sizeof_all_types(self):
+        for name, size in [("char", 1), ("short", 2), ("int", 4),
+                           ("float", 4), ("long", 8), ("double", 8)]:
+            assert evaluate(f"sizeof({name})", {}) == size
+
+    def test_functions(self):
+        assert evaluate("min(3, 5)", {}) == 3
+        assert evaluate("max(3, 5)", {}) == 5
+        assert evaluate("abs(-4)", {}) == 4
+        assert evaluate("ceil(2.1)", {}) == 3
+        assert evaluate("floor(2.9)", {}) == 2
+        assert evaluate("int(7.9)", {}) == 7
+        assert evaluate("log2(8)", {}) == 3.0
+
+    def test_bool_ops_and_chained_compare(self):
+        names = {"p": 5, "n": 8}
+        assert evaluate("p > 0 and p < n", names) is True
+        assert evaluate("p == 0 or p == n-1", names) is False
+        assert evaluate("not p == 0", names) is True
+        assert evaluate("0 < p < n", names) is True
+        assert evaluate("0 < p < 3", names) is False
+
+    def test_conditional_expression(self):
+        assert evaluate("1 if p == 0 else 2", {"p": 0}) == 1
+        assert evaluate("1 if p == 0 else 2", {"p": 3}) == 2
+
+
+class TestSafety:
+    def test_unknown_variable(self):
+        with pytest.raises(ExprError, match="unknown variable"):
+            evaluate("undefined_thing", {})
+
+    def test_attribute_access_blocked(self):
+        with pytest.raises(ExprError):
+            evaluate("().__class__", {})
+
+    def test_subscript_blocked(self):
+        with pytest.raises(ExprError):
+            evaluate("a[0]", {"a": [1]})
+
+    def test_arbitrary_calls_blocked(self):
+        with pytest.raises(ExprError):
+            evaluate("open('/etc/passwd')", {})
+        with pytest.raises(ExprError):
+            evaluate("__import__('os')", {})
+
+    def test_method_calls_blocked(self):
+        with pytest.raises(ExprError):
+            evaluate("x.bit_length()", {"x": 5})
+
+    def test_string_constants_blocked(self):
+        with pytest.raises(ExprError):
+            evaluate("'hello'", {})
+
+    def test_lambda_blocked(self):
+        with pytest.raises(ExprError):
+            evaluate("(lambda: 1)()", {})
+
+    def test_keyword_args_blocked(self):
+        with pytest.raises(ExprError):
+            evaluate("max(a=1)", {})
+
+    def test_unknown_sizeof_type(self):
+        with pytest.raises(ExprError, match="unknown C type"):
+            evaluate("sizeof(widget)", {})
+
+    def test_sizeof_arg_validation(self):
+        with pytest.raises(ExprError):
+            evaluate("sizeof(1)", {})
+        with pytest.raises(ExprError):
+            evaluate("sizeof(int, float)", {})
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExprError, match="division by zero"):
+            evaluate("1/n", {"n": 0})
+
+    def test_empty_expression(self):
+        with pytest.raises(ExprError):
+            compile_expr("")
+        with pytest.raises(ExprError):
+            compile_expr("   ")
+
+    def test_syntax_error(self):
+        with pytest.raises(ExprError, match="cannot parse"):
+            compile_expr("1 +")
+
+
+class TestCompileOnce:
+    def test_compiled_ast_reusable(self):
+        tree = compile_expr("procnum * 2")
+        assert evaluate(tree, {"procnum": 3}) == 6
+        assert evaluate(tree, {"procnum": 10}) == 20
+
+
+@given(
+    a=st.integers(-1000, 1000),
+    b=st.integers(1, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_matches_python_semantics(a, b):
+    names = {"a": a, "b": b}
+    assert evaluate("a + b", names) == a + b
+    assert evaluate("a % b", names) == a % b
+    assert evaluate("a // b", names) == a // b
+    assert evaluate("a < b", names) == (a < b)

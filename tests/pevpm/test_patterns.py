@@ -1,0 +1,121 @@
+"""Tests for the collective model patterns.
+
+Two layers: structural (the pattern's sends/recvs pair up and complete on
+the virtual machine for any rank count) and empirical (PEVPM predictions
+of collective-heavy programs track the simulated runtime within
+tolerance).
+"""
+
+import pytest
+
+from repro.mpibench import BenchSettings, MPIBench
+from repro.pevpm import predict, timing_from_db
+from repro.pevpm.machine import VirtualMachine
+from repro.pevpm import patterns
+from repro.simnet import perseus
+from repro.smpi import run_program
+from tests.pevpm.test_machine import FixedTiming
+
+SPEC = perseus(16)
+
+ALL_PATTERNS = [
+    ("barrier", lambda ctx: patterns.barrier(ctx)),
+    ("bcast", lambda ctx: patterns.bcast(ctx, 1024)),
+    ("bcast-root2", lambda ctx: patterns.bcast(ctx, 1024, root=2)),
+    ("reduce", lambda ctx: patterns.reduce(ctx, 512)),
+    ("allreduce", lambda ctx: patterns.allreduce(ctx, 8)),
+    ("gather", lambda ctx: patterns.gather(ctx, 256)),
+    ("scatter", lambda ctx: patterns.scatter(ctx, 256)),
+    ("allgather", lambda ctx: patterns.allgather(ctx, 128)),
+    ("alltoall", lambda ctx: patterns.alltoall(ctx, 64)),
+]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name,pattern", ALL_PATTERNS)
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 5, 8])
+    def test_completes_without_orphans(self, name, pattern, nprocs):
+        if name in ("bcast-root2", "reduce") and nprocs <= 2:
+            pytest.skip("root 2 needs 3+ ranks") if name == "bcast-root2" else None
+
+        def program(ctx):
+            yield from pattern(ctx)
+
+        if name == "bcast-root2" and nprocs < 3:
+            return
+        vm = VirtualMachine(nprocs, FixedTiming(), seed=0)
+        result = vm.run(program)
+        assert not result.orphans, f"{name} leaked messages"
+
+    def test_message_counts_match_runtime_algorithms(self):
+        """Each pattern emits exactly the messages the runtime algorithm
+        sends (total across ranks)."""
+        from repro.pevpm.machine import ProcContext
+
+        def total_sends(pattern, nprocs):
+            count = 0
+            for p in range(nprocs):
+                for op in pattern(ProcContext(p, nprocs)):
+                    if op[0] == "send":
+                        count += 1
+            return count
+
+        P = 8
+        assert total_sends(lambda c: patterns.bcast(c, 8), P) == P - 1
+        assert total_sends(lambda c: patterns.reduce(c, 8), P) == P - 1
+        assert total_sends(lambda c: patterns.gather(c, 8), P) == P - 1
+        assert total_sends(lambda c: patterns.scatter(c, 8), P) == P - 1
+        assert total_sends(lambda c: patterns.allgather(c, 8), P) == P * (P - 1)
+        assert total_sends(lambda c: patterns.alltoall(c, 8), P) == P * (P - 1)
+        # Dissemination barrier: ceil(log2 P) rounds, one send per rank.
+        assert total_sends(patterns.barrier, P) == P * 3
+
+
+class TestEmpirical:
+    @pytest.fixture(scope="class")
+    def db(self):
+        bench = MPIBench(SPEC, seed=5, settings=BenchSettings(reps=30, warmup=3))
+        return bench.sweep_isend(
+            [(2, 1), (8, 1), (16, 1)], sizes=[0, 512, 1024, 2048]
+        )
+
+    def test_bcast_heavy_program_prediction(self, db):
+        """A program alternating bcast and compute: model vs runtime."""
+        ROUNDS = 40
+
+        def measured_prog(comm):
+            for _ in range(ROUNDS):
+                yield from comm.bcast(1024, root=0)
+                yield from comm.compute(200e-6)
+            return None
+
+        measured = run_program(SPEC, measured_prog, nprocs=8, seed=42).elapsed
+
+        def model(ctx):
+            for _ in range(ROUNDS):
+                yield from patterns.bcast(ctx, 1024)
+                yield ctx.serial(200e-6)
+
+        pred = predict(model, 8, timing_from_db(db, "distribution"), runs=4, seed=3)
+        err = abs(pred.mean_time - measured) / measured
+        assert err < 0.25, f"bcast-program prediction off by {err * 100:.0f}%"
+
+    def test_allreduce_program_prediction(self, db):
+        ROUNDS = 30
+
+        def measured_prog(comm):
+            for _ in range(ROUNDS):
+                yield from comm.compute(300e-6)
+                yield from comm.allreduce(8, payload=1, op=lambda a, b: a + b)
+            return None
+
+        measured = run_program(SPEC, measured_prog, nprocs=8, seed=42).elapsed
+
+        def model(ctx):
+            for _ in range(ROUNDS):
+                yield ctx.serial(300e-6)
+                yield from patterns.allreduce(ctx, 8)
+
+        pred = predict(model, 8, timing_from_db(db, "distribution"), runs=4, seed=3)
+        err = abs(pred.mean_time - measured) / measured
+        assert err < 0.25, f"allreduce-program prediction off by {err * 100:.0f}%"

@@ -1,0 +1,223 @@
+"""Tests for the contention scoreboard and the timing models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpibench import BenchmarkResult, DistributionDB, Histogram
+from repro.pevpm.scoreboard import Scoreboard, ScoreboardEntry
+from repro.pevpm.timing import (
+    AverageTiming,
+    DistributionTiming,
+    HockneyTiming,
+    MinimumTiming,
+    ParametricTiming,
+    timing_from_db,
+)
+
+
+class TestScoreboard:
+    def test_add_remove_roundtrip(self):
+        sb = Scoreboard()
+        e = sb.add(src=0, dst=1, size=128, depart_time=1.0)
+        assert sb.contention == 1
+        assert e.msg_id in sb
+        removed = sb.remove(e.msg_id)
+        assert removed is e
+        assert sb.contention == 0
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Scoreboard().remove(42)
+
+    def test_intra_messages_not_counted_as_contention(self):
+        sb = Scoreboard()
+        sb.add(0, 1, 64, 0.0, intra=True)
+        sb.add(0, 2, 64, 0.0, intra=False)
+        assert sb.contention == 1
+        assert len(sb) == 2
+
+    def test_oldest_for_fifo_order(self):
+        sb = Scoreboard()
+        late = sb.add(0, 1, 8, depart_time=5.0)
+        early = sb.add(0, 1, 8, depart_time=2.0)
+        assert sb.oldest_for(0, 1) is early
+        sb.remove(early.msg_id)
+        assert sb.oldest_for(0, 1) is late
+
+    def test_oldest_for_ignores_other_pairs(self):
+        sb = Scoreboard()
+        sb.add(0, 2, 8, 0.0)
+        assert sb.oldest_for(0, 1) is None
+
+    def test_any_for_dst_sorted(self):
+        sb = Scoreboard()
+        sb.add(2, 1, 8, 3.0)
+        sb.add(0, 1, 8, 1.0)
+        sb.add(3, 9, 8, 0.0)
+        got = sb.any_for_dst(1)
+        assert [e.src for e in got] == [0, 2]
+
+    def test_peak_and_total(self):
+        sb = Scoreboard()
+        ids = [sb.add(0, 1, 8, 0.0).msg_id for _ in range(5)]
+        for i in ids:
+            sb.remove(i)
+        assert sb.peak == 5
+        assert sb.total_added == 5
+        assert sb.contention == 0
+
+    def test_entry_validation(self):
+        with pytest.raises(ValueError):
+            ScoreboardEntry(0, 0, 1, -8, 0.0)
+        with pytest.raises(ValueError):
+            ScoreboardEntry(0, 0, 1, 8, -1.0)
+
+
+@given(
+    plan=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_scoreboard_contention_invariant(plan):
+    """contention == number of outstanding inter-node entries, always."""
+    sb = Scoreboard()
+    outstanding = []
+    for src, dst, intra in plan:
+        e = sb.add(src, dst, 8, 0.0, intra=intra)
+        outstanding.append(e)
+        assert sb.contention == sum(1 for x in outstanding if not x.intra)
+    while outstanding:
+        e = outstanding.pop()
+        sb.remove(e.msg_id)
+        assert sb.contention == sum(1 for x in outstanding if not x.intra)
+    assert sb.contention == 0
+
+
+def _synthetic_db():
+    """A DB with known means/mins: inter configs at two contention levels
+    plus one intra (single-node) config."""
+    rng = np.random.default_rng(0)
+    db = DistributionDB(cluster="synthetic")
+
+    def mk(op, nodes, ppn, base):
+        hists = {
+            size: Histogram.from_samples(
+                base * (1 + size / 2048) + rng.gamma(4.0, base / 40, size=300),
+                bins=40,
+            )
+            for size in (0, 1024, 4096)
+        }
+        db.add(BenchmarkResult(op=op, nodes=nodes, ppn=ppn,
+                               cluster="synthetic", histograms=hists))
+
+    for op, scale in [("isend", 1.0), ("isend_local", 0.2)]:
+        mk(op, 2, 1, 100e-6 * scale)
+        mk(op, 32, 1, 300e-6 * scale)
+        mk(op, 1, 2, 20e-6 * scale)  # intra-node
+    return db
+
+
+class TestTimingModels:
+    rng = np.random.default_rng(1)
+
+    def test_distribution_contention_selects_config(self):
+        db = _synthetic_db()
+        t = DistributionTiming(db)
+        low = np.mean([t.one_way_time(1024, 2, self.rng) for _ in range(300)])
+        high = np.mean([t.one_way_time(1024, 32, self.rng) for _ in range(300)])
+        assert high > 2 * low
+
+    def test_distribution_fixed_contention(self):
+        db = _synthetic_db()
+        t = DistributionTiming(db, fixed_contention=2)
+        samples = [t.one_way_time(1024, 1000, self.rng) for _ in range(100)]
+        # Pinned to the 2-proc config: stays at the low scale.
+        assert np.mean(samples) < 250e-6
+
+    def test_intra_flag_selects_single_node_config(self):
+        db = _synthetic_db()
+        t = DistributionTiming(db)
+        intra = np.mean([t.one_way_time(1024, 32, self.rng, intra=True) for _ in range(200)])
+        inter = np.mean([t.one_way_time(1024, 32, self.rng, intra=False) for _ in range(200)])
+        assert intra < inter / 3
+
+    def test_average_and_minimum_are_deterministic(self):
+        db = _synthetic_db()
+        avg = AverageTiming(db, fixed_contention=2)
+        mn = MinimumTiming(db, fixed_contention=2)
+        a = [avg.one_way_time(1024, 99, self.rng) for _ in range(5)]
+        m = [mn.one_way_time(1024, 99, self.rng) for _ in range(5)]
+        assert len(set(a)) == 1
+        assert len(set(m)) == 1
+        assert m[0] < a[0]
+
+    def test_local_send_cheaper_than_one_way(self):
+        db = _synthetic_db()
+        avg = AverageTiming(db, fixed_contention=2)
+        assert avg.local_send_time(1024, 2, self.rng) < avg.one_way_time(
+            1024, 2, self.rng
+        )
+
+    def test_parametric_sampling_tracks_data(self):
+        db = _synthetic_db()
+        t = ParametricTiming(db, fixed_contention=2)
+        samples = [t.one_way_time(1024, 2, self.rng) for _ in range(400)]
+        data_mean = db.histogram("isend", 1024, 2, 1).mean
+        assert np.mean(samples) == pytest.approx(data_mean, rel=0.15)
+
+    def test_serialisation_gap_grows_with_size(self):
+        db = _synthetic_db()
+        t = DistributionTiming(db)
+        g0 = t.serialisation_gap(0)
+        g1 = t.serialisation_gap(1024)
+        g4 = t.serialisation_gap(4096)
+        assert g0 == 0.0
+        assert 0.0 <= g1 <= g4
+
+    def test_hockney_model(self):
+        t = HockneyTiming(latency=50e-6, bandwidth=10e6)
+        assert t.one_way_time(0, 99, self.rng) == pytest.approx(50e-6)
+        assert t.one_way_time(10_000_000, 0, self.rng) == pytest.approx(
+            50e-6 + 1.0
+        )
+        assert t.serialisation_gap(10e6) == pytest.approx(1.0)
+        assert t.serialisation_gap(10e6, intra=True) == 0.0
+        assert t.local_send_time(0, 0, self.rng) < t.one_way_time(0, 0, self.rng)
+
+    def test_hockney_validation(self):
+        with pytest.raises(ValueError):
+            HockneyTiming(latency=-1, bandwidth=1)
+        with pytest.raises(ValueError):
+            HockneyTiming(latency=0, bandwidth=0)
+        with pytest.raises(ValueError):
+            HockneyTiming(latency=0, bandwidth=1, send_fraction=2.0)
+
+
+class TestTimingFactory:
+    def test_modes(self):
+        db = _synthetic_db()
+        assert isinstance(timing_from_db(db, "distribution"), DistributionTiming)
+        assert isinstance(timing_from_db(db, "parametric"), ParametricTiming)
+        avg = timing_from_db(db, "average", "2x1")
+        assert isinstance(avg, AverageTiming)
+        assert avg.fixed_contention == 2
+        mn = timing_from_db(db, "minimum", "nxp", nprocs=32)
+        assert isinstance(mn, MinimumTiming)
+        assert mn.fixed_contention == 32
+
+    def test_nxp_average_requires_nprocs(self):
+        db = _synthetic_db()
+        with pytest.raises(ValueError):
+            timing_from_db(db, "average", "nxp")
+
+    def test_unknown_mode_and_source(self):
+        db = _synthetic_db()
+        with pytest.raises(ValueError):
+            timing_from_db(db, "psychic")
+        with pytest.raises(ValueError):
+            timing_from_db(db, "average", "3x3")

@@ -1,0 +1,111 @@
+"""Tests for symbolic performance-model extraction."""
+
+import pytest
+
+from repro.apps.jacobi import parse_jacobi
+from repro.apps.taskfarm import make_tasks, taskfarm_model
+from repro.mpibench import BenchSettings, MPIBench
+from repro.pevpm import (
+    extract_symbolic_model,
+    predict,
+    static_profile,
+    timing_from_db,
+)
+from repro.simnet import perseus
+
+SPEC = perseus(32)
+
+
+@pytest.fixture(scope="module")
+def db():
+    bench = MPIBench(SPEC, seed=2, settings=BenchSettings(reps=30, warmup=3))
+    return bench.sweep_isend([(2, 1), (8, 1), (32, 1)], sizes=[0, 1024, 2048])
+
+
+@pytest.fixture(scope="module")
+def jacobi_setup():
+    params = {"iterations": 50, "xsize": 256, "serial_time": SPEC.jacobi_serial_time}
+    return parse_jacobi(), params
+
+
+class TestStaticProfile:
+    def test_jacobi_profile(self, jacobi_setup):
+        model, params = jacobi_setup
+        prof = static_profile(model, 8, params)
+        assert prof.nprocs == 8
+        # Interior processes receive twice per iteration.
+        assert prof.recvs_critical == 50 * 2
+        assert prof.sends_critical == 50 * 2
+        assert prof.serial_critical == pytest.approx(
+            50 * SPEC.jacobi_serial_time / 8
+        )
+        assert prof.total_messages == 50 * 2 * 7
+        assert prof.has_communication
+
+    def test_single_process_profile(self, jacobi_setup):
+        model, params = jacobi_setup
+        prof = static_profile(model, 1, params)
+        assert prof.total_messages == 0
+        assert not prof.has_communication
+
+    def test_irregular_program_profiles(self):
+        """The dummy-match feeding lets a task-farm model be walked."""
+        tasks = make_tasks(10, seed=1)
+        prof = static_profile(taskfarm_model(tasks), 4)
+        assert prof.total_messages > 0
+
+    def test_bad_model_type(self):
+        with pytest.raises(TypeError):
+            static_profile(42, 2)
+
+
+class TestSymbolicModel:
+    def test_extraction_and_holdout_accuracy(self, db, jacobi_setup):
+        model, params = jacobi_setup
+        timing = timing_from_db(db, "distribution")
+        sym = extract_symbolic_model(
+            model, timing, [2, 8, 32], params=params, runs=3, seed=1
+        )
+        assert sym.alpha >= 0 and sym.beta >= 0
+        assert sym.rms_relative_error < 0.10
+
+        # Held-out machine size: closed form vs full Monte Carlo.
+        direct = predict(model, 16, timing, runs=3, seed=1, params=params).mean_time
+        err = abs(sym.time(16) - direct) / direct
+        assert err < 0.15, f"symbolic holdout error {err * 100:.1f}%"
+
+    def test_speedup_and_curve(self, db, jacobi_setup):
+        model, params = jacobi_setup
+        timing = timing_from_db(db, "distribution")
+        sym = extract_symbolic_model(
+            model, timing, [2, 16], params=params, runs=2, seed=1
+        )
+        curve = sym.curve([2, 4, 8, 16])
+        assert sorted(curve) == [2, 4, 8, 16]
+        assert curve[16] < curve[2]  # more procs, less time, in this regime
+        serial = 50 * SPEC.jacobi_serial_time
+        assert sym.speedup(16, serial) > sym.speedup(2, serial)
+        with pytest.raises(ValueError):
+            sym.speedup(4, 0.0)
+
+    def test_needs_two_anchors(self, db, jacobi_setup):
+        model, params = jacobi_setup
+        timing = timing_from_db(db, "distribution")
+        with pytest.raises(ValueError):
+            extract_symbolic_model(model, timing, [8, 8], params=params)
+
+    def test_queries_are_cheap(self, db, jacobi_setup):
+        import time
+
+        model, params = jacobi_setup
+        timing = timing_from_db(db, "distribution")
+        sym = extract_symbolic_model(
+            model, timing, [2, 8], params=params, runs=2, seed=1
+        )
+        t0 = time.perf_counter()
+        mc = predict(model, 32, timing, runs=3, seed=1, params=params)
+        t_mc = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sym.time(32)
+        t_sym = time.perf_counter() - t0
+        assert t_sym < t_mc / 2  # the whole point of the extension

@@ -1,0 +1,72 @@
+"""Tests for the trace timeline renderer."""
+
+import pytest
+
+from repro.pevpm import iteration_profile, render_timeline
+from repro.pevpm.machine import VirtualMachine
+from tests.pevpm.test_machine import FixedTiming
+
+
+def _traced_run(nprocs=2, rounds=3):
+    def program(ctx):
+        other = 1 - ctx.procnum
+        for _ in range(rounds):
+            yield ctx.serial(1e-3, label="work")
+            if ctx.procnum == 0:
+                yield ctx.send(other, 64, label="fwd")
+                yield ctx.recv(other, label="ack")
+            else:
+                yield ctx.recv(other, label="fwd")
+                yield ctx.send(other, 64, label="ack")
+
+    vm = VirtualMachine(nprocs, FixedTiming(), trace=True)
+    result = vm.run(program)
+    return result
+
+
+class TestRenderTimeline:
+    def test_renders_rows_and_glyphs(self):
+        result = _traced_run()
+        out = render_timeline(result.trace, 2, width=60)
+        lines = out.splitlines()
+        assert len(lines) == 3  # header + 2 processes
+        assert lines[1].startswith("p0  |")
+        body = lines[1] + lines[2]
+        assert "#" in body  # compute
+        assert "." in body  # recv wait
+
+    def test_zoom_window(self):
+        result = _traced_run(rounds=5)
+        full = render_timeline(result.trace, 2, width=40)
+        zoom = render_timeline(
+            result.trace, 2, width=40, t_start=0.0, t_end=result.elapsed / 5
+        )
+        assert full != zoom
+
+    def test_empty_trace_rejected(self):
+        from repro.pevpm.trace import TraceRecorder
+
+        with pytest.raises(ValueError):
+            render_timeline(TraceRecorder(), 2)
+
+    def test_bad_window_rejected(self):
+        result = _traced_run()
+        with pytest.raises(ValueError):
+            render_timeline(result.trace, 2, t_start=1.0, t_end=0.5)
+        with pytest.raises(ValueError):
+            render_timeline(result.trace, 2, width=1)
+
+
+class TestIterationProfile:
+    def test_per_iteration_durations(self):
+        result = _traced_run(rounds=4)
+        gaps = iteration_profile(result.trace, 0, "work")
+        assert len(gaps) == 3
+        assert all(g > 1e-3 for g in gaps)  # work + round trip per iter
+
+    def test_requires_two_occurrences(self):
+        result = _traced_run(rounds=1)
+        with pytest.raises(ValueError):
+            iteration_profile(result.trace, 0, "work")
+        with pytest.raises(ValueError):
+            iteration_profile(result.trace, 0, "nonexistent")

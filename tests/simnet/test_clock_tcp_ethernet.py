@@ -1,0 +1,189 @@
+"""Tests for clocks, TCP loss behaviour and Ethernet framing helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet import ethernet
+from repro.simnet.clock import ClockManager, NodeClock
+from repro.simnet.rng import RngRegistry
+from repro.simnet.tcp import TcpBehaviour
+from repro.simnet.topology import ClusterSpec, TcpModel, perseus
+
+
+class TestNodeClock:
+    def test_identity_clock(self):
+        c = NodeClock(0)
+        assert c.local_time(10.0) == 10.0
+        assert c.true_time(10.0) == 10.0
+
+    def test_offset_and_drift(self):
+        c = NodeClock(1, offset=0.5, drift=1e-4)
+        assert c.local_time(0.0) == pytest.approx(0.5)
+        assert c.local_time(100.0) == pytest.approx(100.01 + 0.5)
+
+    def test_roundtrip_inversion(self):
+        c = NodeClock(2, offset=-3e-3, drift=42e-6)
+        for t in [0.0, 1.0, 123.456, 1e6]:
+            assert c.true_time(c.local_time(t)) == pytest.approx(t, rel=1e-12)
+
+    def test_extreme_negative_drift_rejected(self):
+        with pytest.raises(ValueError):
+            NodeClock(0, drift=-1.0)
+
+
+class TestClockManager:
+    def test_perfect_clocks_agree(self):
+        mgr = ClockManager(8, RngRegistry(1), perfect=True)
+        assert mgr.max_disagreement(1000.0) == 0.0
+
+    def test_skewed_clocks_disagree(self):
+        mgr = ClockManager(8, RngRegistry(1))
+        assert mgr.max_disagreement(0.0) > 0.0
+
+    def test_reproducible_from_seed(self):
+        a = ClockManager(4, RngRegistry(9))
+        b = ClockManager(4, RngRegistry(9))
+        for i in range(4):
+            assert a.clocks[i].offset == b.clocks[i].offset
+            assert a.clocks[i].drift == b.clocks[i].drift
+
+    def test_local_true_roundtrip(self):
+        mgr = ClockManager(4, RngRegistry(3))
+        local = mgr.local_time(2, 55.5)
+        assert mgr.true_time(2, local) == pytest.approx(55.5, rel=1e-12)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ClockManager(0, RngRegistry(1))
+        with pytest.raises(ValueError):
+            ClockManager(2, RngRegistry(1), offset_spread=-1.0)
+
+
+class TestTcpBehaviour:
+    def _behaviour(self, **kw):
+        return TcpBehaviour(TcpModel(**kw), RngRegistry(0))
+
+    def test_no_loss_below_threshold(self):
+        tcp = self._behaviour()
+        assert tcp.loss_probability(0.0) == 0.0
+        assert tcp.loss_probability(tcp.model.loss_backlog_threshold) == 0.0
+
+    def test_loss_ramps_to_ceiling(self):
+        tcp = self._behaviour()
+        m = tcp.model
+        deep = m.loss_backlog_threshold + 100 * m.loss_backlog_scale
+        assert tcp.loss_probability(deep) == pytest.approx(m.loss_max_probability)
+
+    def test_loss_monotonic_in_backlog(self):
+        tcp = self._behaviour()
+        backlogs = np.linspace(0, 0.1, 50)
+        probs = [tcp.loss_probability(b) for b in backlogs]
+        assert all(b >= a for a, b in zip(probs, probs[1:]))
+
+    def test_zero_loss_model_never_drops(self):
+        tcp = self._behaviour(loss_max_probability=0.0)
+        assert not any(tcp.attempt_is_lost(1.0) for _ in range(100))
+
+    def test_certain_loss_always_drops(self):
+        tcp = self._behaviour(
+            loss_max_probability=1.0,
+            loss_backlog_threshold=0.0,
+            loss_backlog_scale=1e-9,
+        )
+        assert all(tcp.attempt_is_lost(1.0) for _ in range(100))
+
+    def test_rto_sample_within_jitter_band(self):
+        tcp = self._behaviour()
+        m = tcp.model
+        for _ in range(100):
+            rto = tcp.sample_rto()
+            assert m.rto <= rto <= m.rto + m.rto_jitter
+
+    def test_rto_without_jitter_is_exact(self):
+        tcp = self._behaviour(rto_jitter=0.0)
+        assert tcp.sample_rto() == tcp.model.rto
+
+    def test_expected_stall_zero_when_lossless(self):
+        tcp = self._behaviour()
+        assert tcp.expected_stall(0.0) == 0.0
+
+    def test_expected_stall_positive_under_saturation(self):
+        tcp = self._behaviour()
+        assert tcp.expected_stall(1.0) > 0.0
+
+    def test_describe_contains_parameters(self):
+        d = self._behaviour().describe()
+        assert d["rto_s"] == pytest.approx(0.2)
+        assert "loss_max_probability" in d
+
+
+class TestEthernet:
+    tcp = TcpModel()
+
+    def test_zero_payload_one_frame(self):
+        assert ethernet.frame_count(0, self.tcp) == 1
+
+    def test_efficiency_increases_with_payload(self):
+        # Compare at whole-frame payloads: efficiency sawtooths within a
+        # frame (a nearly-empty last frame wastes headers), so monotonicity
+        # only holds at frame boundaries.
+        per = self.tcp.payload_per_frame
+        effs = [
+            ethernet.framing_efficiency(s, self.tcp)
+            for s in [1, 100, per, 10 * per, 100 * per]
+        ]
+        assert all(b >= a for a, b in zip(effs, effs[1:]))
+        assert effs[-1] > 0.9
+
+    def test_goodput(self):
+        assert ethernet.payload_goodput(1000, 2.0) == 500.0
+        with pytest.raises(ValueError):
+            ethernet.payload_goodput(1000, 0.0)
+
+    def test_wire_rate_exceeds_goodput(self):
+        rate = ethernet.wire_rate_for_goodput(16384, 10e6, self.tcp)
+        assert rate > 10e6
+
+    def test_framing_overhead_rate_matches_papers_ratio(self):
+        """The paper's decomposition: 81 Mbit/s goodput for 16 KB messages
+        costs ~3-4 Mbit/s of framing overhead on the wire."""
+        goodput = 81e6 / 8  # bytes/s
+        overhead = ethernet.framing_overhead_rate(16384, goodput, self.tcp)
+        overhead_mbit = overhead * 8 / 1e6
+        assert 2.0 < overhead_mbit < 6.0
+
+    def test_backplane_load_aggregates_cross_switch_flows(self):
+        spec = perseus()
+        flows = [(i, i + 24, 10e6, 16384) for i in range(24)]  # sw0 -> sw1
+        loads = ethernet.backplane_load(spec, flows)
+        assert len(loads) == 4
+        assert loads[0] > 24 * 10e6  # wire rate above payload rate
+        assert loads[1] == loads[2] == loads[3] == 0.0
+
+    def test_backplane_load_ignores_same_switch_flows(self):
+        spec = perseus()
+        loads = ethernet.backplane_load(spec, [(0, 1, 10e6, 1024)])
+        assert all(v == 0.0 for v in loads)
+
+    def test_backplane_load_multi_hop(self):
+        spec = perseus()
+        loads = ethernet.backplane_load(spec, [(0, 115, 1e6, 1024)])  # sw0 -> sw4
+        assert all(v > 0 for v in loads)
+
+    def test_zero_goodput_flow_errors(self):
+        with pytest.raises(ValueError):
+            ethernet.wire_rate_for_goodput(0, 1e6, self.tcp)
+
+
+@given(payload=st.integers(min_value=0, max_value=1 << 22))
+@settings(max_examples=100, deadline=None)
+def test_wire_bytes_bounds(payload):
+    """wire_bytes is payload plus per-frame overhead: strictly more than the
+    payload, and at most payload + 78 * frames."""
+    tcp = TcpModel()
+    wb = tcp.wire_bytes(payload)
+    frames = tcp.frames_for(payload)
+    assert wb == payload + 78 * frames
+    assert frames >= max(1, payload // tcp.payload_per_frame)

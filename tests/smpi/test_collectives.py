@@ -1,0 +1,249 @@
+"""Tests for collective operations (semantics and timing shape)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet import ideal_cluster, perseus
+from repro.smpi import RankError, run_program
+
+
+def run_coll(program, nprocs, spec=None, **kw):
+    spec = spec or ideal_cluster(max(4, nprocs))
+    return run_program(spec, program, nprocs=nprocs, **kw)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 7, 8])
+    def test_completes_for_any_size(self, nprocs):
+        def program(comm):
+            yield from comm.barrier()
+            return comm.true_time()
+
+        r = run_coll(program, nprocs)
+        assert all(not math.isnan(t) for t in r.returns)
+
+    def test_no_rank_escapes_early(self):
+        """No rank may leave the barrier before the last rank enters it."""
+
+        entered = {}
+        left = {}
+
+        def program(comm):
+            yield from comm.compute(0.01 * comm.rank)  # staggered entry
+            entered[comm.rank] = comm.true_time()
+            yield from comm.barrier()
+            left[comm.rank] = comm.true_time()
+            return None
+
+        run_coll(program, 6)
+        assert min(left.values()) >= max(entered.values())
+
+    def test_single_rank_barrier_is_free(self):
+        def program(comm):
+            yield from comm.barrier()
+            return comm.true_time()
+
+        assert run_coll(program, 1).returns == [0.0]
+
+
+class TestBcast:
+    @pytest.mark.parametrize("nprocs", [2, 3, 5, 8])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_everyone_gets_root_payload(self, nprocs, root):
+        def program(comm):
+            payload = "secret" if comm.rank == root else None
+            out = yield from comm.bcast(1024, root=root, payload=payload)
+            return out
+
+        r = run_coll(program, nprocs)
+        assert r.returns == ["secret"] * nprocs
+
+    def test_log_rounds_scaling(self):
+        """Binomial bcast takes ~log2(P) rounds: time for P=16 should be
+        well under 8x the P=2 time (a linear algorithm would be 15x)."""
+
+        def program(comm):
+            t0 = comm.true_time()
+            yield from comm.bcast(1024, root=0, payload=0)
+            return comm.true_time() - t0
+
+        t2 = max(run_coll(program, 2, spec=ideal_cluster(16)).returns)
+        t16 = max(run_coll(program, 16, spec=ideal_cluster(16)).returns)
+        assert t16 < 6 * t2
+
+    def test_invalid_root(self):
+        def program(comm):
+            with pytest.raises(RankError):
+                yield from comm.bcast(8, root=99)
+            return True
+
+        assert run_coll(program, 2).returns == [True, True]
+
+
+class TestReduce:
+    @pytest.mark.parametrize("nprocs", [2, 3, 4, 7])
+    def test_sum_reduction(self, nprocs):
+        def program(comm):
+            out = yield from comm.reduce(
+                8, root=0, payload=comm.rank + 1, op=lambda a, b: a + b
+            )
+            return out
+
+        r = run_coll(program, nprocs)
+        assert r.returns[0] == sum(range(1, nprocs + 1))
+        assert all(v is None for v in r.returns[1:])
+
+    def test_nonzero_root(self):
+        def program(comm):
+            out = yield from comm.reduce(
+                8, root=2, payload=comm.rank, op=lambda a, b: a + b
+            )
+            return out
+
+        r = run_coll(program, 4)
+        assert r.returns[2] == 6
+        assert r.returns[0] is None
+
+    def test_min_reduction(self):
+        def program(comm):
+            out = yield from comm.reduce(8, root=0, payload=10 - comm.rank, op=min)
+            return out
+
+        assert run_coll(program, 5).returns[0] == 6
+
+
+class TestAllreduce:
+    def test_everyone_gets_result(self):
+        def program(comm):
+            out = yield from comm.allreduce(8, payload=comm.rank, op=lambda a, b: a + b)
+            return out
+
+        r = run_coll(program, 6)
+        assert r.returns == [15] * 6
+
+
+class TestGatherScatter:
+    def test_gather_collects_by_rank(self):
+        def program(comm):
+            out = yield from comm.gather(64, root=0, payload=f"r{comm.rank}")
+            return out
+
+        r = run_coll(program, 5)
+        assert r.returns[0] == [f"r{i}" for i in range(5)]
+        assert r.returns[1] is None
+
+    def test_scatter_distributes_by_rank(self):
+        def program(comm):
+            payloads = [i * i for i in range(comm.size)] if comm.rank == 1 else None
+            out = yield from comm.scatter(64, root=1, payloads=payloads)
+            return out
+
+        r = run_coll(program, 4)
+        assert r.returns == [0, 1, 4, 9]
+
+    def test_scatter_wrong_payload_count(self):
+        def program(comm):
+            if comm.rank == 0:
+                with pytest.raises(ValueError):
+                    yield from comm.scatter(8, root=0, payloads=[1, 2, 3])
+                # Unblock rank 1 with a plain message so the job finishes.
+                yield from comm.send(8, dest=1, tag=0)
+                return True
+            yield from comm.recv(source=0, tag=0)
+            return True
+
+        assert run_coll(program, 2).returns == [True, True]
+
+    def test_gather_none_payloads(self):
+        def program(comm):
+            out = yield from comm.gather(64, root=0)
+            return out
+
+        r = run_coll(program, 3)
+        assert r.returns[0] == [None, None, None]
+
+
+class TestAllgatherAlltoall:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 6, 8])
+    def test_allgather_everyone_sees_everything(self, nprocs):
+        def program(comm):
+            out = yield from comm.allgather(64, payload=comm.rank * 2)
+            return out
+
+        r = run_coll(program, nprocs)
+        expected = [i * 2 for i in range(nprocs)]
+        assert r.returns == [expected] * nprocs
+
+    @pytest.mark.parametrize("nprocs", [2, 3, 4, 5])
+    def test_alltoall_personalised_exchange(self, nprocs):
+        def program(comm):
+            payloads = [(comm.rank, dst) for dst in range(comm.size)]
+            out = yield from comm.alltoall(32, payloads=payloads)
+            return out
+
+        r = run_coll(program, nprocs)
+        for rank, got in enumerate(r.returns):
+            assert got == [(src, rank) for src in range(nprocs)]
+
+    def test_alltoall_wrong_payload_count(self):
+        def program(comm):
+            with pytest.raises(ValueError):
+                yield from comm.alltoall(8, payloads=[1])
+            if False:
+                yield
+            return True
+
+        assert run_coll(program, 2).returns == [True, True]
+
+
+class TestCollectiveSequencing:
+    def test_back_to_back_collectives_do_not_cross_match(self):
+        """Two consecutive bcasts with different roots must not mix their
+        messages (per-collective tags keep them apart)."""
+
+        def program(comm):
+            a = yield from comm.bcast(64, root=0, payload="A" if comm.rank == 0 else None)
+            b = yield from comm.bcast(64, root=1, payload="B" if comm.rank == 1 else None)
+            return (a, b)
+
+        r = run_coll(program, 4, spec=perseus(4), seed=9)
+        assert r.returns == [("A", "B")] * 4
+
+    def test_collectives_interleave_with_p2p(self):
+        def program(comm):
+            v = yield from comm.bcast(32, root=0, payload=7 if comm.rank == 0 else None)
+            if comm.rank == 0:
+                yield from comm.send(16, dest=1, tag=3, payload="x")
+                out = None
+            elif comm.rank == 1:
+                out, _ = yield from comm.recv(source=0, tag=3)
+            else:
+                out = None
+            yield from comm.barrier()
+            return (v, out)
+
+        r = run_coll(program, 3)
+        assert r.returns[1] == (7, "x")
+
+
+@given(
+    nprocs=st.integers(min_value=1, max_value=8),
+    payloads=st.lists(st.integers(-1000, 1000), min_size=8, max_size=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_allreduce_matches_python_sum(nprocs, payloads):
+    """Property: allreduce(+) equals the arithmetic sum of contributions,
+    for any rank count and payload values."""
+
+    def program(comm):
+        out = yield from comm.allreduce(
+            8, payload=payloads[comm.rank], op=lambda a, b: a + b
+        )
+        return out
+
+    r = run_program(ideal_cluster(8), program, nprocs=nprocs)
+    expected = sum(payloads[:nprocs])
+    assert r.returns == [expected] * nprocs

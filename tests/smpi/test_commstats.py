@@ -1,0 +1,113 @@
+"""Tests for PMPI-style per-rank communication statistics."""
+
+import pytest
+
+from repro.apps.jacobi import jacobi_smpi, parse_jacobi
+from repro.mpibench import BenchSettings, MPIBench
+from repro.pevpm import predict, timing_from_db
+from repro.simnet import ideal_cluster, perseus
+from repro.smpi import run_program
+
+SPEC = perseus(16)
+
+
+class TestCounters:
+    def test_point_to_point_counts(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1000, dest=1)
+                yield from comm.send(500, dest=1)
+                yield from comm.recv(source=1)
+            else:
+                yield from comm.recv(source=0)
+                yield from comm.recv(source=0)
+                yield from comm.send(200, dest=0)
+            return None
+
+        r = run_program(ideal_cluster(4), program, nprocs=2)
+        s0, s1 = r.comm_stats
+        assert s0["sends"] == 2 and s0["recvs"] == 1
+        assert s0["bytes_sent"] == 1500 and s0["bytes_received"] == 200
+        assert s1["sends"] == 1 and s1["recvs"] == 2
+        assert s1["bytes_sent"] == 200 and s1["bytes_received"] == 1500
+
+    def test_compute_time_tracked(self):
+        def program(comm):
+            yield from comm.compute(0.25)
+            yield from comm.compute(0.5)
+            return None
+
+        r = run_program(ideal_cluster(4), program, nprocs=1)
+        assert r.comm_stats[0]["compute_time"] == pytest.approx(0.75)
+        assert r.comm_stats[0]["send_time"] == 0.0
+
+    def test_time_decomposition_covers_wall_clock(self):
+        """compute + send + recv-wait accounts for (nearly) all of a
+        rank's elapsed time in a comm/compute loop."""
+
+        def program(comm):
+            other = 1 - comm.rank
+            for _ in range(20):
+                yield from comm.compute(200e-6)
+                yield from comm.sendrecv(1024, dest=other, source=other)
+            return None
+
+        r = run_program(SPEC, program, nprocs=2, seed=1)
+        for rank, stats in enumerate(r.comm_stats):
+            total = (
+                stats["compute_time"] + stats["send_time"] + stats["recv_wait"]
+            )
+            assert total == pytest.approx(r.finish_times[rank], rel=0.02)
+
+    def test_collectives_counted(self):
+        def program(comm):
+            yield from comm.bcast(4096, root=0, payload=0 if comm.rank == 0 else None)
+            yield from comm.barrier()
+            return None
+
+        r = run_program(ideal_cluster(8), program, nprocs=4)
+        # The root sends the bcast payload at least once; everyone moved
+        # barrier messages.
+        assert r.comm_stats[0]["bytes_sent"] >= 4096
+        assert all(s["sends"] > 0 for s in r.comm_stats)
+
+    def test_recv_wait_includes_blocking_time(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.compute(0.1)  # make rank 1 wait
+                yield from comm.send(8, dest=1)
+                return None
+            yield from comm.recv(source=0)
+            return None
+
+        r = run_program(ideal_cluster(4), program, nprocs=2)
+        assert r.comm_stats[1]["recv_wait"] > 0.09
+
+
+class TestStatsVsPevpmAttribution:
+    def test_measured_comm_fraction_matches_model_attribution(self):
+        """The measured PMPI decomposition and PEVPM's traced loss
+        attribution describe the same program similarly -- the
+        cross-validation the matching definitions exist for."""
+        ITER = 60
+        measured = run_program(SPEC, jacobi_smpi, nprocs=8, seed=42, args=(ITER,))
+        meas_comm_frac = [
+            s["comm_time" if False else "recv_wait"] + s["send_time"]
+            for s in measured.comm_stats
+        ]
+        meas_frac = sum(meas_comm_frac) / sum(measured.finish_times)
+
+        bench = MPIBench(SPEC, seed=3, settings=BenchSettings(reps=30, warmup=3))
+        db = bench.sweep_isend([(2, 1), (8, 1)], sizes=[0, 1024, 2048])
+        params = {"iterations": ITER, "xsize": 256,
+                  "serial_time": SPEC.jacobi_serial_time}
+        pred = predict(
+            parse_jacobi(), 8, timing_from_db(db, "distribution"),
+            runs=2, seed=1, params=params, trace_last=True,
+        )
+        report = pred.loss_report()
+        per = report.per_process()
+        model_frac = sum(p["send"] + p["wait"] for p in per) / sum(
+            p["compute"] + p["send"] + p["wait"] for p in per
+        )
+        assert meas_frac == pytest.approx(model_frac, abs=0.12)

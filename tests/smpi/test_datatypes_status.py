@@ -1,0 +1,49 @@
+"""Tests for MPI datatypes and status objects."""
+
+import pytest
+
+from repro.smpi import BYTE, DOUBLE, FLOAT, INT, Datatype, Status, nbytes
+from repro.smpi.datatypes import CHAR, LONG, SHORT
+
+
+class TestDatatypes:
+    def test_standard_extents(self):
+        assert BYTE.size == 1
+        assert CHAR.size == 1
+        assert SHORT.size == 2
+        assert INT.size == 4
+        assert FLOAT.size == 4
+        assert LONG.size == 8
+        assert DOUBLE.size == 8
+
+    def test_extent_scaling(self):
+        assert FLOAT.extent(256) == 1024  # the Jacobi edge message
+        assert DOUBLE.extent(0) == 0
+
+    def test_nbytes_helper(self):
+        assert nbytes(100) == 100
+        assert nbytes(100, INT) == 400
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            INT.extent(-1)
+
+    def test_invalid_datatype_rejected(self):
+        with pytest.raises(ValueError):
+            Datatype("broken", 0)
+
+
+class TestStatus:
+    def test_fields(self):
+        st = Status(source=3, tag=9, size=128)
+        assert (st.source, st.tag, st.size) == (3, 9, 128)
+        assert st.attempts == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Status(source=0, tag=0, size=-1)
+
+    def test_frozen(self):
+        st = Status(source=0, tag=0, size=1)
+        with pytest.raises(AttributeError):
+            st.size = 2

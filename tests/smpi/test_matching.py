@@ -1,0 +1,114 @@
+"""Tests for the message-matching engine (posted/unexpected queues)."""
+
+from repro.smpi.matching import Envelope, EnvelopeKind, Mailbox, PostedRecv
+from repro.smpi.status import ANY_SOURCE, ANY_TAG
+
+
+def _env(source=0, tag=0, size=8, kind=EnvelopeKind.EAGER):
+    return Envelope(kind=kind, source=source, tag=tag, size=size)
+
+
+class TestPostedRecvAccepts:
+    def test_exact_match(self):
+        recv = PostedRecv(source=1, tag=2)
+        assert recv.accepts(_env(source=1, tag=2))
+
+    def test_source_mismatch(self):
+        recv = PostedRecv(source=1, tag=2)
+        assert not recv.accepts(_env(source=3, tag=2))
+
+    def test_tag_mismatch(self):
+        recv = PostedRecv(source=1, tag=2)
+        assert not recv.accepts(_env(source=1, tag=9))
+
+    def test_any_source(self):
+        recv = PostedRecv(source=ANY_SOURCE, tag=2)
+        assert recv.accepts(_env(source=7, tag=2))
+
+    def test_any_tag(self):
+        recv = PostedRecv(source=1, tag=ANY_TAG)
+        assert recv.accepts(_env(source=1, tag=99))
+
+    def test_double_wildcard(self):
+        recv = PostedRecv(source=ANY_SOURCE, tag=ANY_TAG)
+        assert recv.accepts(_env(source=5, tag=5))
+
+
+class TestMailbox:
+    def test_deliver_to_posted(self):
+        box = Mailbox(0)
+        recv = PostedRecv(source=1, tag=0)
+        assert box.post(recv) is None
+        matched = box.deliver(_env(source=1))
+        assert matched is recv
+        assert recv.matched
+        assert not box.has_pending_state
+
+    def test_deliver_unmatched_parks_in_unexpected(self):
+        box = Mailbox(0)
+        env = _env(source=2)
+        assert box.deliver(env) is None
+        assert box.unexpected == [env]
+        assert box.n_unexpected == 1
+
+    def test_post_finds_unexpected(self):
+        box = Mailbox(0)
+        env = _env(source=2, tag=3)
+        box.deliver(env)
+        recv = PostedRecv(source=2, tag=3)
+        assert box.post(recv) is env
+        assert box.unexpected == []
+
+    def test_unexpected_matched_in_arrival_order(self):
+        box = Mailbox(0)
+        first = _env(source=1, tag=0, size=1)
+        second = _env(source=1, tag=0, size=2)
+        box.deliver(first)
+        box.deliver(second)
+        recv = PostedRecv(source=1, tag=0)
+        assert box.post(recv) is first
+
+    def test_posted_matched_in_post_order(self):
+        box = Mailbox(0)
+        r1 = PostedRecv(source=ANY_SOURCE, tag=ANY_TAG)
+        r2 = PostedRecv(source=ANY_SOURCE, tag=ANY_TAG)
+        box.post(r1)
+        box.post(r2)
+        assert box.deliver(_env()) is r1
+        assert box.deliver(_env()) is r2
+
+    def test_specific_recv_skips_non_matching_unexpected(self):
+        box = Mailbox(0)
+        box.deliver(_env(source=5, tag=1))
+        recv = PostedRecv(source=6, tag=1)
+        assert box.post(recv) is None  # source 5 doesn't match 6
+        assert box.posted == [recv]
+        assert len(box.unexpected) == 1
+
+    def test_cancel(self):
+        box = Mailbox(0)
+        recv = PostedRecv(source=1, tag=0)
+        box.post(recv)
+        assert box.cancel(recv)
+        assert not box.cancel(recv)  # second cancel is a no-op
+        assert box.deliver(_env(source=1)) is None  # nothing posted now
+
+    def test_probe_wildcards(self):
+        box = Mailbox(0)
+        box.deliver(_env(source=4, tag=7, size=77))
+        assert box.probe(ANY_SOURCE, ANY_TAG).size == 77
+        assert box.probe(4, 7) is not None
+        assert box.probe(5, ANY_TAG) is None
+        assert box.probe(4, 8) is None
+
+    def test_probe_does_not_consume(self):
+        box = Mailbox(0)
+        box.deliver(_env(source=4, tag=7))
+        box.probe(4, 7)
+        assert len(box.unexpected) == 1
+
+    def test_has_pending_state(self):
+        box = Mailbox(0)
+        assert not box.has_pending_state
+        box.post(PostedRecv(source=0, tag=0))
+        assert box.has_pending_state

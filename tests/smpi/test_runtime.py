@@ -1,0 +1,174 @@
+"""Tests for the MPI job launcher: placement, results, failure modes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet import ideal_cluster, perseus
+from repro.smpi import MpiDeadlock, MpiRun, run_program
+
+
+class TestPlacement:
+    def test_block_placement(self):
+        job = MpiRun(perseus(8), nprocs=8, ppn=2)
+        assert [job.node_of(r) for r in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_one_per_node(self):
+        job = MpiRun(perseus(8), nprocs=4, ppn=1)
+        assert [job.node_of(r) for r in range(4)] == [0, 1, 2, 3]
+
+    def test_rank_out_of_range(self):
+        job = MpiRun(perseus(8), nprocs=4)
+        with pytest.raises(ValueError):
+            job.node_of(4)
+
+    def test_too_many_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            MpiRun(perseus(2), nprocs=5, ppn=2)
+
+    def test_ppn_exceeding_processors_rejected(self):
+        with pytest.raises(ValueError):
+            MpiRun(perseus(2), nprocs=2, ppn=3)
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            MpiRun(perseus(2), nprocs=0)
+
+    def test_comm_exposes_node(self):
+        def program(comm):
+            if False:
+                yield
+            return comm.node
+
+        r = run_program(perseus(4), program, nprocs=8, ppn=2)
+        assert r.returns == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+class TestRunResult:
+    def test_returns_and_finish_times(self):
+        def program(comm):
+            yield from comm.compute(0.1 * (comm.rank + 1))
+            return comm.rank * 10
+
+        r = run_program(ideal_cluster(4), program, nprocs=3)
+        assert r.returns == [0, 10, 20]
+        assert r.finish_times == pytest.approx([0.1, 0.2, 0.3])
+        assert r.elapsed == pytest.approx(0.3)
+        assert r.makespan == r.elapsed
+
+    def test_monitor_attached(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1024, dest=1)
+            else:
+                yield from comm.recv(source=0)
+            return None
+
+        r = run_program(ideal_cluster(4), program, nprocs=2)
+        assert r.monitor is not None
+        assert r.monitor.total_bytes() > 0
+
+    def test_reproducible_with_same_seed(self):
+        def program(comm):
+            other = 1 - comm.rank
+            yield from comm.sendrecv(4096, dest=other, source=other)
+            return comm.true_time()
+
+        a = run_program(perseus(4), program, nprocs=2, seed=7)
+        b = run_program(perseus(4), program, nprocs=2, seed=7)
+        c = run_program(perseus(4), program, nprocs=2, seed=8)
+        assert a.returns == b.returns
+        assert a.returns != c.returns
+
+
+class TestFailures:
+    def test_deadlock_reports_blocked_ranks(self):
+        def program(comm):
+            # Everyone receives from the left neighbour; nobody sends.
+            yield from comm.recv(source=(comm.rank - 1) % comm.size)
+            return None
+
+        with pytest.raises(MpiDeadlock) as exc:
+            run_program(ideal_cluster(4), program, nprocs=3)
+        assert exc.value.blocked == [0, 1, 2]
+        assert "posted" in str(exc.value)
+
+    def test_partial_deadlock(self):
+        def program(comm):
+            if comm.rank == 0:
+                return "done"
+            yield from comm.recv(source=0, tag=99)  # never sent
+            return None
+
+        with pytest.raises(MpiDeadlock) as exc:
+            run_program(ideal_cluster(4), program, nprocs=2)
+        assert exc.value.blocked == [1]
+
+    def test_rank_exception_propagates(self):
+        def program(comm):
+            yield from comm.compute(0.1)
+            if comm.rank == 1:
+                raise RuntimeError("rank 1 crashed")
+            yield from comm.compute(10.0)
+            return None
+
+        with pytest.raises(RuntimeError, match="rank 1 crashed"):
+            run_program(ideal_cluster(4), program, nprocs=2)
+
+    def test_mismatched_sizes_run_fine(self):
+        """MPI doesn't verify size agreement between send and recv; the
+        simulator shouldn't either (the status reports the sent size)."""
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(100, dest=1)
+                return None
+            _, st = yield from comm.recv(source=0)
+            return st.size
+
+        assert run_program(ideal_cluster(4), program, nprocs=2).returns[1] == 100
+
+
+@given(
+    nprocs=st.integers(min_value=2, max_value=6),
+    plan=st.lists(
+        st.tuples(
+            st.integers(0, 5),  # sender (mod nprocs)
+            st.integers(0, 5),  # receiver offset (mod nprocs-1, never self)
+            st.integers(0, 4096),  # size
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_random_message_plans_complete(nprocs, plan):
+    """Property: any consistent plan of matching send/recv pairs completes
+    without deadlock and delivers every payload."""
+    messages = []
+    for s, doff, size in plan:
+        src = s % nprocs
+        dst = (src + 1 + doff % (nprocs - 1)) % nprocs
+        messages.append((src, dst, size))
+
+    def program(comm):
+        # Post all receives first (nonblocking), then all sends: this is
+        # deadlock-free for any plan.
+        my_recvs = [
+            (i, src)
+            for i, (src, dst, _size) in enumerate(messages)
+            if dst == comm.rank
+        ]
+        reqs = []
+        for i, src in my_recvs:
+            req = yield from comm.irecv(source=src, tag=i)
+            reqs.append(req)
+        for i, (src, dst, size) in enumerate(messages):
+            if src == comm.rank:
+                yield from comm.isend(size, dest=dst, tag=i, payload=i)
+        results = yield from comm.waitall(reqs)
+        return sorted(p for p, _st in results)
+
+    r = run_program(ideal_cluster(8), program, nprocs=nprocs, seed=3)
+    got = [p for rank in r.returns for p in rank]
+    assert sorted(got) == list(range(len(messages)))

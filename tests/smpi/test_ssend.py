@@ -1,0 +1,97 @@
+"""Tests for synchronous sends (MPI_Ssend / MPI_Issend)."""
+
+import pytest
+
+from repro.simnet import ideal_cluster
+from repro.smpi import MpiDeadlock, run_program
+
+
+class TestSsend:
+    def test_payload_roundtrip(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.ssend(128, dest=1, tag=3, payload="sync")
+                return None
+            payload, st = yield from comm.recv(source=0, tag=3)
+            return payload, st.size
+
+        r = run_program(ideal_cluster(4), program, nprocs=2)
+        assert r.returns[1] == ("sync", 128)
+
+    def test_small_ssend_blocks_until_recv_posted(self):
+        """Unlike an eager send, a small synchronous send cannot complete
+        before the receiver posts."""
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.ssend(64, dest=1)
+                return comm.true_time()
+            yield from comm.compute(0.5)
+            yield from comm.recv(source=0)
+            return None
+
+        r = run_program(ideal_cluster(4), program, nprocs=2)
+        assert r.returns[0] > 0.5
+
+    def test_plain_send_does_not_block(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(64, dest=1)
+                return comm.true_time()
+            yield from comm.compute(0.5)
+            yield from comm.recv(source=0)
+            return None
+
+        r = run_program(ideal_cluster(4), program, nprocs=2)
+        assert r.returns[0] < 0.01
+
+    def test_head_to_head_ssend_deadlocks(self):
+        """The classic unsafe pattern: both ranks Ssend before receiving.
+        Eager buffering hides it for small plain sends; synchronous sends
+        expose it -- which is exactly what MPI_Ssend is for."""
+
+        def program(comm):
+            other = 1 - comm.rank
+            yield from comm.ssend(64, dest=other)
+            yield from comm.recv(source=other)
+            return None
+
+        with pytest.raises(MpiDeadlock) as exc:
+            run_program(ideal_cluster(4), program, nprocs=2)
+        assert set(exc.value.blocked) == {0, 1}
+
+    def test_head_to_head_plain_send_is_fine(self):
+        def program(comm):
+            other = 1 - comm.rank
+            yield from comm.send(64, dest=other)
+            payload, _st = yield from comm.recv(source=other)
+            return True
+
+        r = run_program(ideal_cluster(4), program, nprocs=2)
+        assert r.returns == [True, True]
+
+    def test_issend_test_flag(self):
+        def program(comm):
+            if comm.rank == 0:
+                req = yield from comm.issend(64, dest=1)
+                early = comm.test(req)
+                yield from comm.wait(req)
+                late = comm.test(req)
+                return early, late
+            yield from comm.compute(0.1)
+            yield from comm.recv(source=0)
+            return None
+
+        r = run_program(ideal_cluster(4), program, nprocs=2)
+        assert r.returns[0] == (False, True)
+
+    def test_validation(self):
+        def program(comm):
+            with pytest.raises(ValueError):
+                yield from comm.issend(-1, dest=1 - comm.rank)
+            if False:
+                yield
+            return True
+
+        r = run_program(ideal_cluster(4), program, nprocs=2)
+        assert r.returns == [True, True]

@@ -1,0 +1,157 @@
+"""Tests for MPI_Comm_split sub-communicators."""
+
+import pytest
+
+from repro.simnet import ideal_cluster, perseus
+from repro.smpi import RankError, TagError, run_program
+
+
+def run(program, nprocs, spec=None, **kw):
+    return run_program(spec or ideal_cluster(8), program, nprocs=nprocs, **kw)
+
+
+class TestSplit:
+    def test_even_odd_groups(self):
+        def program(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            return sub.rank, sub.size, sub.world_ranks
+
+        r = run(program, 6)
+        rank0, size0, world0 = r.returns[0]
+        assert (rank0, size0, world0) == (0, 3, [0, 2, 4])
+        rank3, size3, world3 = r.returns[3]
+        assert (rank3, size3, world3) == (1, 3, [1, 3, 5])
+
+    def test_key_reorders_ranks(self):
+        def program(comm):
+            # Reverse ordering via descending keys.
+            sub = yield from comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        r = run(program, 4)
+        assert r.returns == [3, 2, 1, 0]
+
+    def test_opt_out_returns_none(self):
+        def program(comm):
+            sub = yield from comm.split(color=None if comm.rank == 1 else 7)
+            return None if sub is None else sub.size
+
+        r = run(program, 3)
+        assert r.returns == [2, None, 2]
+
+    def test_single_member_communicator(self):
+        def program(comm):
+            sub = yield from comm.split(color=comm.rank)  # everyone alone
+            v = yield from sub.allreduce(8, payload=comm.rank, op=lambda a, b: a + b)
+            return (sub.size, v)
+
+        r = run(program, 3)
+        assert r.returns == [(1, 0), (1, 1), (1, 2)]
+
+
+class TestSubCommOperations:
+    def test_p2p_with_translated_status(self):
+        def program(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            if sub.size < 2:
+                return None
+            if sub.rank == 0:
+                yield from sub.send(128, dest=1, tag=9, payload="x")
+                return None
+            if sub.rank == 1:
+                payload, st = yield from sub.recv(source=0, tag=9)
+                return payload, st.source, st.tag, st.size
+            return None
+
+        r = run(program, 4)
+        assert r.returns[3] == ("x", 0, 9, 128)  # world rank 3 = sub rank 1 of odds
+
+    def test_collectives_stay_inside_groups(self):
+        def program(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            total = yield from sub.allreduce(8, payload=comm.rank, op=lambda a, b: a + b)
+            gathered = yield from sub.gather(16, root=0, payload=comm.rank)
+            return total, gathered
+
+        r = run(program, 6, spec=perseus(8), seed=3)
+        evens = [0, 2, 4]
+        odds = [1, 3, 5]
+        for w in evens:
+            assert r.returns[w][0] == sum(evens)
+        for w in odds:
+            assert r.returns[w][0] == sum(odds)
+        assert r.returns[0][1] == evens
+        assert r.returns[1][1] == odds
+
+    def test_concurrent_subcomm_traffic_does_not_cross(self):
+        """Same tags used simultaneously in two sub-communicators must not
+        cross-match -- the isolation property."""
+
+        def program(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            # Everyone exchanges tag-0 messages with their sub-neighbour.
+            other = (sub.rank + 1) % sub.size
+            payload, _st = yield from sub.sendrecv(
+                64, dest=other, source=(sub.rank - 1) % sub.size,
+                payload=("grp", comm.rank % 2),
+            )
+            return payload
+
+        r = run(program, 8)
+        for w, (label, group) in enumerate(r.returns):
+            assert label == "grp"
+            assert group == w % 2  # never a message from the other colour
+
+    def test_pairwise_split(self):
+        def program(comm):
+            half = yield from comm.split(color=comm.rank // 2)
+            return half.size
+
+        r = run(program, 4)
+        assert r.returns == [2, 2, 2, 2]
+
+    def test_stats_shared_with_world(self):
+        def program(comm):
+            sub = yield from comm.split(color=0)
+            if sub.rank == 0:
+                yield from sub.send(256, dest=1)
+            elif sub.rank == 1:
+                yield from sub.recv(source=0)
+            return comm.stats.bytes_sent
+
+        r = run(program, 2)
+        assert r.returns[0] >= 256  # split traffic + the send
+
+
+class TestValidation:
+    def test_bad_dest_rank(self):
+        def program(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            with pytest.raises(RankError):
+                yield from sub.isend(8, dest=sub.size)
+            yield from comm.barrier()
+            return True
+
+        assert run(program, 4).returns == [True] * 4
+
+    def test_any_tag_rejected(self):
+        from repro.smpi import ANY_TAG
+
+        def program(comm):
+            sub = yield from comm.split(color=0)
+            with pytest.raises(TagError):
+                yield from sub.irecv(source=0, tag=ANY_TAG)
+            yield from comm.barrier()
+            return True
+
+        assert run(program, 2).returns == [True, True]
+
+    def test_oversized_tag_rejected(self):
+        def program(comm):
+            sub = yield from comm.split(color=0)
+            with pytest.raises(TagError):
+                yield from sub.isend(8, dest=(sub.rank + 1) % sub.size, tag=1 << 21)
+            yield from comm.barrier()
+            return True
+
+        assert run(program, 2).returns == [True, True]

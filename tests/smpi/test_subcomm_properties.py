@@ -1,0 +1,53 @@
+"""Property-based tests for sub-communicator isolation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet import ideal_cluster
+from repro.smpi import run_program
+
+
+@given(
+    nprocs=st.integers(min_value=2, max_value=8),
+    colors=st.lists(st.integers(0, 2), min_size=8, max_size=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_split_partitions_world(nprocs, colors):
+    """Property: split() partitions the world -- every rank lands in
+    exactly one group, group members agree on membership, and sub-rank
+    order follows world rank for equal keys."""
+
+    def program(comm):
+        sub = yield from comm.split(color=colors[comm.rank])
+        return colors[comm.rank], sub.rank, sub.world_ranks
+
+    r = run_program(ideal_cluster(8), program, nprocs=nprocs)
+    by_color: dict[int, list[int]] = {}
+    for world_rank in range(nprocs):
+        color, sub_rank, members = r.returns[world_rank]
+        # Everyone in the group reports identical membership.
+        expected = [w for w in range(nprocs) if colors[w] == color]
+        assert members == expected
+        assert members[sub_rank] == world_rank
+
+
+@given(
+    nprocs=st.integers(min_value=4, max_value=8),
+    payload_seed=st.integers(0, 1000),
+)
+@settings(max_examples=20, deadline=None)
+def test_group_allreduce_isolation(nprocs, payload_seed):
+    """Property: an allreduce inside each colour group sums exactly that
+    group's contributions, for any machine size."""
+
+    def program(comm):
+        sub = yield from comm.split(color=comm.rank % 2)
+        value = payload_seed + comm.rank
+        total = yield from sub.allreduce(8, payload=value, op=lambda a, b: a + b)
+        return total
+
+    r = run_program(ideal_cluster(8), program, nprocs=nprocs)
+    for w in range(nprocs):
+        group = [x for x in range(nprocs) if x % 2 == w % 2]
+        expected = sum(payload_seed + x for x in group)
+        assert r.returns[w] == expected

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_config, build_parser, main
+
+
+class TestParser:
+    def test_config_parsing(self):
+        assert _parse_config("8x1") == (8, 1)
+        assert _parse_config("64X2") == (64, 2)
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_config("8")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_config("axb")
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert capsys.readouterr().out.strip()
+
+
+class TestInfo:
+    def test_info_prints_cluster(self, capsys):
+        assert main(["info", "--nodes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "perseus" in out
+        assert "100 Mbit/s" in out
+        assert "2.1 Gbit/s" in out
+
+
+class TestBench:
+    def test_bench_prints_table_and_saves(self, capsys, tmp_path):
+        db_path = tmp_path / "db.json"
+        rc = main([
+            "bench", "--config", "2x1", "--sizes", "0", "1024",
+            "--reps", "10", "--save", str(db_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2x1" in out and "1024" in out
+        assert db_path.exists()
+
+        from repro.mpibench import DistributionDB
+
+        db = DistributionDB.load(db_path)
+        assert db.configs("isend") == [(2, 1)]
+
+
+class TestPdf:
+    def test_pdf_renders(self, capsys):
+        rc = main([
+            "pdf", "--config", "4x1", "--sizes", "1024", "--reps", "10",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "size=1024B" in out
+        assert "outlier" in out
+
+
+class TestPredict:
+    def test_predict_with_saved_db(self, capsys, tmp_path):
+        db_path = tmp_path / "db.json"
+        main([
+            "bench", "--config", "2x1", "--config", "4x1",
+            "--sizes", "0", "1024", "--reps", "10", "--save", str(db_path),
+        ])
+        capsys.readouterr()
+        rc = main([
+            "predict", "--db", str(db_path), "--nprocs", "4",
+            "--iterations", "20", "--runs", "2", "--measure",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "distribution-nxp" in out
+        assert "measured" in out
+        assert "%" in out
+
+
+class TestExport:
+    def test_bench_export_dat(self, capsys, tmp_path):
+        dat = tmp_path / "curves.dat"
+        rc = main([
+            "bench", "--config", "2x1", "--sizes", "0", "512",
+            "--reps", "8", "--export", str(dat),
+        ])
+        assert rc == 0
+        lines = dat.read_text().strip().splitlines()
+        assert lines[0].startswith("# size")
+        assert len(lines) == 3
