@@ -59,6 +59,8 @@ def test_eval_cost(benchmark, spec, fig6_db, out_dir):
          " (paper: 67.5x)"],
         ["event-simulator wall time", format_time(exec_wall)],
         ["PEVPM wall per MC run", format_time(pred.wall_time / 3)],
+        ["PEVPM mean/max single-run wall",
+         f"{format_time(pred.mean_run_wall)} / {format_time(pred.max_run_wall)}"],
     ]
     write_figure(
         out_dir, "eval_cost",

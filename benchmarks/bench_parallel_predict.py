@@ -1,0 +1,79 @@
+"""The parallel prediction engine's two guarantees, measured.
+
+Section 6's cost claim is about evaluation throughput; the engine in
+:mod:`repro.pevpm.parallel` raises that throughput by fanning Monte
+Carlo runs over host cores.  This bench verifies the contract on the
+Jacobi workload:
+
+* ``workers=N`` produces **bit-identical** ``Prediction.times`` to
+  ``workers=1`` for the same seed (per-run ``SeedSequence`` streams);
+* on a multi-core host the wall time drops (>= 2x with 4 workers and 8
+  runs -- asserted only when the host has >= 4 cores, since a pool on a
+  single core can only add overhead);
+* a second evaluation with identical arguments is served from the
+  on-disk prediction cache without re-simulation.
+"""
+
+import os
+import time
+
+from conftest import CACHE_DIR, write_figure
+from repro._tables import format_table, format_time
+from repro.apps.jacobi import parse_jacobi
+from repro.pevpm import predict, timing_from_db
+
+ITERATIONS = 100
+NPROCS = 16
+RUNS = 8
+WORKERS = 4
+
+
+def test_parallel_predict(spec, fig6_db, out_dir):
+    params = {
+        "iterations": ITERATIONS,
+        "xsize": 256,
+        "serial_time": spec.jacobi_serial_time,
+    }
+    timing = timing_from_db(fig6_db, mode="distribution")
+    model = parse_jacobi()
+    kwargs = dict(runs=RUNS, seed=1, params=params)
+
+    t0 = time.perf_counter()
+    serial = predict(model, NPROCS, timing, workers=1, **kwargs)
+    serial_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = predict(model, NPROCS, timing, workers=WORKERS, **kwargs)
+    parallel_wall = time.perf_counter() - t0
+
+    # Reproducibility: the speed-up must not change the numbers.
+    assert parallel.times == serial.times
+
+    # Cache: the same arguments re-evaluate for free.
+    cache_dir = CACHE_DIR / "predictions"
+    first = predict(model, NPROCS, timing, cache_dir=cache_dir, **kwargs)
+    second = predict(model, NPROCS, timing, cache_dir=cache_dir, **kwargs)
+    assert second.cached
+    assert second.times == first.times
+
+    cores = os.cpu_count() or 1
+    speedup = serial_wall / max(parallel_wall, 1e-9)
+    rows = [
+        ["workload", f"Jacobi {ITERATIONS} iters on {NPROCS} procs, {RUNS} MC runs"],
+        ["host cores", str(cores)],
+        ["workers=1 wall", format_time(serial_wall)],
+        [f"workers={WORKERS} wall", format_time(parallel_wall)],
+        ["parallel speedup", f"{speedup:.2f}x"],
+        ["bit-identical times", str(parallel.times == serial.times)],
+        ["slowest single run", format_time(serial.max_run_wall)],
+        ["cache hit on 2nd call", str(second.cached)],
+    ]
+    write_figure(
+        out_dir, "parallel_predict",
+        format_table(["quantity", "value"], rows,
+                     title="Parallel prediction engine"),
+    )
+
+    if cores >= 4:
+        assert speedup >= 2.0, f"only {speedup:.2f}x with {WORKERS} workers"
+    elif cores >= 2:
+        assert speedup >= 1.2, f"only {speedup:.2f}x with {WORKERS} workers"

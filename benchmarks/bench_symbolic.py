@@ -30,10 +30,13 @@ def test_symbolic_extraction(benchmark, spec, fig6_db, out_dir):
     model = parse_jacobi()
     timing = timing_from_db(fig6_db, mode="distribution")
 
+    # 6 MC runs per point: the faster prediction engine makes tighter
+    # estimates affordable, and 3-run means left the 64-proc holdout
+    # comparison dominated by Monte Carlo noise.
     sym = benchmark.pedantic(
         extract_symbolic_model,
         args=(model, timing, ANCHORS),
-        kwargs={"params": params, "runs": 3, "seed": 1},
+        kwargs={"params": params, "runs": 6, "seed": 1},
         rounds=1,
         iterations=1,
     )
@@ -43,7 +46,7 @@ def test_symbolic_extraction(benchmark, spec, fig6_db, out_dir):
     mc_cost = sym_cost = 0.0
     for nprocs in HOLDOUTS:
         t0 = time.perf_counter()
-        mc = predict(model, nprocs, timing, runs=3, seed=1, params=params)
+        mc = predict(model, nprocs, timing, runs=6, seed=1, params=params)
         mc_cost += time.perf_counter() - t0
         t0 = time.perf_counter()
         closed = sym.time(nprocs)

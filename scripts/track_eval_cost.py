@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Append the current eval-cost measurement to BENCH_eval_cost.json.
+
+Run from the repository root (``PYTHONPATH=src python
+scripts/track_eval_cost.py``) after a change that could move prediction
+throughput.  Each entry records the paper's Section 6 metric (simulated
+processor-seconds per host wall second) for a fixed Jacobi workload, so
+the performance trajectory is visible across PRs::
+
+    [{"commit": "...", "date": "...", "simulated_per_wall": ..., ...}, ...]
+
+Uses the cached ``benchmarks/out/cache/fig6.json`` distribution database
+when present (the benchmark suite's artefact) and measures a small fresh
+sweep otherwise, so the script is runnable on a clean checkout.
+``--check`` only validates that the history file parses (CI smoke).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.apps.jacobi import parse_jacobi  # noqa: E402
+from repro.mpibench import BenchSettings, DistributionDB, MPIBench  # noqa: E402
+from repro.pevpm import predict, timing_from_db  # noqa: E402
+from repro.simnet import perseus  # noqa: E402
+
+HISTORY = REPO / "BENCH_eval_cost.json"
+DB_CACHE = REPO / "benchmarks" / "out" / "cache" / "fig6.json"
+
+ITERATIONS = 100
+NPROCS = 32
+RUNS = 8
+
+
+def _load_db() -> DistributionDB:
+    if DB_CACHE.exists():
+        return DistributionDB.load(DB_CACHE)
+    bench = MPIBench(perseus(64), seed=1, settings=BenchSettings(reps=20, warmup=5))
+    return bench.sweep_isend(
+        [(1, 2), (2, 1), (8, 1), (16, 1)], sizes=[0, 512, 1024, 2048]
+    )
+
+
+def _git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def measure() -> dict:
+    spec = perseus(64)
+    db = _load_db()
+    params = {
+        "iterations": ITERATIONS,
+        "xsize": 256,
+        "serial_time": spec.jacobi_serial_time,
+    }
+    timing = timing_from_db(db, mode="distribution")
+    t0 = time.perf_counter()
+    pred = predict(
+        parse_jacobi(), NPROCS, timing, runs=RUNS, seed=1, params=params,
+        workers=None,  # one worker per host core
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "commit": _git_commit(),
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "workload": f"jacobi-{ITERATIONS}it-{NPROCS}p",
+        "runs": RUNS,
+        "wall_seconds": round(wall, 4),
+        "mean_run_wall": round(pred.mean_run_wall, 4),
+        "simulated_per_wall": round(pred.simulated_per_wall, 2),
+        "mean_time": pred.mean_time,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="only validate that the history file parses",
+    )
+    args = parser.parse_args()
+
+    history = []
+    if HISTORY.exists():
+        history = json.loads(HISTORY.read_text())
+        if not isinstance(history, list):
+            print(f"{HISTORY} is not a JSON list", file=sys.stderr)
+            return 1
+    if args.check:
+        print(f"{HISTORY.name}: {len(history)} entries, ok")
+        return 0
+
+    entry = measure()
+    history.append(entry)
+    HISTORY.write_text(json.dumps(history, indent=2) + "\n")
+    print(json.dumps(entry, indent=2))
+    print(f"appended to {HISTORY}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -83,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--measure", action="store_true",
         help="also run the real (simulated) Jacobi for comparison",
     )
+    p_pred.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the Monte Carlo runs "
+             "(default: one per host core; results are identical either way)",
+    )
+    p_pred.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="reuse finished predictions from this on-disk cache",
+    )
     return parser
 
 
@@ -147,7 +156,8 @@ def cmd_predict(args) -> int:
     serial = jacobi_serial_time(spec, args.iterations)
     preds = compare_timing_modes(
         parse_jacobi(), args.nprocs, db, runs=args.runs, seed=args.seed,
-        params=params, ppn=args.ppn,
+        params=params, ppn=args.ppn, workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     rows = []
     measured = None

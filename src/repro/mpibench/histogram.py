@@ -65,7 +65,10 @@ class Histogram:
         self.n = int(round(total))
         self._samples = samples
         self._sorted = None  # lazily cached sorted samples (fast quantiles)
-        self._cum = None  # lazily cached cumulative bin counts (fast sampling)
+        # Cumulative bin counts, precomputed at construction (and so on
+        # DB load): every sampling/quantile path needs them, and PEVPM's
+        # first draw from each histogram used to pay the cumsum.
+        self._cum = np.cumsum(counts)
         # Exact moments when raw samples are retained; binned estimates
         # otherwise.
         if samples is not None and len(samples):
@@ -108,10 +111,11 @@ class Histogram:
         if bins < 1:
             raise ValueError("bins must be >= 1")
         lo, hi = float(arr.min()), float(arr.max())
-        if lo == hi:
-            # Degenerate: all samples identical; widen a hair so the single
+        if lo == hi or not np.all(np.diff(np.linspace(lo, hi, bins + 1)) > 0):
+            # Degenerate: all samples identical, or the span too narrow to
+            # split into *bins* distinct edges; widen a hair so the single
             # bin has positive width.
-            eps = max(abs(lo) * 1e-12, 1e-15)
+            eps = max(abs(lo) * 1e-12, abs(hi) * 1e-12, 1e-15)
             edges = np.array([lo - eps, hi + eps])
             counts = np.array([float(arr.size)])
         else:
@@ -160,8 +164,7 @@ class Histogram:
 
     def cdf(self) -> tuple[np.ndarray, np.ndarray]:
         """(edges[1:], cumulative probability)."""
-        cum = np.cumsum(self.counts) / self.counts.sum()
-        return self.edges[1:], cum
+        return self.edges[1:], self._cum / self._cum[-1]
 
     def quantile(self, q: float) -> float:
         """Inverse CDF with linear interpolation inside bins (or, when raw
@@ -178,7 +181,7 @@ class Histogram:
             hi = min(lo + 1, len(srt) - 1)
             frac = pos - lo
             return float(srt[lo] * (1.0 - frac) + srt[hi] * frac)
-        cum = np.cumsum(self.counts)
+        cum = self._cum
         total = cum[-1]
         target = q * total
         idx = int(np.searchsorted(cum, target, side="left"))
@@ -202,8 +205,6 @@ class Histogram:
 
         def cdf_at(hist, points):
             cum = hist._cum
-            if cum is None:
-                cum = hist._cum = np.cumsum(hist.counts)
             total = cum[-1]
             idx = np.searchsorted(hist.edges, points, side="right") - 1
             out = np.empty_like(points)
@@ -235,8 +236,6 @@ class Histogram:
             frac = pos - lo
             return srt[lo] * (1.0 - frac) + srt[hi] * frac
         cum = self._cum
-        if cum is None:
-            cum = self._cum = np.cumsum(self.counts)
         total = cum[-1]
         target = qs * total
         idx = np.minimum(
@@ -275,25 +274,18 @@ class Histogram:
         PEVPM's inputs are histograms, and the binning granularity is part
         of the method's error budget (Section 6).
         """
-        cum = self._cum
-        if cum is None:
-            cum = self._cum = np.cumsum(self.counts)
-        total = cum[-1]
-        if size is None:
-            # Scalar fast path: one uniform draw, one binary search.
-            u = rng.random() * total
-            idx = int(np.searchsorted(cum, u, side="right"))
-            idx = min(idx, len(self.counts) - 1)
-            lo = self.edges[idx]
-            hi = self.edges[idx + 1]
-            return float(lo + rng.random() * (hi - lo))
-        u = rng.random(size) * total
+        # One shared inverse-CDF implementation; the scalar form is the
+        # n=1 vector draw (identical stream consumption: Generator.random()
+        # and Generator.random(1) advance the bit stream the same way).
+        n = 1 if size is None else size
+        u = rng.random(n) * self._cum[-1]
         idx = np.minimum(
-            np.searchsorted(cum, u, side="right"), len(self.counts) - 1
+            np.searchsorted(self._cum, u, side="right"), len(self.counts) - 1
         )
         lo = self.edges[idx]
         hi = self.edges[idx + 1]
-        return lo + rng.random(size) * (hi - lo)
+        values = lo + rng.random(n) * (hi - lo)
+        return float(values[0]) if size is None else values
 
     # -- combination -------------------------------------------------------------------
     def merge(self, other: "Histogram") -> "Histogram":

@@ -23,6 +23,7 @@ reloaded without re-simulation.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from dataclasses import dataclass, field
@@ -108,9 +109,15 @@ class DistributionDB:
         self.cluster = cluster
         #: op -> {(nodes, ppn) -> BenchmarkResult}
         self._results: dict[str, dict[tuple[int, int], BenchmarkResult]] = {}
-        # Lookup caches (PEVPM samples millions of times per study).
+        # Lookup caches (PEVPM samples millions of times per study):
+        # nearest-config and size-bracketing resolution, the fused
+        # (op, size, contention) -> (result, lo, hi) hot-path lookup,
+        # and scalar mean/min stats for the Figure 6 ablations.
         self._nearest_cache: dict[tuple, tuple[int, int]] = {}
         self._bracket_cache: dict[tuple, tuple[int, int]] = {}
+        self._locate_cache: dict[tuple, tuple[BenchmarkResult, int, int]] = {}
+        self._stat_cache: dict[tuple, float] = {}
+        self._fingerprint: str | None = None
 
     # -- population --------------------------------------------------------------
     def add(self, result: BenchmarkResult) -> None:
@@ -126,6 +133,9 @@ class DistributionDB:
         self._results.setdefault(result.op, {})[(result.nodes, result.ppn)] = result
         self._nearest_cache.clear()
         self._bracket_cache.clear()
+        self._locate_cache.clear()
+        self._stat_cache.clear()
+        self._fingerprint = None
 
     def ops(self) -> list[str]:
         return sorted(self._results)
@@ -177,10 +187,24 @@ class DistributionDB:
         self, op: str, size: int, nodes: int, ppn: int
     ) -> Histogram:
         """Exact-config lookup with nearest measured size."""
-        result = self.result(op, nodes, ppn)
-        sizes = result.sizes
-        nearest = min(sizes, key=lambda s: abs(s - size))
-        return result.histograms[nearest]
+        lo, hi = self.bracketing_sizes(op, size, nodes, ppn)
+        nearest = lo if abs(size - lo) <= abs(hi - size) else hi
+        return self.result(op, nodes, ppn).histograms[nearest]
+
+    def _locate(
+        self, op: str, size: int, contention: int, intra: bool
+    ) -> tuple[BenchmarkResult, int, int]:
+        """Fused hot-path lookup: the benchmark result matching the
+        contention level plus the bracketing measured sizes.  One dict
+        probe per sampling call instead of three."""
+        key = (op, size, contention, intra)
+        hit = self._locate_cache.get(key)
+        if hit is None:
+            nodes, ppn = self.nearest_config(op, max(2, contention), intra=intra)
+            lo, hi = self.bracketing_sizes(op, size, nodes, ppn)
+            hit = (self.result(op, nodes, ppn), lo, hi)
+            self._locate_cache[key] = hit
+        return hit
 
     def bracketing_sizes(
         self, op: str, size: int, nodes: int, ppn: int
@@ -215,9 +239,7 @@ class DistributionDB:
         processes keeps ~P messages in flight.  *intra* selects the
         shared-memory (single-node) measurements.
         """
-        nodes, ppn = self.nearest_config(op, max(2, contention), intra=intra)
-        result = self.result(op, nodes, ppn)
-        lo, hi = self.bracketing_sizes(op, size, nodes, ppn)
+        result, lo, hi = self._locate(op, size, contention, intra)
         if not interpolate or lo == hi:
             nearest = lo if abs(size - lo) <= abs(hi - size) else hi
             return float(result.histograms[nearest].sample(rng))
@@ -239,9 +261,7 @@ class DistributionDB:
     ) -> np.ndarray:
         """Vectorised version of :meth:`sample_time`: *n* independent
         draws at once (quantile-space size interpolation included)."""
-        nodes, ppn = self.nearest_config(op, max(2, contention), intra=intra)
-        result = self.result(op, nodes, ppn)
-        lo, hi = self.bracketing_sizes(op, size, nodes, ppn)
+        result, lo, hi = self._locate(op, size, contention, intra)
         u = rng.random(n)
         if lo == hi:
             return result.histograms[lo].quantiles(u)
@@ -250,15 +270,51 @@ class DistributionDB:
         qhi = result.histograms[hi].quantiles(u)
         return (1.0 - w) * qlo + w * qhi
 
+    def _stat_time(self, stat: str, op: str, size: int, contention: int, intra: bool) -> float:
+        key = (stat, op, size, contention, intra)
+        value = self._stat_cache.get(key)
+        if value is None:
+            result, lo, hi = self._locate(op, size, contention, intra)
+            nearest = lo if abs(size - lo) <= abs(hi - size) else hi
+            value = getattr(result.histograms[nearest], stat)
+            self._stat_cache[key] = value
+        return value
+
     def mean_time(self, op: str, size: int, contention: int, intra: bool = False) -> float:
         """Average-time lookup (the 'avg' ablation of Figure 6)."""
-        nodes, ppn = self.nearest_config(op, max(2, contention), intra=intra)
-        return self.histogram(op, size, nodes, ppn).mean
+        return self._stat_time("mean", op, size, contention, intra)
 
     def min_time(self, op: str, size: int, contention: int, intra: bool = False) -> float:
         """Minimum-time lookup (the 'min' ablation of Figure 6)."""
-        nodes, ppn = self.nearest_config(op, max(2, contention), intra=intra)
-        return self.histogram(op, size, nodes, ppn).min
+        return self._stat_time("min", op, size, contention, intra)
+
+    # -- identity ---------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash of the distributions this DB serves.
+
+        Summarises every histogram by its shape and moments rather than
+        hashing raw samples, so the digest is cheap (microseconds, cached
+        until :meth:`add` invalidates it) yet changes whenever a lookup
+        could return different times.  Used to key the PEVPM on-disk
+        prediction cache.
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            h.update(self.cluster.encode())
+            for op in self.ops():
+                for (nodes, ppn) in self.configs(op):
+                    result = self._results[op][(nodes, ppn)]
+                    h.update(f"{op}:{nodes}x{ppn}:{result.reps}:{result.seed}".encode())
+                    for size in result.sizes:
+                        hist = result.histograms[size]
+                        h.update(
+                            (
+                                f"{size}:{hist.n}:{hist.nbins}:{hist.mean!r}:"
+                                f"{hist.std!r}:{hist.min!r}:{hist.max!r}"
+                            ).encode()
+                        )
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     # -- persistence -------------------------------------------------------------------
     def save(self, path: str | Path, include_samples: bool = True) -> None:

@@ -28,6 +28,15 @@ from .directives import (
 from .expr import ExprError, evaluate
 from .interpreter import compile_model, model_messages
 from .machine import ANY_SOURCE, MachineResult, ModelDeadlock, ProcContext, VirtualMachine
+from .parallel import (
+    PredictionCache,
+    RunGroup,
+    RunOutcome,
+    as_seed_sequence,
+    evaluate_groups,
+    resolve_workers,
+    run_seeds,
+)
 from . import patterns
 from .parser import ParseError, parse_annotations
 from .predict import Prediction, compare_timing_modes, predict, predict_speedups
@@ -63,7 +72,10 @@ __all__ = [
     "ParametricTiming",
     "ParseError",
     "Prediction",
+    "PredictionCache",
     "ProcContext",
+    "RunGroup",
+    "RunOutcome",
     "Runon",
     "Scoreboard",
     "ScoreboardEntry",
@@ -74,9 +86,13 @@ __all__ = [
     "TraceEvent",
     "TraceRecorder",
     "VirtualMachine",
+    "as_seed_sequence",
     "compare_timing_modes",
     "compile_model",
     "evaluate",
+    "evaluate_groups",
+    "resolve_workers",
+    "run_seeds",
     "extract_symbolic_model",
     "static_profile",
     "model_messages",

@@ -7,16 +7,21 @@ paper stresses that keeping these *symbolic* is what makes PEVPM models
 re-evaluable "under different input and environmental conditions", so the
 expressions stay as text in the model and are compiled here.
 
-Evaluation uses a whitelisted AST walk: arithmetic, comparisons, boolean
-logic, a few math functions, and ``sizeof(<ctype>)``.  No attribute access,
-no subscripts, no calls beyond the whitelist -- a model file cannot execute
-arbitrary code.
+Safety comes from a whitelisting AST transform: arithmetic, comparisons,
+boolean logic, a few math functions, and ``sizeof(<ctype>)``.  No
+attribute access, no subscripts, no calls beyond the whitelist -- a model
+file cannot execute arbitrary code.  Speed comes from compiling the
+validated tree to a Python code object (cached per tree): the virtual
+machine evaluates every directive expression once per process per
+iteration, millions of times per Monte Carlo study, and a cached
+``eval`` is several times cheaper than an AST walk.
 """
 
 from __future__ import annotations
 
 import ast
 import math
+import weakref
 from typing import Any, Mapping
 
 __all__ = ["ExprError", "compile_expr", "evaluate", "SIZEOF"]
@@ -49,80 +54,64 @@ _FUNCTIONS: dict[str, Any] = {
     "log2": math.log2,
 }
 
-_BINOPS = {
-    ast.Add: lambda a, b: a + b,
-    ast.Sub: lambda a, b: a - b,
-    ast.Mult: lambda a, b: a * b,
-    ast.Div: lambda a, b: a / b,
-    ast.FloorDiv: lambda a, b: a // b,
-    ast.Mod: lambda a, b: a % b,
-    ast.Pow: lambda a, b: a**b,
-}
+_ALLOWED_BINOPS = (
+    ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow,
+)
+_ALLOWED_UNARYOPS = (ast.USub, ast.UAdd, ast.Not)
+_ALLOWED_CMPOPS = (ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE)
 
-_CMPOPS = {
-    ast.Eq: lambda a, b: a == b,
-    ast.NotEq: lambda a, b: a != b,
-    ast.Lt: lambda a, b: a < b,
-    ast.LtE: lambda a, b: a <= b,
-    ast.Gt: lambda a, b: a > b,
-    ast.GtE: lambda a, b: a >= b,
-}
+#: globals handed to the compiled code: whitelisted functions only, no
+#: builtins.  ``_bool`` normalises short-circuit results so boolean
+#: expressions evaluate to actual booleans (``x or y`` in Python returns
+#: an operand, not a bool).
+_EVAL_GLOBALS = {"__builtins__": {}, "_bool": bool, **_FUNCTIONS}
 
 
-class _Evaluator(ast.NodeVisitor):
-    def __init__(self, names: Mapping[str, Any]):
-        self.names = names
+class _Whitelist(ast.NodeTransformer):
+    """Validate a directive expression tree and prepare it for ``compile``.
+
+    Anything outside the whitelist raises :class:`ExprError`;
+    ``sizeof(<ctype>)`` calls are folded to integer constants and boolean
+    operations are wrapped in ``_bool`` so their value is a proper bool.
+    """
 
     def visit_Expression(self, node):
-        return self.visit(node.body)
+        return ast.Expression(body=self.visit(node.body))
 
     def visit_Constant(self, node):
         if isinstance(node.value, (int, float, bool)):
-            return node.value
+            return node
         raise ExprError(f"constant {node.value!r} not allowed")
 
     def visit_Name(self, node):
-        try:
-            return self.names[node.id]
-        except KeyError:
-            raise ExprError(f"unknown variable {node.id!r}") from None
+        if not isinstance(node.ctx, ast.Load):
+            raise ExprError("directive expressions cannot assign")
+        return node
 
     def visit_BinOp(self, node):
-        op = _BINOPS.get(type(node.op))
-        if op is None:
+        if not isinstance(node.op, _ALLOWED_BINOPS):
             raise ExprError(f"operator {type(node.op).__name__} not allowed")
-        try:
-            return op(self.visit(node.left), self.visit(node.right))
-        except ZeroDivisionError:
-            raise ExprError("division by zero in directive expression") from None
+        return ast.BinOp(self.visit(node.left), node.op, self.visit(node.right))
 
     def visit_UnaryOp(self, node):
-        val = self.visit(node.operand)
-        if isinstance(node.op, ast.USub):
-            return -val
-        if isinstance(node.op, ast.UAdd):
-            return +val
-        if isinstance(node.op, ast.Not):
-            return not val
-        raise ExprError(f"unary {type(node.op).__name__} not allowed")
+        if not isinstance(node.op, _ALLOWED_UNARYOPS):
+            raise ExprError(f"unary {type(node.op).__name__} not allowed")
+        return ast.UnaryOp(node.op, self.visit(node.operand))
 
     def visit_BoolOp(self, node):
-        values = [self.visit(v) for v in node.values]
-        if isinstance(node.op, ast.And):
-            return all(values)
-        return any(values)
+        inner = ast.BoolOp(node.op, [self.visit(v) for v in node.values])
+        return ast.Call(
+            func=ast.Name(id="_bool", ctx=ast.Load()), args=[inner], keywords=[]
+        )
 
     def visit_Compare(self, node):
-        left = self.visit(node.left)
-        for op, comparator in zip(node.ops, node.comparators):
-            fn = _CMPOPS.get(type(op))
-            if fn is None:
+        for op in node.ops:
+            if not isinstance(op, _ALLOWED_CMPOPS):
                 raise ExprError(f"comparison {type(op).__name__} not allowed")
-            right = self.visit(comparator)
-            if not fn(left, right):
-                return False
-            left = right
-        return True
+        return ast.Compare(
+            self.visit(node.left), node.ops,
+            [self.visit(c) for c in node.comparators],
+        )
 
     def visit_Call(self, node):
         if not isinstance(node.func, ast.Name):
@@ -135,19 +124,39 @@ class _Evaluator(ast.NodeVisitor):
                 raise ExprError("sizeof takes one bare type name")
             ctype = node.args[0].id
             try:
-                return SIZEOF[ctype]
+                return ast.Constant(value=SIZEOF[ctype])
             except KeyError:
                 raise ExprError(f"unknown C type {ctype!r} in sizeof") from None
-        fn = _FUNCTIONS.get(name)
-        if fn is None:
+        if name not in _FUNCTIONS:
             raise ExprError(f"function {name!r} not allowed")
-        return fn(*(self.visit(a) for a in node.args))
+        return ast.Call(
+            func=node.func, args=[self.visit(a) for a in node.args], keywords=[]
+        )
 
     def visit_IfExp(self, node):
-        return self.visit(node.body) if self.visit(node.test) else self.visit(node.orelse)
+        return ast.IfExp(
+            self.visit(node.test), self.visit(node.body), self.visit(node.orelse)
+        )
 
     def generic_visit(self, node):
         raise ExprError(f"syntax {type(node).__name__} not allowed in directives")
+
+
+#: validated code objects, keyed weakly by the parsed tree so directive
+#: IR can be garbage-collected (and pickled) freely.
+_CODE_CACHE: "weakref.WeakKeyDictionary[ast.Expression, Any]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _code_for(tree: ast.Expression):
+    code = _CODE_CACHE.get(tree)
+    if code is None:
+        checked = _Whitelist().visit(tree)
+        ast.fix_missing_locations(checked)
+        code = compile(checked, "<pevpm-directive>", "eval")
+        _CODE_CACHE[tree] = code
+    return code
 
 
 def compile_expr(text: str) -> ast.Expression:
@@ -164,4 +173,11 @@ def compile_expr(text: str) -> ast.Expression:
 def evaluate(expr: str | ast.Expression, names: Mapping[str, Any]) -> Any:
     """Evaluate a directive expression with the given variable bindings."""
     tree = compile_expr(expr) if isinstance(expr, str) else expr
-    return _Evaluator(names).visit(tree)
+    code = _code_for(tree)
+    try:
+        return eval(code, _EVAL_GLOBALS, names)
+    except NameError as exc:
+        name = getattr(exc, "name", None) or str(exc)
+        raise ExprError(f"unknown variable {name!r}") from None
+    except ZeroDivisionError:
+        raise ExprError("division by zero in directive expression") from None

@@ -182,13 +182,18 @@ class MachineResult:
 
 
 class VirtualMachine:
-    """Evaluate a model program on a virtual machine of *nprocs* processes."""
+    """Evaluate a model program on a virtual machine of *nprocs* processes.
+
+    *seed* may be an integer or a :class:`numpy.random.SeedSequence`
+    (the prediction engine hands each Monte Carlo run its own spawned
+    child stream so serial and parallel evaluation draw identically).
+    """
 
     def __init__(
         self,
         nprocs: int,
         timing: TimingModel,
-        seed: int = 0,
+        seed: int | np.random.SeedSequence = 0,
         params: dict | None = None,
         trace: bool = False,
         max_sweeps: int = 10_000_000,

@@ -1,0 +1,315 @@
+"""Parallel Monte Carlo prediction engine with an on-disk result cache.
+
+The paper's Section 6 cost claim ("PEVPM simulated the Jacobi program on
+Perseus at about 67.5 times its actual execution speed") is a statement
+about evaluation *throughput*.  Monte Carlo runs of the virtual machine
+are embarrassingly parallel -- every run is an independent evaluation
+with its own RNG stream -- so this module fans them out over a
+:class:`concurrent.futures.ProcessPoolExecutor`, with three guarantees:
+
+* **Reproducibility** -- per-run streams are derived from
+  :class:`numpy.random.SeedSequence` children, so serial and parallel
+  execution produce bit-identical ``Prediction.times`` for the same seed
+  (the constraint MPI benchmarking work such as Hunold &
+  Carpen-Amarie's *MPI Benchmarking Revisited* puts on any speed-up:
+  faster must not mean different).
+* **Graceful degradation** -- single-core hosts, one-run evaluations and
+  unpicklable model callables (closures) all fall back to the serial
+  path with identical results.
+* **Amortised setup** -- the model/timing payload is shipped to each
+  worker once (pool initializer), not once per run, and each worker
+  compiles directive models once per run group.
+
+:class:`PredictionCache` persists finished evaluations to JSON keyed by
+a fingerprint of (model, params, timing source, seed, runs, machine
+shape), following the ``benchmarks/out/cache`` pattern: a re-run of a
+study reuses every prediction it has already paid for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time as _time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Generator
+
+import numpy as np
+
+from .directives import Block
+from .interpreter import compile_model
+from .machine import MachineResult, ProcContext, VirtualMachine
+
+__all__ = [
+    "RunGroup",
+    "RunOutcome",
+    "PredictionCache",
+    "as_seed_sequence",
+    "run_seeds",
+    "resolve_workers",
+    "evaluate_groups",
+]
+
+
+# -- seeding ----------------------------------------------------------------------
+def as_seed_sequence(seed) -> np.random.SeedSequence:
+    """Normalise an integer seed (or a SeedSequence) to a SeedSequence."""
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
+def run_seeds(root: np.random.SeedSequence, runs: int) -> list[np.random.SeedSequence]:
+    """*runs* independent child streams of *root*, idempotently.
+
+    Equivalent to ``root.spawn(runs)`` but without mutating the parent's
+    spawn counter, so the same root yields the same children on every
+    call -- repeated ``predict`` invocations with one seed stay
+    deterministic, and the disk cache can key on the root alone.
+    """
+    return [
+        np.random.SeedSequence(entropy=root.entropy, spawn_key=root.spawn_key + (i,))
+        for i in range(runs)
+    ]
+
+
+def seed_token(root: np.random.SeedSequence) -> list:
+    """A JSON-able identity for a seed stream (cache-key component)."""
+    return [str(root.entropy), list(root.spawn_key)]
+
+
+# -- run groups -----------------------------------------------------------------
+@dataclass
+class RunGroup:
+    """One (model, machine size, timing source) evaluation of *runs* MC runs."""
+
+    model: object  #: directive Block or program callable(ctx) -> generator
+    nprocs: int
+    timing: object  #: TimingModel
+    seed: np.random.SeedSequence
+    runs: int
+    params: dict | None = None
+    trace_last: bool = False
+    nic_serialisation: str = "tx"
+    ppn: int = 1
+
+
+@dataclass
+class RunOutcome:
+    """One Monte Carlo run's result plus its host cost."""
+
+    elapsed: float  #: virtual completion time (the prediction)
+    result: MachineResult = field(repr=False)
+    wall: float = 0.0  #: host seconds this run took to evaluate
+
+
+def _program_for(group: RunGroup) -> Callable[[ProcContext], Generator]:
+    if isinstance(group.model, Block):
+        return compile_model(group.model, group.params)
+    if callable(group.model):
+        return group.model
+    raise TypeError(
+        "model must be a directive Block or a program callable(ctx) -> generator"
+    )
+
+
+def _execute_run(
+    group: RunGroup,
+    program: Callable[[ProcContext], Generator],
+    child: np.random.SeedSequence,
+    trace: bool,
+) -> RunOutcome:
+    t0 = _time.perf_counter()
+    vm = VirtualMachine(
+        group.nprocs,
+        group.timing,
+        seed=child,
+        params=group.params,
+        trace=trace,
+        nic_serialisation=group.nic_serialisation,
+        ppn=group.ppn,
+    )
+    result = vm.run(program)
+    return RunOutcome(
+        elapsed=result.elapsed, result=result, wall=_time.perf_counter() - t0
+    )
+
+
+# -- worker-side state ---------------------------------------------------------
+# The pool initializer unpickles the group list once per worker; compiled
+# programs are cached per group index so a worker evaluating several runs
+# of one group compiles its directives once.
+_WORKER_GROUPS: list[RunGroup] | None = None
+_WORKER_PROGRAMS: dict[int, Callable] = {}
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_GROUPS
+    _WORKER_GROUPS = pickle.loads(payload)
+    _WORKER_PROGRAMS.clear()
+
+
+def _run_task(group_idx: int, run_idx: int, child, trace: bool):
+    group = _WORKER_GROUPS[group_idx]
+    program = _WORKER_PROGRAMS.get(group_idx)
+    if program is None:
+        program = _WORKER_PROGRAMS[group_idx] = _program_for(group)
+    outcome = _execute_run(group, program, child, trace)
+    return group_idx, run_idx, outcome
+
+
+# -- the engine ---------------------------------------------------------------
+def resolve_workers(workers: int | None, tasks: int) -> int:
+    """Number of pool processes to use for *tasks* independent runs.
+
+    ``None`` means one per host core, never more than there are tasks;
+    explicit values are clamped the same way.  A result of 1 selects the
+    serial path.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError("workers must be >= 1 (or None for one per core)")
+    return max(1, min(workers, tasks))
+
+
+def _evaluate_serial(groups: list[RunGroup]) -> list[list[RunOutcome]]:
+    out: list[list[RunOutcome]] = []
+    for group in groups:
+        program = _program_for(group)
+        children = run_seeds(group.seed, group.runs)
+        outcomes = []
+        for run, child in enumerate(children):
+            trace = group.trace_last and run == group.runs - 1
+            outcomes.append(_execute_run(group, program, child, trace))
+        out.append(outcomes)
+    return out
+
+
+def evaluate_groups(
+    groups: list[RunGroup], workers: int | None = None
+) -> list[list[RunOutcome]]:
+    """Evaluate every Monte Carlo run of every group, possibly in parallel.
+
+    Returns one ``RunOutcome`` list per group, run-ordered.  The work
+    unit is a single MC run, so parallelism applies across runs *and*
+    across groups (the ``proc_counts`` / timing-mode axes of the
+    higher-level helpers).  Serial and parallel execution are
+    bit-identical because run ``i`` of a group always uses child stream
+    ``i`` of the group's seed.
+    """
+    total = sum(g.runs for g in groups)
+    if total == 0:
+        return [[] for _ in groups]
+    nworkers = resolve_workers(workers, total)
+    for group in groups:
+        _program_for(group)  # validate model types before forking
+    if nworkers <= 1:
+        return _evaluate_serial(groups)
+    try:
+        payload = pickle.dumps(groups, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        # Unpicklable model/timing (e.g. a closure program): the pool
+        # cannot ship it, but the serial path produces the same numbers.
+        return _evaluate_serial(groups)
+
+    results: list[list[RunOutcome | None]] = [[None] * g.runs for g in groups]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=nworkers, initializer=_init_worker, initargs=(payload,)
+        ) as pool:
+            pending = set()
+            for gi, group in enumerate(groups):
+                children = run_seeds(group.seed, group.runs)
+                for run, child in enumerate(children):
+                    trace = group.trace_last and run == group.runs - 1
+                    pending.add(pool.submit(_run_task, gi, run, child, trace))
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    gi, run, outcome = fut.result()
+                    results[gi][run] = outcome
+    except (OSError, RuntimeError):
+        # Pool creation can fail on restricted hosts (no /dev/shm, fork
+        # limits); the evaluation itself is still well-defined serially.
+        return _evaluate_serial(groups)
+    return results  # type: ignore[return-value]
+
+
+# -- the on-disk prediction cache -----------------------------------------------
+class PredictionCache:
+    """Keyed JSON store of finished Monte Carlo evaluations.
+
+    Follows the ``benchmarks/out/cache`` pattern: content-addressed files
+    under one directory, safe to delete wholesale to force fresh
+    evaluation.  Values hold the per-run predicted times and per-run host
+    wall times -- everything :class:`~repro.pevpm.predict.Prediction`
+    needs except the (unserialisable, rarely wanted) ``MachineResult``
+    objects.
+    """
+
+    VERSION = 1
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def key(
+        self,
+        model,
+        params: dict | None,
+        nprocs: int,
+        timing_fingerprint: str,
+        seed: np.random.SeedSequence,
+        runs: int,
+        nic_serialisation: str,
+        ppn: int,
+    ) -> str:
+        """Content fingerprint of one ``predict`` call."""
+        try:
+            model_blob = pickle.dumps((model, params), protocol=4)
+        except Exception:
+            model_blob = repr((model, params)).encode()
+        h = hashlib.sha256()
+        h.update(model_blob)
+        h.update(
+            json.dumps(
+                {
+                    "v": self.VERSION,
+                    "nprocs": nprocs,
+                    "timing": timing_fingerprint,
+                    "seed": seed_token(seed),
+                    "runs": runs,
+                    "nic": nic_serialisation,
+                    "ppn": ppn,
+                },
+                sort_keys=True,
+            ).encode()
+        )
+        return h.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"predict-{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if doc.get("version") != self.VERSION:
+            return None
+        return doc
+
+    def put(self, key: str, doc: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        doc = dict(doc, version=self.VERSION)
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(doc))
+        tmp.replace(path)

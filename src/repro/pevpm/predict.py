@@ -6,19 +6,31 @@ mean is negligibly small" (Section 6).  :func:`predict` evaluates a model
 several times with independent random streams and aggregates; helpers
 compute speedups (for Figure 6) and compare the paper's timing-source
 variants side by side.
+
+All entry points route through :mod:`repro.pevpm.parallel`: Monte Carlo
+runs (and the ``proc_counts`` / timing-mode axes of the helpers) fan out
+over a process pool when ``workers`` allows, with per-run
+``SeedSequence`` streams keeping serial and parallel evaluation
+bit-identical for the same seed.  Pass ``cache_dir`` to reuse finished
+evaluations across calls and processes.
 """
 
 from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Callable, Generator
+from typing import Callable
 
 import numpy as np
 
-from .directives import Block
-from .interpreter import compile_model
-from .machine import MachineResult, ProcContext, VirtualMachine
+from .machine import MachineResult
+from .parallel import (
+    PredictionCache,
+    RunGroup,
+    as_seed_sequence,
+    evaluate_groups,
+    run_seeds,
+)
 from .timing import TimingModel, timing_from_db
 from .trace import LossReport
 
@@ -34,6 +46,8 @@ class Prediction:
     times: list[float]  #: predicted completion time of each MC run
     results: list[MachineResult] = field(repr=False, default_factory=list)
     wall_time: float = 0.0  #: host seconds spent evaluating (the paper's cost metric)
+    run_walls: list[float] = field(default_factory=list)  #: host seconds per MC run
+    cached: bool = False  #: True when served from the on-disk cache
 
     @property
     def mean_time(self) -> float:
@@ -67,6 +81,20 @@ class Prediction:
         total_proc_seconds = sum(self.times) * self.nprocs
         return total_proc_seconds / self.wall_time
 
+    @property
+    def mean_run_wall(self) -> float:
+        """Mean host seconds per Monte Carlo run (0 when unknown)."""
+        if not self.run_walls:
+            return 0.0
+        return float(np.mean(self.run_walls))
+
+    @property
+    def max_run_wall(self) -> float:
+        """Slowest single run's host seconds -- the parallel critical path."""
+        if not self.run_walls:
+            return 0.0
+        return float(np.max(self.run_walls))
+
     def loss_report(self) -> LossReport | None:
         """Attribution for the last run, when it was traced."""
         last = self.results[-1] if self.results else None
@@ -75,14 +103,80 @@ class Prediction:
         return LossReport(last.trace, last.elapsed, self.nprocs)
 
 
-def _as_program(model) -> Callable[[ProcContext], Generator]:
-    if isinstance(model, Block):
-        return compile_model(model)
-    if callable(model):
-        return model
-    raise TypeError(
-        "model must be a directive Block or a program callable(ctx) -> generator"
+def _build_prediction(group: RunGroup, outcomes, wall: float) -> Prediction:
+    return Prediction(
+        nprocs=group.nprocs,
+        timing_name=group.timing.name,
+        times=[o.elapsed for o in outcomes],
+        results=[o.result for o in outcomes],
+        wall_time=wall,
+        run_walls=[o.wall for o in outcomes],
     )
+
+
+def _evaluate_predictions(
+    groups: list[RunGroup],
+    workers: int | None,
+    cache_dir,
+) -> list[Prediction]:
+    """Serve each group from the cache when possible; evaluate the rest
+    (misses of *all* groups share one pool) and persist their results."""
+    cache = PredictionCache(cache_dir) if cache_dir is not None else None
+    preds: list[Prediction | None] = [None] * len(groups)
+    keys: list[str | None] = [None] * len(groups)
+    misses: list[int] = []
+    for i, group in enumerate(groups):
+        # Traced runs carry MachineResult/TraceRecorder state the JSON
+        # cache does not hold -- always evaluate those live.
+        if cache is None or group.trace_last:
+            misses.append(i)
+            continue
+        key = cache.key(
+            group.model,
+            group.params,
+            group.nprocs,
+            group.timing.fingerprint(),
+            group.seed,
+            group.runs,
+            group.nic_serialisation,
+            group.ppn,
+        )
+        keys[i] = key
+        doc = cache.get(key)
+        if doc is not None:
+            preds[i] = Prediction(
+                nprocs=group.nprocs,
+                timing_name=group.timing.name,
+                times=[float(t) for t in doc["times"]],
+                results=[],
+                wall_time=0.0,
+                run_walls=[float(w) for w in doc.get("run_walls", [])],
+                cached=True,
+            )
+        else:
+            misses.append(i)
+    if misses:
+        t0 = _time.perf_counter()
+        outcomes = evaluate_groups([groups[i] for i in misses], workers=workers)
+        wall = _time.perf_counter() - t0
+        for i, group_outcomes in zip(misses, outcomes):
+            # Attribute the shared pool's wall time to each group by its
+            # own runs' host cost (exact when serial; proportional under
+            # the pool).
+            own = sum(o.wall for o in group_outcomes)
+            total = sum(o.wall for per in outcomes for o in per) or 1.0
+            preds[i] = _build_prediction(groups[i], group_outcomes, wall * own / total)
+            if cache is not None and keys[i] is not None:
+                cache.put(
+                    keys[i],
+                    {
+                        "times": preds[i].times,
+                        "run_walls": preds[i].run_walls,
+                        "nprocs": groups[i].nprocs,
+                        "timing": groups[i].timing.name,
+                    },
+                )
+    return preds  # type: ignore[return-value]
 
 
 def predict(
@@ -90,47 +184,38 @@ def predict(
     nprocs: int,
     timing: TimingModel,
     runs: int = 5,
-    seed: int = 0,
+    seed: int | np.random.SeedSequence = 0,
     params: dict | None = None,
     trace_last: bool = False,
     nic_serialisation: str = "tx",
     ppn: int = 1,
+    workers: int | None = 1,
+    cache_dir=None,
 ) -> Prediction:
     """Evaluate *model* (directive Block or program callable) *runs* times.
 
-    Each run uses an independent RNG stream derived from *seed*; the last
-    run can be traced for loss attribution.
+    Run *i* uses child stream *i* of ``SeedSequence(seed)``, so results
+    are independent across runs yet bit-identical for any ``workers``
+    setting.  ``workers=1`` (the default) evaluates serially; ``None``
+    uses one process per host core; larger models with several runs gain
+    near-linearly.  ``cache_dir`` enables the on-disk prediction cache;
+    the last run can be traced for loss attribution (which bypasses the
+    cache).
     """
     if runs < 1:
         raise ValueError("runs must be >= 1")
-    if isinstance(model, Block) and params is not None:
-        program = compile_model(model, params)
-    else:
-        program = _as_program(model)
-    times: list[float] = []
-    results: list[MachineResult] = []
-    t0 = _time.perf_counter()
-    for run in range(runs):
-        vm = VirtualMachine(
-            nprocs,
-            timing,
-            seed=seed * 1_000_003 + run,
-            params=params,
-            trace=trace_last and run == runs - 1,
-            nic_serialisation=nic_serialisation,
-            ppn=ppn,
-        )
-        result = vm.run(program)
-        times.append(result.elapsed)
-        results.append(result)
-    wall = _time.perf_counter() - t0
-    return Prediction(
+    group = RunGroup(
+        model=model,
         nprocs=nprocs,
-        timing_name=timing.name,
-        times=times,
-        results=results,
-        wall_time=wall,
+        timing=timing,
+        seed=as_seed_sequence(seed),
+        runs=runs,
+        params=params,
+        trace_last=trace_last,
+        nic_serialisation=nic_serialisation,
+        ppn=ppn,
     )
+    return _evaluate_predictions([group], workers, cache_dir)[0]
 
 
 def predict_speedups(
@@ -139,25 +224,40 @@ def predict_speedups(
     timing_factory: Callable[[int], TimingModel],
     serial_time: float,
     runs: int = 5,
-    seed: int = 0,
+    seed: int | np.random.SeedSequence = 0,
     params: dict | None = None,
     ppn: int = 1,
+    workers: int | None = 1,
+    cache_dir=None,
 ) -> dict[int, float]:
     """Speedup curve across machine sizes (the Figure 6 x-axis).
 
     *model_factory(nprocs)* builds the model for each size (symbolic
     models just return the same Block); *timing_factory(nprocs)* builds
-    the timing source (average-n x p models depend on nprocs).
+    the timing source (average-n x p models depend on nprocs).  Each
+    machine size gets its own child seed stream, so the points are
+    statistically independent; with ``workers`` > 1 the (size x run)
+    grid evaluates in one shared pool.
     """
-    out: dict[int, float] = {}
-    for nprocs in proc_counts:
-        timing = timing_factory(nprocs)
-        pred = predict(
-            model_factory(nprocs), nprocs, timing, runs=runs, seed=seed,
-            params=params, ppn=ppn,
+    root = as_seed_sequence(seed)
+    children = run_seeds(root, len(proc_counts))
+    groups = [
+        RunGroup(
+            model=model_factory(nprocs),
+            nprocs=nprocs,
+            timing=timing_factory(nprocs),
+            seed=child,
+            runs=runs,
+            params=params,
+            ppn=ppn,
         )
-        out[nprocs] = pred.speedup(serial_time)
-    return out
+        for nprocs, child in zip(proc_counts, children)
+    ]
+    preds = _evaluate_predictions(groups, workers, cache_dir)
+    return {
+        nprocs: pred.speedup(serial_time)
+        for nprocs, pred in zip(proc_counts, preds)
+    }
 
 
 def compare_timing_modes(
@@ -166,15 +266,20 @@ def compare_timing_modes(
     db,
     modes: list[tuple[str, str]] | None = None,
     runs: int = 5,
-    seed: int = 0,
+    seed: int | np.random.SeedSequence = 0,
     params: dict | None = None,
     nic_serialisation: str = "tx",
     ppn: int = 1,
+    workers: int | None = 1,
+    cache_dir=None,
 ) -> dict[str, Prediction]:
     """Run the paper's Figure 6 ablation at one machine size.
 
     *modes* is a list of (mode, source) pairs; defaults to the paper's
     four: distribution sampling vs. min/avg ping-pong vs. avg n x p.
+    Every mode reuses the same seed streams (a paired comparison: the
+    ablation differs only in timing source, not in random draws); with
+    ``workers`` > 1 the (mode x run) grid shares one pool.
     """
     modes = modes or [
         ("distribution", "nxp"),
@@ -182,12 +287,22 @@ def compare_timing_modes(
         ("minimum", "2x1"),
         ("average", "nxp"),
     ]
-    out: dict[str, Prediction] = {}
-    for mode, source in modes:
-        timing = timing_from_db(db, mode=mode, source=source, nprocs=nprocs)
-        pred = predict(
-            model, nprocs, timing, runs=runs, seed=seed, params=params,
-            nic_serialisation=nic_serialisation, ppn=ppn,
+    root = as_seed_sequence(seed)
+    groups = [
+        RunGroup(
+            model=model,
+            nprocs=nprocs,
+            timing=timing_from_db(db, mode=mode, source=source, nprocs=nprocs),
+            seed=root,
+            runs=runs,
+            params=params,
+            nic_serialisation=nic_serialisation,
+            ppn=ppn,
         )
-        out[f"{mode}-{source}"] = pred
-    return out
+        for mode, source in modes
+    ]
+    preds = _evaluate_predictions(groups, workers, cache_dir)
+    return {
+        f"{mode}-{source}": pred
+        for (mode, source), pred in zip(modes, preds)
+    }

@@ -24,6 +24,8 @@ Every model answers two questions for the virtual machine:
 from __future__ import annotations
 
 import abc
+import hashlib
+import pickle
 
 import numpy as np
 
@@ -73,6 +75,25 @@ class TimingModel(abc.ABC):
         evaluations draw identical samples regardless of what was sampled
         before."""
 
+    def _fingerprint_state(self):
+        """Model-specific identity beyond the class and name; subclasses
+        return whatever determines the times they produce (fitted
+        parameters, the backing database, ...)."""
+        return None
+
+    def fingerprint(self) -> str:
+        """Stable content hash identifying the times this model produces.
+
+        Used to key the on-disk prediction cache: two models with the
+        same fingerprint are interchangeable as timing sources.
+        """
+        state = (type(self).__qualname__, self.name, self._fingerprint_state())
+        try:
+            blob = pickle.dumps(state, protocol=4)
+        except Exception:
+            blob = repr(state).encode()
+        return hashlib.sha256(blob).hexdigest()
+
     def serialisation_gap(self, size: int, intra: bool = False) -> float:
         """Minimum spacing between successive messages through one NIC.
 
@@ -100,6 +121,9 @@ class _DbGapMixin:
 
     db: DistributionDB
     _gap_cache: dict
+
+    def _fingerprint_state(self):
+        return (self.db.fingerprint(), getattr(self, "fixed_contention", None))
 
     def serialisation_gap(self, size: int, intra: bool = False) -> float:
         cache = getattr(self, "_gap_cache", None)
@@ -132,10 +156,14 @@ class DistributionTiming(_DbGapMixin, TimingModel):
     use the live contention level.
     """
 
-    #: draws pre-sampled per (op, config, size) key; PEVPM consumes
-    #: millions of samples per study, so batching the inverse-CDF work
-    #: matters (see the eval-cost benchmark).
-    BATCH = 512
+    #: initial draws pre-sampled per (op, size, contention) key; PEVPM
+    #: consumes millions of samples per study, so batching the
+    #: inverse-CDF work matters (see the eval-cost benchmark).  Each
+    #: refill doubles the key's buffer up to :attr:`BATCH_MAX`, so hot
+    #: keys amortise towards pure vectorised sampling while one-shot
+    #: keys (a single barrier message) never over-draw.
+    BATCH = 64
+    BATCH_MAX = 8192
 
     def __init__(
         self,
@@ -169,13 +197,18 @@ class DistributionTiming(_DbGapMixin, TimingModel):
 
     def _draw(self, op, size, contention, rng, intra):
         c = self._contention(contention)
-        cfg = self.db.nearest_config(op, max(2, c), intra=intra)
-        key = (op, size, cfg, intra)
+        # Key on the raw contention level (it determines the benchmark
+        # config deterministically) to keep the hot path free of config
+        # lookups.
+        key = (op, size, c, intra)
         buf = self._buffers.get(key)
         if buf is None or buf[1] >= len(buf[0]):
-            values = self.db.sample_times(
-                op, size, c, rng, self.BATCH, intra=intra
+            batch = (
+                self.BATCH
+                if buf is None
+                else min(2 * len(buf[0]), self.BATCH_MAX)
             )
+            values = self.db.sample_times(op, size, c, rng, batch, intra=intra)
             buf = [values, 0]
             self._buffers[key] = buf
         value = float(buf[0][buf[1]])
@@ -276,6 +309,9 @@ class HockneyTiming(TimingModel):
         self.bandwidth = bandwidth
         self.send_fraction = send_fraction
         self.name = "hockney"
+
+    def _fingerprint_state(self):
+        return (self.latency, self.bandwidth, self.send_fraction)
 
     def one_way_time(self, size, contention, rng, intra=False):
         return self.latency + size / self.bandwidth

@@ -209,3 +209,26 @@ def test_sampling_stays_in_support(data):
     draws = h.sample(rng, 256)
     assert np.all(draws >= h.min - 1e-9)
     assert np.all(draws <= h.max + 1e-9)
+
+
+class TestScalarVectorSampleParity:
+    """The scalar ``sample()`` is the n=1 case of the vectorised draw --
+    one shared inverse-CDF implementation, one shared stream contract."""
+
+    def test_scalar_matches_vector_stream(self):
+        h = _h(list(np.random.default_rng(3).gamma(3.0, 10.0, size=500)), bins=32)
+        scalar_rng = np.random.default_rng(42)
+        vector_rng = np.random.default_rng(42)
+        scalars = [h.sample(scalar_rng) for _ in range(5)]
+        vectors = [float(h.sample(vector_rng, 1)[0]) for _ in range(5)]
+        assert scalars == vectors
+
+    def test_scalar_sample_is_float(self):
+        h = _h([1.0, 2.0, 3.0], bins=3)
+        value = h.sample(np.random.default_rng(0))
+        assert isinstance(value, float)
+
+    def test_vector_sample_shape(self):
+        h = _h([1.0, 2.0, 3.0], bins=3)
+        draws = h.sample(np.random.default_rng(0), 17)
+        assert draws.shape == (17,)

@@ -158,3 +158,35 @@ class TestPersistence:
         rng = np.random.default_rng(0)
         t = loaded.sample_time("isend", 1024, contention=8, rng=rng)
         assert t > 0
+
+
+class TestFingerprint:
+    """The content hash keying the PEVPM on-disk prediction cache."""
+
+    def test_stable_across_save_load(self, db, tmp_path):
+        path = tmp_path / "db.json"
+        db.save(path)
+        assert DistributionDB.load(path).fingerprint() == db.fingerprint()
+
+    def test_changes_when_results_added(self, db):
+        before = db.fingerprint()
+        db.add(_result(nodes=16, ppn=1))
+        assert db.fingerprint() != before
+
+    def test_differs_between_different_data(self, db):
+        other = DistributionDB()
+        for nodes, ppn in [(2, 1), (8, 1), (32, 1), (32, 2)]:
+            other.add(_result(nodes=nodes, ppn=ppn, centre=200e-6))
+        assert other.fingerprint() != db.fingerprint()
+
+
+class TestStatCache:
+    def test_mean_min_cached_lookups_match_direct(self, db):
+        direct_mean = db.histogram("isend", 1024, 8, 1).mean
+        direct_min = db.histogram("isend", 1024, 8, 1).min
+        # contention 8 resolves to the 8x1 config for this fixture
+        assert db.mean_time("isend", 1024, contention=8) == direct_mean
+        assert db.min_time("isend", 1024, contention=8) == direct_min
+        # second call served from the stat cache
+        assert db.mean_time("isend", 1024, contention=8) == direct_mean
+        assert ("mean", "isend", 1024, 8, False) in db._stat_cache
