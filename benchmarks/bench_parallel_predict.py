@@ -11,7 +11,11 @@ Jacobi workload:
   runs -- asserted only when the host has >= 4 cores, since a pool on a
   single core can only add overhead);
 * a second evaluation with identical arguments is served from the
-  on-disk prediction cache without re-simulation.
+  on-disk prediction cache without re-simulation;
+* ``vector_runs=True`` (the batched lockstep engine) multiplies
+  single-worker throughput (``simulated_per_wall``) by >= 3x on the
+  jacobi-100it-32p workload while keeping the mean within 1% of the
+  per-run engine's and staying bit-identical across worker counts.
 """
 
 import os
@@ -26,6 +30,9 @@ ITERATIONS = 100
 NPROCS = 16
 RUNS = 8
 WORKERS = 4
+
+VECTOR_NPROCS = 32
+VECTOR_RUNS = 64
 
 
 def test_parallel_predict(spec, fig6_db, out_dir):
@@ -77,3 +84,56 @@ def test_parallel_predict(spec, fig6_db, out_dir):
         assert speedup >= 2.0, f"only {speedup:.2f}x with {WORKERS} workers"
     elif cores >= 2:
         assert speedup >= 1.2, f"only {speedup:.2f}x with {WORKERS} workers"
+
+
+def test_vector_predict(spec, fig6_db, out_dir):
+    """The batched engine's throughput and parity on jacobi-100it-32p."""
+    params = {
+        "iterations": ITERATIONS,
+        "xsize": 256,
+        "serial_time": spec.jacobi_serial_time,
+    }
+    timing = timing_from_db(fig6_db, mode="distribution")
+    model = parse_jacobi()
+    kwargs = dict(runs=VECTOR_RUNS, seed=1, params=params)
+
+    t0 = time.perf_counter()
+    serial = predict(model, VECTOR_NPROCS, timing, workers=1, **kwargs)
+    serial_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    vector = predict(model, VECTOR_NPROCS, timing, workers=1,
+                     vector_runs=True, **kwargs)
+    vector_wall = time.perf_counter() - t0
+
+    # Statistical parity: batch draws follow their own stream convention
+    # but must land on the same distribution.
+    rel = abs(vector.mean_time - serial.mean_time) / serial.mean_time
+    # Determinism: repeats and worker counts do not change batch output.
+    repeat = predict(model, VECTOR_NPROCS, timing, workers=1,
+                     vector_runs=True, **kwargs)
+    pooled = predict(model, VECTOR_NPROCS, timing, workers=WORKERS,
+                     vector_runs=True, **kwargs)
+    assert repeat.times == vector.times
+    assert pooled.times == vector.times
+
+    gain = vector.simulated_per_wall / serial.simulated_per_wall
+    rows = [
+        ["workload", f"Jacobi {ITERATIONS} iters on {VECTOR_NPROCS} procs, "
+                     f"{VECTOR_RUNS} MC runs"],
+        ["per-run engine wall", format_time(serial_wall)],
+        ["batched engine wall", format_time(vector_wall)],
+        ["per-run simulated/wall", f"{serial.simulated_per_wall:.1f}x"],
+        ["batched simulated/wall", f"{vector.simulated_per_wall:.1f}x"],
+        ["throughput gain", f"{gain:.2f}x"],
+        ["mean gap vs per-run", f"{rel:.4%}"],
+        ["bit-identical repeats", str(repeat.times == vector.times)],
+        ["bit-identical across workers", str(pooled.times == vector.times)],
+    ]
+    write_figure(
+        out_dir, "vector_predict",
+        format_table(["quantity", "value"], rows,
+                     title="Batched vectorised prediction engine"),
+    )
+
+    assert rel < 0.01, f"batch mean drifted {rel:.2%} from the per-run engine"
+    assert gain >= 3.0, f"batched engine only {gain:.2f}x per-run throughput"

@@ -7,7 +7,11 @@ throughput.  Each entry records the paper's Section 6 metric (simulated
 processor-seconds per host wall second) for a fixed Jacobi workload, so
 the performance trajectory is visible across PRs::
 
-    [{"commit": "...", "date": "...", "simulated_per_wall": ..., ...}, ...]
+    [{"commit": "...", "dirty": false, "engine": "per-run"|"batched",
+      "date": "...", "simulated_per_wall": ..., ...}, ...]
+
+Each invocation appends one row per engine (the per-run machine and the
+batched vectorised one), so the throughput of both is tracked.
 
 Uses the cached ``benchmarks/out/cache/fig6.json`` distribution database
 when present (the benchmark suite's artefact) and measures a small fresh
@@ -50,17 +54,25 @@ def _load_db() -> DistributionDB:
     )
 
 
-def _git_commit() -> str:
+def _git_state() -> tuple[str, bool]:
+    """The commit actually checked out (``git rev-parse HEAD``, short)
+    plus whether the working tree is dirty -- a measurement taken with
+    uncommitted changes must not be attributed to the clean commit."""
     try:
-        return subprocess.run(
+        commit = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
             cwd=REPO, capture_output=True, text=True, check=True,
         ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        return commit, bool(status)
     except (OSError, subprocess.CalledProcessError):
-        return "unknown"
+        return "unknown", False
 
 
-def measure() -> dict:
+def measure(vector_runs: bool = False) -> dict:
     spec = perseus(64)
     db = _load_db()
     params = {
@@ -73,12 +85,16 @@ def measure() -> dict:
     pred = predict(
         parse_jacobi(), NPROCS, timing, runs=RUNS, seed=1, params=params,
         workers=None,  # one worker per host core
+        vector_runs=vector_runs,
     )
     wall = time.perf_counter() - t0
+    commit, dirty = _git_state()
     return {
-        "commit": _git_commit(),
+        "commit": commit,
+        "dirty": dirty,
         "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
         "workload": f"jacobi-{ITERATIONS}it-{NPROCS}p",
+        "engine": "batched" if vector_runs else "per-run",
         "runs": RUNS,
         "wall_seconds": round(wall, 4),
         "mean_run_wall": round(pred.mean_run_wall, 4),
@@ -105,10 +121,11 @@ def main() -> int:
         print(f"{HISTORY.name}: {len(history)} entries, ok")
         return 0
 
-    entry = measure()
-    history.append(entry)
+    for vector_runs in (False, True):
+        entry = measure(vector_runs=vector_runs)
+        history.append(entry)
+        print(json.dumps(entry, indent=2))
     HISTORY.write_text(json.dumps(history, indent=2) + "\n")
-    print(json.dumps(entry, indent=2))
     print(f"appended to {HISTORY}")
     return 0
 

@@ -92,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", metavar="DIR",
         help="reuse finished predictions from this on-disk cache",
     )
+    p_pred.add_argument(
+        "--vector-runs", action="store_true",
+        help="evaluate Monte Carlo runs in lockstep batches on the "
+             "vectorised engine (fastest; statistically equivalent to "
+             "per-run evaluation, and composes with --workers)",
+    )
     return parser
 
 
@@ -157,7 +163,7 @@ def cmd_predict(args) -> int:
     preds = compare_timing_modes(
         parse_jacobi(), args.nprocs, db, runs=args.runs, seed=args.seed,
         params=params, ppn=args.ppn, workers=args.workers,
-        cache_dir=args.cache_dir,
+        cache_dir=args.cache_dir, vector_runs=args.vector_runs,
     )
     rows = []
     measured = None
@@ -184,6 +190,13 @@ def cmd_predict(args) -> int:
                   f"(ppn={args.ppn})",
         )
     )
+    if args.vector_runs and args.runs >= 2:
+        from .pevpm import render_run_spread
+
+        dist = preds.get("distribution-nxp")
+        if dist is not None:
+            print()
+            print(render_run_spread(dist.times))
     return 0
 
 

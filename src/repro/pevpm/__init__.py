@@ -29,20 +29,23 @@ from .expr import ExprError, evaluate
 from .interpreter import compile_model, model_messages
 from .machine import ANY_SOURCE, MachineResult, ModelDeadlock, ProcContext, VirtualMachine
 from .parallel import (
+    VECTOR_BATCH,
     PredictionCache,
     RunGroup,
     RunOutcome,
     as_seed_sequence,
+    chunk_seed,
     evaluate_groups,
     resolve_workers,
     run_seeds,
 )
+from .vector import BatchedVirtualMachine
 from . import patterns
 from .parser import ParseError, parse_annotations
 from .predict import Prediction, compare_timing_modes, predict, predict_speedups
-from .scoreboard import Scoreboard, ScoreboardEntry
+from .scoreboard import Scoreboard, ScoreboardEntry, VectorEntry, VectorScoreboard
 from .symbolic import StaticProfile, SymbolicModel, extract_symbolic_model, static_profile
-from .timeline import iteration_profile, render_timeline
+from .timeline import iteration_profile, render_run_spread, render_timeline
 from .timing import (
     AverageTiming,
     DistributionTiming,
@@ -50,6 +53,7 @@ from .timing import (
     MinimumTiming,
     ParametricTiming,
     TimingModel,
+    clamp_times,
     timing_from_db,
 )
 from .trace import LossReport, TraceEvent, TraceRecorder
@@ -57,6 +61,7 @@ from .trace import LossReport, TraceEvent, TraceRecorder
 __all__ = [
     "ANY_SOURCE",
     "AverageTiming",
+    "BatchedVirtualMachine",
     "Block",
     "DistributionTiming",
     "ExprError",
@@ -85,8 +90,13 @@ __all__ = [
     "TimingModel",
     "TraceEvent",
     "TraceRecorder",
+    "VECTOR_BATCH",
+    "VectorEntry",
+    "VectorScoreboard",
     "VirtualMachine",
     "as_seed_sequence",
+    "chunk_seed",
+    "clamp_times",
     "compare_timing_modes",
     "compile_model",
     "evaluate",
@@ -101,6 +111,7 @@ __all__ = [
     "predict",
     "predict_speedups",
     "render_timeline",
+    "render_run_spread",
     "iteration_profile",
     "timing_from_db",
     "validate_model",

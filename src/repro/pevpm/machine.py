@@ -23,6 +23,12 @@ unblock anything while processes remain, the program is deadlocked -- the
 paper notes PEVPM "can also automatically discover program deadlock" --
 and the machine raises :class:`ModelDeadlock` with the blocked state.
 
+This module holds the *per-run* engine: one Monte Carlo run per
+evaluation.  :mod:`repro.pevpm.vector` implements the batched variant,
+which advances all runs of a Monte Carlo batch through one sweep/match
+pass with per-run clocks as ``(R,)`` vectors; both share this module's
+:class:`ProcContext` operation vocabulary and :class:`MachineResult`.
+
 Model programs are generators over primitive operations, produced either
 by interpreting directive IR (:mod:`repro.pevpm.interpreter`) or written
 directly against the :class:`ProcContext` API (the "driver program" form
@@ -70,6 +76,16 @@ class MatchInfo(NamedTuple):
     payload: object = None
 
 ANY_SOURCE = -1
+
+
+def validate_machine_config(nprocs: int, ppn: int, nic_serialisation: str) -> None:
+    """Shared constructor validation for the scalar and batched machines."""
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    if ppn < 1:
+        raise ValueError("ppn must be >= 1")
+    if nic_serialisation not in ("off", "tx", "txrx"):
+        raise ValueError("nic_serialisation must be 'off', 'tx' or 'txrx'")
 
 
 class ModelDeadlock(RuntimeError):
@@ -200,12 +216,7 @@ class VirtualMachine:
         nic_serialisation: str = "tx",
         ppn: int = 1,
     ):
-        if nprocs < 1:
-            raise ValueError("nprocs must be >= 1")
-        if ppn < 1:
-            raise ValueError("ppn must be >= 1")
-        if nic_serialisation not in ("off", "tx", "txrx"):
-            raise ValueError("nic_serialisation must be 'off', 'tx' or 'txrx'")
+        validate_machine_config(nprocs, ppn, nic_serialisation)
         self.nprocs = nprocs
         self.timing = timing
         self.params = params or {}

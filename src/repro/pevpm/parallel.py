@@ -43,16 +43,25 @@ import numpy as np
 from .directives import Block
 from .interpreter import compile_model
 from .machine import MachineResult, ProcContext, VirtualMachine
+from .vector import BatchedVirtualMachine
 
 __all__ = [
     "RunGroup",
     "RunOutcome",
     "PredictionCache",
+    "VECTOR_BATCH",
     "as_seed_sequence",
+    "chunk_seed",
     "run_seeds",
     "resolve_workers",
     "evaluate_groups",
 ]
+
+#: maximum Monte Carlo runs evaluated per batched-VM chunk.  Fixed (not a
+#: function of the worker count) so batch-mode output is bit-identical
+#: under any ``workers`` setting: chunk boundaries and chunk seed streams
+#: depend only on (seed, runs, vector_batch).
+VECTOR_BATCH = 64
 
 
 # -- seeding ----------------------------------------------------------------------
@@ -96,6 +105,36 @@ class RunGroup:
     trace_last: bool = False
     nic_serialisation: str = "tx"
     ppn: int = 1
+    #: evaluate runs through the batched (vectorised) virtual machine in
+    #: chunks of *vector_batch*; tracing needs the per-run engine, so
+    #: ``trace_last`` wins when both are set.
+    vector_runs: bool = False
+    vector_batch: int = VECTOR_BATCH
+
+
+def _vectorised(group: RunGroup) -> bool:
+    return group.vector_runs and not group.trace_last
+
+
+def _vector_chunks(group: RunGroup) -> list[tuple[int, int]]:
+    """(start, size) chunks of the group's runs, fixed by (runs,
+    vector_batch) alone -- the batch-mode work units."""
+    batch = max(1, group.vector_batch)
+    return [
+        (start, min(batch, group.runs - start))
+        for start in range(0, group.runs, batch)
+    ]
+
+
+def chunk_seed(root: np.random.SeedSequence, start: int) -> np.random.SeedSequence:
+    """Batch-mode seed convention: the chunk covering runs ``[start,
+    start+size)`` draws from the child stream scalar run *start* would
+    use.  Chunks therefore stay independent of each other and of the
+    worker count, and the convention needs no new state beyond the
+    per-run streams of :func:`run_seeds`."""
+    return np.random.SeedSequence(
+        entropy=root.entropy, spawn_key=root.spawn_key + (start,)
+    )
 
 
 @dataclass
@@ -139,6 +178,35 @@ def _execute_run(
     )
 
 
+def _execute_batch(
+    group: RunGroup,
+    program: Callable[[ProcContext], Generator],
+    start: int,
+    size: int,
+) -> list[RunOutcome]:
+    """Evaluate runs ``[start, start+size)`` through the batched VM.
+
+    Host wall time is shared by all runs of a chunk, so each outcome is
+    attributed an equal share.
+    """
+    t0 = _time.perf_counter()
+    vm = BatchedVirtualMachine(
+        group.nprocs,
+        group.timing,
+        seed=chunk_seed(group.seed, start),
+        runs=size,
+        params=group.params,
+        nic_serialisation=group.nic_serialisation,
+        ppn=group.ppn,
+    )
+    results = vm.run(program)
+    share = (_time.perf_counter() - t0) / size
+    return [
+        RunOutcome(elapsed=res.elapsed, result=res, wall=share)
+        for res in results
+    ]
+
+
 # -- worker-side state ---------------------------------------------------------
 # The pool initializer unpickles the group list once per worker; compiled
 # programs are cached per group index so a worker evaluating several runs
@@ -162,6 +230,15 @@ def _run_task(group_idx: int, run_idx: int, child, trace: bool):
     return group_idx, run_idx, outcome
 
 
+def _run_batch_task(group_idx: int, start: int, size: int):
+    group = _WORKER_GROUPS[group_idx]
+    program = _WORKER_PROGRAMS.get(group_idx)
+    if program is None:
+        program = _WORKER_PROGRAMS[group_idx] = _program_for(group)
+    outcomes = _execute_batch(group, program, start, size)
+    return group_idx, start, outcomes
+
+
 # -- the engine ---------------------------------------------------------------
 def resolve_workers(workers: int | None, tasks: int) -> int:
     """Number of pool processes to use for *tasks* independent runs.
@@ -181,11 +258,15 @@ def _evaluate_serial(groups: list[RunGroup]) -> list[list[RunOutcome]]:
     out: list[list[RunOutcome]] = []
     for group in groups:
         program = _program_for(group)
-        children = run_seeds(group.seed, group.runs)
         outcomes = []
-        for run, child in enumerate(children):
-            trace = group.trace_last and run == group.runs - 1
-            outcomes.append(_execute_run(group, program, child, trace))
+        if _vectorised(group):
+            for start, size in _vector_chunks(group):
+                outcomes.extend(_execute_batch(group, program, start, size))
+        else:
+            children = run_seeds(group.seed, group.runs)
+            for run, child in enumerate(children):
+                trace = group.trace_last and run == group.runs - 1
+                outcomes.append(_execute_run(group, program, child, trace))
         out.append(outcomes)
     return out
 
@@ -195,15 +276,20 @@ def evaluate_groups(
 ) -> list[list[RunOutcome]]:
     """Evaluate every Monte Carlo run of every group, possibly in parallel.
 
-    Returns one ``RunOutcome`` list per group, run-ordered.  The work
-    unit is a single MC run, so parallelism applies across runs *and*
-    across groups (the ``proc_counts`` / timing-mode axes of the
-    higher-level helpers).  Serial and parallel execution are
-    bit-identical because run ``i`` of a group always uses child stream
-    ``i`` of the group's seed.
+    Returns one ``RunOutcome`` list per group, run-ordered.  For per-run
+    groups the work unit is a single MC run; for ``vector_runs`` groups
+    it is a fixed-size chunk of runs evaluated by the batched VM.
+    Parallelism applies across work units *and* across groups (the
+    ``proc_counts`` / timing-mode axes of the higher-level helpers).
+    Results are bit-identical for any ``workers`` setting: scalar run
+    ``i`` always uses child stream ``i`` of the group's seed, and batch
+    chunks are seeded by :func:`chunk_seed` at worker-independent
+    boundaries.
     """
-    total = sum(g.runs for g in groups)
-    if total == 0:
+    total = sum(
+        len(_vector_chunks(g)) if _vectorised(g) else g.runs for g in groups
+    )
+    if sum(g.runs for g in groups) == 0:
         return [[] for _ in groups]
     nworkers = resolve_workers(workers, total)
     for group in groups:
@@ -224,6 +310,12 @@ def evaluate_groups(
         ) as pool:
             pending = set()
             for gi, group in enumerate(groups):
+                if _vectorised(group):
+                    for start, size in _vector_chunks(group):
+                        pending.add(
+                            pool.submit(_run_batch_task, gi, start, size)
+                        )
+                    continue
                 children = run_seeds(group.seed, group.runs)
                 for run, child in enumerate(children):
                     trace = group.trace_last and run == group.runs - 1
@@ -231,8 +323,15 @@ def evaluate_groups(
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for fut in done:
-                    gi, run, outcome = fut.result()
-                    results[gi][run] = outcome
+                    payload_out = fut.result()
+                    if len(payload_out) == 3 and isinstance(
+                        payload_out[2], list
+                    ):
+                        gi, start, outcomes = payload_out
+                        results[gi][start:start + len(outcomes)] = outcomes
+                    else:
+                        gi, run, outcome = payload_out
+                        results[gi][run] = outcome
     except (OSError, RuntimeError):
         # Pool creation can fail on restricted hosts (no /dev/shm, fork
         # limits); the evaluation itself is still well-defined serially.
@@ -252,7 +351,7 @@ class PredictionCache:
     objects.
     """
 
-    VERSION = 1
+    VERSION = 2
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
@@ -267,8 +366,16 @@ class PredictionCache:
         runs: int,
         nic_serialisation: str,
         ppn: int,
+        vector_runs: bool = False,
+        vector_batch: int = VECTOR_BATCH,
     ) -> str:
-        """Content fingerprint of one ``predict`` call."""
+        """Content fingerprint of one ``predict`` call.
+
+        Batch-mode evaluations use their own seed-stream convention, so
+        the vector flag (and, when set, the chunk size) is part of the
+        key -- scalar and batched results for the same seed are distinct
+        cache entries.
+        """
         try:
             model_blob = pickle.dumps((model, params), protocol=4)
         except Exception:
@@ -285,6 +392,8 @@ class PredictionCache:
                     "runs": runs,
                     "nic": nic_serialisation,
                     "ppn": ppn,
+                    "vector": bool(vector_runs),
+                    "vbatch": vector_batch if vector_runs else None,
                 },
                 sort_keys=True,
             ).encode()

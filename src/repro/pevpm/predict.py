@@ -12,7 +12,9 @@ runs (and the ``proc_counts`` / timing-mode axes of the helpers) fan out
 over a process pool when ``workers`` allows, with per-run
 ``SeedSequence`` streams keeping serial and parallel evaluation
 bit-identical for the same seed.  Pass ``cache_dir`` to reuse finished
-evaluations across calls and processes.
+evaluations across calls and processes, and ``vector_runs=True`` to
+evaluate whole chunks of runs in one pass on the batched virtual
+machine (:mod:`repro.pevpm.vector`) -- the highest-throughput mode.
 """
 
 from __future__ import annotations
@@ -140,6 +142,8 @@ def _evaluate_predictions(
             group.runs,
             group.nic_serialisation,
             group.ppn,
+            vector_runs=group.vector_runs,
+            vector_batch=group.vector_batch,
         )
         keys[i] = key
         doc = cache.get(key)
@@ -191,6 +195,7 @@ def predict(
     ppn: int = 1,
     workers: int | None = 1,
     cache_dir=None,
+    vector_runs: bool = False,
 ) -> Prediction:
     """Evaluate *model* (directive Block or program callable) *runs* times.
 
@@ -201,6 +206,16 @@ def predict(
     near-linearly.  ``cache_dir`` enables the on-disk prediction cache;
     the last run can be traced for loss attribution (which bypasses the
     cache).
+
+    ``vector_runs=True`` evaluates through the batched virtual machine
+    (:mod:`repro.pevpm.vector`): all runs of a fixed-size chunk advance
+    in one sweep/match pass with vectorised timing draws -- several times
+    the throughput of per-run evaluation on one worker, and it composes
+    with ``workers`` (chunks fan out over the pool) and the cache.
+    Batch mode has its own seed-stream convention, so its times are
+    statistically equivalent to -- not bit-identical with -- the per-run
+    engine's; it is itself deterministic for a given seed.  A traced
+    last run forces the per-run engine.
     """
     if runs < 1:
         raise ValueError("runs must be >= 1")
@@ -214,6 +229,7 @@ def predict(
         trace_last=trace_last,
         nic_serialisation=nic_serialisation,
         ppn=ppn,
+        vector_runs=vector_runs,
     )
     return _evaluate_predictions([group], workers, cache_dir)[0]
 
@@ -229,6 +245,7 @@ def predict_speedups(
     ppn: int = 1,
     workers: int | None = 1,
     cache_dir=None,
+    vector_runs: bool = False,
 ) -> dict[int, float]:
     """Speedup curve across machine sizes (the Figure 6 x-axis).
 
@@ -237,7 +254,8 @@ def predict_speedups(
     the timing source (average-n x p models depend on nprocs).  Each
     machine size gets its own child seed stream, so the points are
     statistically independent; with ``workers`` > 1 the (size x run)
-    grid evaluates in one shared pool.
+    grid evaluates in one shared pool.  ``vector_runs=True`` batches
+    each size's runs through the vectorised engine.
     """
     root = as_seed_sequence(seed)
     children = run_seeds(root, len(proc_counts))
@@ -250,6 +268,7 @@ def predict_speedups(
             runs=runs,
             params=params,
             ppn=ppn,
+            vector_runs=vector_runs,
         )
         for nprocs, child in zip(proc_counts, children)
     ]
@@ -272,6 +291,7 @@ def compare_timing_modes(
     ppn: int = 1,
     workers: int | None = 1,
     cache_dir=None,
+    vector_runs: bool = False,
 ) -> dict[str, Prediction]:
     """Run the paper's Figure 6 ablation at one machine size.
 
@@ -280,6 +300,9 @@ def compare_timing_modes(
     Every mode reuses the same seed streams (a paired comparison: the
     ablation differs only in timing source, not in random draws); with
     ``workers`` > 1 the (mode x run) grid shares one pool.
+    ``vector_runs=True`` batches every mode's runs through the
+    vectorised engine (the pairing is preserved: all modes share the
+    batch seed streams too).
     """
     modes = modes or [
         ("distribution", "nxp"),
@@ -298,6 +321,7 @@ def compare_timing_modes(
             params=params,
             nic_serialisation=nic_serialisation,
             ppn=ppn,
+            vector_runs=vector_runs,
         )
         for mode, source in modes
     ]

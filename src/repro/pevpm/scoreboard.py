@@ -18,7 +18,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
-__all__ = ["ScoreboardEntry", "Scoreboard"]
+__all__ = ["ScoreboardEntry", "Scoreboard", "VectorEntry", "VectorScoreboard"]
 
 
 @dataclass(frozen=True)
@@ -132,3 +132,136 @@ class Scoreboard:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Scoreboard outstanding={len(self)} peak={self.peak}>"
+
+
+class VectorEntry:
+    """One outstanding message across a *batch* of Monte Carlo runs.
+
+    Identical to :class:`ScoreboardEntry` except that ``depart`` is an
+    ``(r,)`` array -- one departure time per run in the (sub-)batch.  The
+    message's identity (src, dst, size, program position) is *structural*:
+    within a congruent sub-batch every run sends the same messages in the
+    same order, only their clock values differ.
+    """
+
+    __slots__ = ("msg_id", "src", "dst", "size", "depart", "intra", "payload")
+
+    def __init__(self, msg_id, src, dst, size, depart, intra=False, payload=None):
+        self.msg_id = msg_id
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.depart = depart
+        self.intra = intra
+        self.payload = payload
+
+    def sliced(self, index) -> "VectorEntry":
+        """The same message restricted to the runs selected by *index*."""
+        return VectorEntry(
+            self.msg_id, self.src, self.dst, self.size,
+            self.depart[index], self.intra, self.payload,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<VectorEntry #{self.msg_id} {self.src}->{self.dst} "
+            f"size={self.size} runs={len(self.depart)}>"
+        )
+
+
+class VectorScoreboard:
+    """Scoreboard for the batched virtual machine.
+
+    Message *population* is structural (shared by every run of a
+    congruent sub-batch), so contention stays a scalar; only departure
+    times are per-run vectors.  FIFO order is by ``msg_id``: a sender's
+    messages to one destination are added in program order and their
+    departure times are nondecreasing in every run, so insertion order
+    *is* the per-run depart order -- no per-run sorting needed.
+    """
+
+    def __init__(self):
+        self._entries: dict[int, VectorEntry] = {}
+        self._next_id = 0
+        self._inter_count = 0
+        self.peak = 0
+        self.total_added = 0
+
+    def add(
+        self, src: int, dst: int, size: int, depart, intra: bool = False,
+        payload: object = None,
+    ) -> VectorEntry:
+        entry = VectorEntry(
+            self._next_id, src, dst, size, depart, intra, payload
+        )
+        self._next_id += 1
+        self._entries[entry.msg_id] = entry
+        self.total_added += 1
+        if not intra:
+            self._inter_count += 1
+        if len(self._entries) > self.peak:
+            self.peak = len(self._entries)
+        return entry
+
+    def remove(self, msg_id: int) -> VectorEntry:
+        try:
+            entry = self._entries.pop(msg_id)
+        except KeyError:
+            raise KeyError(f"message {msg_id} not on the scoreboard") from None
+        if not entry.intra:
+            self._inter_count -= 1
+        return entry
+
+    def oldest_for(self, src: int, dst: int) -> VectorEntry | None:
+        """Lowest-msg_id outstanding message from src to dst (see class
+        docstring: insertion order is FIFO order in every run)."""
+        best = None
+        for e in self._entries.values():
+            if e.src == src and e.dst == dst:
+                if best is None or e.msg_id < best.msg_id:
+                    best = e
+        return best
+
+    def heads_for_dst(self, dst: int) -> list[VectorEntry]:
+        """Each source's oldest outstanding message to *dst* (the
+        wildcard-receive candidates), in ascending msg_id order."""
+        heads: dict[int, VectorEntry] = {}
+        for e in sorted(
+            (e for e in self._entries.values() if e.dst == dst),
+            key=lambda e: e.msg_id,
+        ):
+            if e.src not in heads:
+                heads[e.src] = e
+        return sorted(heads.values(), key=lambda e: e.msg_id)
+
+    def split(self, index) -> "VectorScoreboard":
+        """A scoreboard for the sub-batch of runs selected by *index*.
+
+        Shares message identities (msg_id counter state, population
+        counters) with the parent but slices every departure vector, so
+        divergent sub-batches evolve independently afterwards.
+        """
+        child = VectorScoreboard()
+        child._entries = {
+            mid: e.sliced(index) for mid, e in self._entries.items()
+        }
+        child._next_id = self._next_id
+        child._inter_count = self._inter_count
+        child.peak = self.peak
+        child.total_added = self.total_added
+        return child
+
+    @property
+    def contention(self) -> int:
+        """Outstanding inter-node messages (shared by all runs of the
+        sub-batch -- population is structural)."""
+        return self._inter_count
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[VectorEntry]:
+        return sorted(self._entries.values(), key=lambda e: e.msg_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VectorScoreboard outstanding={len(self)} peak={self.peak}>"

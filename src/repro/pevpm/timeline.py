@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from .trace import TraceRecorder
 
-__all__ = ["render_timeline", "iteration_profile"]
+__all__ = ["render_timeline", "iteration_profile", "render_run_spread"]
 
 _GLYPH = {"serial": "#", "send": "s", "recv": "."}
 
@@ -64,6 +64,47 @@ def render_timeline(
     header = (
         f"timeline {format_time(t_start)} .. {format_time(t_end)} "
         f"({format_time(dt)}/column)   # compute  s send  . recv-wait"
+    )
+    return "\n".join([header, *rows])
+
+
+def render_run_spread(times, width: int = 50, bins: int = 12) -> str:
+    """Render the spread of per-run predicted times as a text histogram.
+
+    The per-run engine is usually run a handful of times, but batch mode
+    (``vector_runs=True``) makes dozens or hundreds of Monte Carlo runs
+    cheap, at which point the *distribution* of completion times becomes
+    worth looking at, not just the mean -- this gives it the same ASCII
+    treatment :func:`repro.mpibench.report.pdf_plots` gives benchmark
+    distributions.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    values = sorted(float(t) for t in times)
+    if not values:
+        raise ValueError("times is empty")
+
+    from .._tables import format_time
+
+    lo, hi = values[0], values[-1]
+    if hi <= lo:
+        return (
+            f"run spread ({len(values)} runs): all at {format_time(lo)}"
+        )
+    step = (hi - lo) / bins
+    counts = [0] * bins
+    for v in values:
+        counts[min(bins - 1, int((v - lo) / step))] += 1
+    peak = max(counts)
+    rows = [
+        f"{format_time(lo + i * step):>10} |{'#' * round(c / peak * width):<{width}}| {c}"
+        for i, c in enumerate(counts)
+    ]
+    header = (
+        f"run spread: {len(values)} runs, "
+        f"min {format_time(lo)}  max {format_time(hi)}"
     )
     return "\n".join([header, *rows])
 

@@ -39,11 +39,25 @@ __all__ = [
     "MinimumTiming",
     "ParametricTiming",
     "HockneyTiming",
+    "clamp_times",
     "timing_from_db",
 ]
 
 ONEWAY_OP = "isend"
 LOCAL_OP = "isend_local"
+
+
+def clamp_times(value):
+    """Clamp sampled operation times to be non-negative.
+
+    Fitted parametric tails (and histogram bins widened around a
+    degenerate support) can dip marginally below zero; a communication
+    time cannot.  Accepts a scalar or an ``(n,)`` vector draw and
+    preserves the input's form.
+    """
+    if isinstance(value, np.ndarray):
+        return np.maximum(value, 0.0)
+    return value if value > 0.0 else 0.0
 
 
 class TimingModel(abc.ABC):
@@ -68,6 +82,36 @@ class TimingModel(abc.ABC):
         intra: bool = False,
     ) -> float:
         """Time the sending process is occupied by the send call."""
+
+    # -- batch API (the vectorised virtual machine's hot path) ------------------
+    #
+    # ``one_way_times``/``local_send_times`` answer the same questions as
+    # their scalar forms but for *n* Monte Carlo runs at once, returning
+    # an ``(n,)`` vector.  The defaults loop over the scalar methods so
+    # every model supports batching; data-driven subclasses override with
+    # genuinely vectorised draws.  Batch draws consume the generator's
+    # bit stream differently from the scalar path -- batch-mode
+    # evaluation defines its own seed-stream convention (see DESIGN.md).
+
+    def one_way_times(
+        self, size: int, contention: int, rng: np.random.Generator,
+        n: int, intra: bool = False,
+    ) -> np.ndarray:
+        """One-way times for *n* runs at one (size, contention) point."""
+        return np.array([
+            self.one_way_time(size, contention, rng, intra=intra)
+            for _ in range(n)
+        ])
+
+    def local_send_times(
+        self, size: int, contention: int, rng: np.random.Generator,
+        n: int, intra: bool = False,
+    ) -> np.ndarray:
+        """Local send occupancies for *n* runs at once."""
+        return np.array([
+            self.local_send_time(size, contention, rng, intra=intra)
+            for _ in range(n)
+        ])
 
     def reset(self) -> None:
         """Discard any cached sampling state.  Called by the virtual
@@ -143,7 +187,7 @@ class _DbGapMixin:
             else:
                 w = (size - lo) / (hi - lo)
                 m = (1.0 - w) * mlo + w * mhi
-            gap = max(0.0, m - base)
+            gap = clamp_times(m - base)
             cache[(size, intra)] = gap
         return gap
 
@@ -221,6 +265,21 @@ class DistributionTiming(_DbGapMixin, TimingModel):
     def local_send_time(self, size, contention, rng, intra=False):
         return self._draw(self._local_op, size, contention, rng, intra)
 
+    # Batch draws go straight to the vectorised DB sampler: exactly *n*
+    # inverse-CDF draws, no per-key buffers (the buffers exist to amortise
+    # scalar calls; a batch call is already amortised).
+    def one_way_times(self, size, contention, rng, n, intra=False):
+        return clamp_times(self.db.sample_times(
+            self._oneway_op, size, self._contention(contention), rng, n,
+            intra=intra,
+        ))
+
+    def local_send_times(self, size, contention, rng, n, intra=False):
+        return clamp_times(self.db.sample_times(
+            self._local_op, size, self._contention(contention), rng, n,
+            intra=intra,
+        ))
+
 
 class AverageTiming(_DbGapMixin, TimingModel):
     """Use mean times -- what conventional benchmarks offer (Figure 6's
@@ -238,6 +297,12 @@ class AverageTiming(_DbGapMixin, TimingModel):
     def local_send_time(self, size, contention, rng, intra=False):
         return self.db.mean_time(LOCAL_OP, size, self.fixed_contention, intra=intra)
 
+    def one_way_times(self, size, contention, rng, n, intra=False):
+        return np.full(n, self.one_way_time(size, contention, rng, intra=intra))
+
+    def local_send_times(self, size, contention, rng, n, intra=False):
+        return np.full(n, self.local_send_time(size, contention, rng, intra=intra))
+
 
 class MinimumTiming(_DbGapMixin, TimingModel):
     """Use minimum (contention-free) times -- the most optimistic source."""
@@ -252,6 +317,12 @@ class MinimumTiming(_DbGapMixin, TimingModel):
 
     def local_send_time(self, size, contention, rng, intra=False):
         return self.db.min_time(LOCAL_OP, size, self.fixed_contention, intra=intra)
+
+    def one_way_times(self, size, contention, rng, n, intra=False):
+        return np.full(n, self.one_way_time(size, contention, rng, intra=intra))
+
+    def local_send_times(self, size, contention, rng, n, intra=False):
+        return np.full(n, self.local_send_time(size, contention, rng, intra=intra))
 
 
 class ParametricTiming(_DbGapMixin, TimingModel):
@@ -285,10 +356,20 @@ class ParametricTiming(_DbGapMixin, TimingModel):
         return fit
 
     def one_way_time(self, size, contention, rng, intra=False):
-        return max(0.0, self._fit(ONEWAY_OP, size, contention, intra).sample(rng))
+        return clamp_times(self._fit(ONEWAY_OP, size, contention, intra).sample(rng))
 
     def local_send_time(self, size, contention, rng, intra=False):
-        return max(0.0, self._fit(LOCAL_OP, size, contention, intra).sample(rng))
+        return clamp_times(self._fit(LOCAL_OP, size, contention, intra).sample(rng))
+
+    def one_way_times(self, size, contention, rng, n, intra=False):
+        return clamp_times(
+            self._fit(ONEWAY_OP, size, contention, intra).sample(rng, size=n)
+        )
+
+    def local_send_times(self, size, contention, rng, n, intra=False):
+        return clamp_times(
+            self._fit(LOCAL_OP, size, contention, intra).sample(rng, size=n)
+        )
 
 
 class HockneyTiming(TimingModel):
@@ -318,6 +399,12 @@ class HockneyTiming(TimingModel):
 
     def local_send_time(self, size, contention, rng, intra=False):
         return self.send_fraction * self.one_way_time(size, contention, rng)
+
+    def one_way_times(self, size, contention, rng, n, intra=False):
+        return np.full(n, self.one_way_time(size, contention, rng, intra=intra))
+
+    def local_send_times(self, size, contention, rng, n, intra=False):
+        return np.full(n, self.local_send_time(size, contention, rng, intra=intra))
 
     def serialisation_gap(self, size, intra=False):
         return 0.0 if intra else size / self.bandwidth

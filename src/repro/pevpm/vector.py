@@ -1,0 +1,496 @@
+"""The batched (vectorised) virtual parallel machine.
+
+The scalar engine in :mod:`repro.pevpm.machine` evaluates one Monte
+Carlo run per sweep/match pass, so R runs pay the Python interpreter R
+times for every modelled message.  This module advances *all R runs in
+lockstep*: one generator step per process per operation, with the
+per-run virtual clocks, departure times and arrival times carried as
+NumPy ``(R,)`` vectors and every timing draw served by the batch API
+(:meth:`~repro.pevpm.timing.TimingModel.one_way_times` /
+``local_send_times``).
+
+This works because a model program's *structure* -- which operations
+each process executes, which messages exist, which process blocks at
+which receive -- is almost always identical across runs; only the clock
+values differ.  The engine exploits that by keeping one scoreboard and
+one generator per process for the whole batch, and handles the
+exceptions by **divergence splitting**:
+
+* a wildcard (``ANY_SOURCE``) receive samples an arrival vector for
+  every candidate message; if different runs would match different
+  messages, the batch splits into congruent sub-batches (one per winning
+  message, in ascending message-id order), each continuing
+  independently with its runs' slice of every state vector;
+* control flow after a split can genuinely differ (a task-farm master
+  reacts to whichever worker reported first), so each sub-batch *forks*
+  its process generators by deterministic replay: a fresh generator is
+  driven through the recorded resume history (the sequence of
+  :class:`~repro.pevpm.machine.MatchInfo` values delivered so far).
+
+A sub-batch of size 1 is exactly the per-run engine evaluated through
+length-1 vectors -- heavily divergent programs degrade gracefully to
+per-run evaluation cost.
+
+Batch-mode conventions (documented in DESIGN.md section 7):
+
+* one RNG stream per batch, consumed in a deterministic order fixed by
+  the program's structure, so the same seed gives bit-identical output
+  regardless of host or worker count;
+* within a match phase, blocked processes are served in ascending
+  process-number order (the scalar engine orders by block time, a
+  per-run quantity, which a congruent batch cannot use).  Batch and
+  scalar modes are therefore *statistically* equivalent samplers of the
+  same model, not bit-identical ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+import numpy as np
+
+from .machine import (
+    ANY_SOURCE,
+    MachineResult,
+    MatchInfo,
+    ModelDeadlock,
+    ProcContext,
+    validate_machine_config,
+)
+from .scoreboard import ScoreboardEntry, VectorEntry, VectorScoreboard
+from .timing import TimingModel
+
+__all__ = ["BatchedVirtualMachine"]
+
+
+class _BatchProc:
+    """Per-process state for one (sub-)batch: one shared generator, with
+    the run-dependent clocks as ``(r,)`` vectors."""
+
+    __slots__ = (
+        "ctx", "gen", "done", "blocked_src", "blocked_label", "resume_value",
+        "n_yields", "matches", "vtime", "compute", "send_t", "wait",
+        "block_start", "sends", "recvs",
+    )
+
+    def __init__(self, ctx: ProcContext, gen, r: int):
+        self.ctx = ctx
+        self.gen = gen
+        self.done = False
+        self.blocked_src: int | None = None
+        self.blocked_label = ""
+        self.resume_value = None
+        #: successful generator resumptions so far (the replay length)
+        self.n_yields = 0
+        #: MatchInfo values delivered at receive completions, in order --
+        #: together with n_yields this is the full resume history
+        self.matches: list[MatchInfo] = []
+        self.vtime = np.zeros(r)
+        self.compute = np.zeros(r)
+        self.send_t = np.zeros(r)
+        self.wait = np.zeros(r)
+        self.block_start = np.zeros(r)
+        self.sends = 0
+        self.recvs = 0
+
+
+class _SubBatch:
+    """A set of runs whose control flow is (so far) congruent, plus the
+    engine's resume point within the sweep/match loop."""
+
+    __slots__ = (
+        "runs", "procs", "scoreboard", "arrivals", "last_arrival",
+        "tx_free", "rx_free", "sweeps", "mode", "runnable", "blocked",
+        "match_idx",
+    )
+
+    def __init__(self):
+        self.runs: np.ndarray | None = None  #: global run indices
+        self.procs: list[_BatchProc] = []
+        self.scoreboard = VectorScoreboard()
+        self.arrivals: dict[int, np.ndarray] = {}
+        self.last_arrival: dict[tuple[int, int], np.ndarray] = {}
+        self.tx_free: dict[int, np.ndarray] = {}
+        self.rx_free: dict[int, np.ndarray] = {}
+        self.sweeps = 0
+        self.mode = "sweep"
+        self.runnable: list[int] = []
+        self.blocked: list[int] = []
+        self.match_idx = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.runs)
+
+
+class BatchedVirtualMachine:
+    """Evaluate *runs* Monte Carlo runs of a model program in one pass.
+
+    Mirrors :class:`~repro.pevpm.machine.VirtualMachine` but
+    :meth:`run` returns one :class:`MachineResult` per run, all drawn
+    from a single RNG stream seeded by *seed* (see the module docstring
+    for the batch-mode seed-stream convention).  Tracing is not
+    supported -- a traced run needs the per-run engine.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        timing: TimingModel,
+        seed: int | np.random.SeedSequence = 0,
+        runs: int = 1,
+        params: dict | None = None,
+        max_sweeps: int = 10_000_000,
+        nic_serialisation: str = "tx",
+        ppn: int = 1,
+    ):
+        validate_machine_config(nprocs, ppn, nic_serialisation)
+        if runs < 1:
+            raise ValueError("runs must be >= 1")
+        self.nprocs = nprocs
+        self.timing = timing
+        self.runs = runs
+        self.params = params or {}
+        self.rng = np.random.default_rng(seed)
+        self.max_sweeps = max_sweeps
+        self.nic_serialisation = nic_serialisation
+        self.ppn = ppn
+        #: divergence splits performed during the last :meth:`run`
+        self.splits = 0
+        #: size-1 sub-batches created (the per-run fallback degree)
+        self.singleton_subbatches = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+    def run(
+        self, program: Callable[[ProcContext], Generator]
+    ) -> list[MachineResult]:
+        """Evaluate the batch; returns run-ordered results."""
+        self.timing.reset()
+        self.splits = 0
+        self.singleton_subbatches = 0
+        results: list[MachineResult | None] = [None] * self.runs
+
+        root = _SubBatch()
+        root.runs = np.arange(self.runs)
+        root.runnable = list(range(self.nprocs))
+        for p in range(self.nprocs):
+            ctx = ProcContext(p, self.nprocs, self.params)
+            root.procs.append(_BatchProc(ctx, program(ctx), self.runs))
+
+        # Depth-first over congruent sub-batches: children are pushed in
+        # reverse winner order so the lowest-message-id branch runs next.
+        # The traversal order is structural, hence deterministic for a
+        # given seed -- the single RNG stream is consumed identically on
+        # every host and under every worker count.
+        stack = [root]
+        while stack:
+            sb = stack.pop()
+            children = self._advance(sb, program)
+            if children is None:
+                self._emit(sb, results)
+            else:
+                stack.extend(reversed(children))
+        return results  # type: ignore[return-value]
+
+    # -- the batched sweep/match loop ---------------------------------------------
+    def _advance(self, sb: _SubBatch, program) -> list[_SubBatch] | None:
+        """Run *sb* until it completes (returns ``None``) or diverges
+        (returns its child sub-batches)."""
+        while True:
+            if sb.mode == "sweep":
+                sb.sweeps += 1
+                if sb.sweeps > self.max_sweeps:
+                    raise RuntimeError(
+                        f"model exceeded {self.max_sweeps} sweep/match rounds"
+                    )
+                for pn in sb.runnable:
+                    self._sweep(sb, pn)
+                alive = [p for p in sb.procs if not p.done]
+                if not alive:
+                    return None
+                # The scalar engine serves blocked processes in (block
+                # time, procnum) order; block times are per-run here, so
+                # the batch convention orders by the *batch-mean* block
+                # time -- run-independent (hence congruent) and exactly
+                # the scalar order whenever the runs agree.  The NIC
+                # occupancy chaining depends on this order, so matching
+                # the scalar convention keeps the engines statistically
+                # aligned.
+                sb.blocked = [
+                    p.ctx.procnum
+                    for p in sorted(
+                        (p for p in alive if p.blocked_src is not None),
+                        key=lambda p: (float(p.block_start.mean()), p.ctx.procnum),
+                    )
+                ]
+                sb.match_idx = 0
+                sb.runnable = []
+                sb.mode = "match"
+            else:
+                children = self._match(sb, program)
+                if children is not None:
+                    return children
+                if not sb.runnable:
+                    raise ModelDeadlock(
+                        {
+                            pn: sb.procs[pn].blocked_src
+                            for pn in sb.blocked
+                            if sb.procs[pn].blocked_src is not None
+                        },
+                        self._orphans(sb, 0),
+                    )
+                sb.mode = "sweep"
+
+    def _sweep(self, sb: _SubBatch, pn: int) -> None:
+        """Advance process *pn* to its next decision point, vectorised."""
+        proc = sb.procs[pn]
+        gen = proc.gen
+        scoreboard = sb.scoreboard
+        timing = self.timing
+        rng = self.rng
+        r = sb.size
+        while True:
+            try:
+                op = gen.send(proc.resume_value)
+            except StopIteration:
+                proc.done = True
+                proc.gen = None
+                return
+            finally:
+                proc.resume_value = None
+            proc.n_yields += 1
+            kind = op[0]
+            if kind == "serial":
+                seconds = op[1]
+                proc.vtime = proc.vtime + seconds
+                proc.compute += seconds
+            elif kind == "send":
+                _k, dst, size, _label, payload = op
+                intra = pn // self.ppn == dst // self.ppn
+                depart = proc.vtime
+                cost = timing.local_send_times(
+                    size, scoreboard.contention, rng, r, intra=intra
+                )
+                # Rebind (never mutate) the clock: the scoreboard entry
+                # keeps the departure vector alive.
+                proc.vtime = depart + cost
+                proc.send_t += cost
+                proc.sends += 1
+                scoreboard.add(pn, dst, size, depart, intra=intra, payload=payload)
+            elif kind == "recv":
+                proc.blocked_src = op[1]
+                proc.blocked_label = op[2]
+                proc.block_start = proc.vtime
+                return
+            else:
+                raise ValueError(f"unknown model operation {op!r}")
+
+    def _match(self, sb: _SubBatch, program) -> list[_SubBatch] | None:
+        """Process the match phase from ``sb.match_idx``; returns child
+        sub-batches on divergence, ``None`` when the phase completes.
+
+        Blocked processes are served in ascending process number -- the
+        batch-mode convention (per-run block times cannot order a
+        congruent batch).  Candidate *existence* is structural, so the
+        same receives complete in every run.
+        """
+        while sb.match_idx < len(sb.blocked):
+            pn = sb.blocked[sb.match_idx]
+            proc = sb.procs[pn]
+            if proc.blocked_src == ANY_SOURCE:
+                heads = sb.scoreboard.heads_for_dst(pn)
+                if not heads:
+                    sb.match_idx += 1
+                    continue
+                if len(heads) == 1:
+                    entry = heads[0]
+                else:
+                    # Sample every candidate's arrival (as the scalar
+                    # engine does); ties and the argmin tie-break both
+                    # resolve to the lowest message id because heads are
+                    # in ascending-id order.
+                    arr = np.stack([self._arrival(sb, e) for e in heads])
+                    win = np.argmin(arr, axis=0)
+                    winners = np.unique(win)
+                    if len(winners) > 1:
+                        return self._split(sb, pn, heads, win, winners, program)
+                    entry = heads[int(winners[0])]
+            else:
+                entry = sb.scoreboard.oldest_for(proc.blocked_src, pn)
+                if entry is None:
+                    sb.match_idx += 1
+                    continue
+            self._complete(sb, pn, entry)
+            sb.match_idx += 1
+        return None
+
+    def _complete(self, sb: _SubBatch, pn: int, entry: VectorEntry) -> None:
+        """Finish process *pn*'s receive with *entry*, vectorised."""
+        proc = sb.procs[pn]
+        t_arr = self._arrival(sb, entry)
+        completion = np.maximum(proc.vtime, t_arr)
+        proc.wait += completion - proc.block_start
+        proc.recvs += 1
+        proc.vtime = completion
+        proc.blocked_src = None
+        info = MatchInfo(entry.src, entry.size, entry.payload)
+        proc.resume_value = info
+        proc.matches.append(info)
+        sb.scoreboard.remove(entry.msg_id)
+        sb.arrivals.pop(entry.msg_id, None)
+        sb.runnable.append(pn)
+
+    def _arrival(self, sb: _SubBatch, entry: VectorEntry) -> np.ndarray:
+        """Sample (once) the arrival vector of a message -- the batched
+        form of the scalar engine's ``arrival_of``, including NIC
+        serialisation and the per-pair non-overtaking floor."""
+        t = sb.arrivals.get(entry.msg_id)
+        if t is not None:
+            return t
+        oneway = self.timing.one_way_times(
+            entry.size, sb.scoreboard.contention, self.rng, sb.size,
+            intra=entry.intra,
+        )
+        if entry.intra or self.nic_serialisation == "off":
+            t = entry.depart + oneway
+        else:
+            gap = self.timing.serialisation_gap(entry.size)
+            src_node = entry.src // self.ppn
+            dst_node = entry.dst // self.ppn
+            free = sb.tx_free.get(src_node)
+            inject = (
+                entry.depart if free is None else np.maximum(entry.depart, free)
+            )
+            sb.tx_free[src_node] = inject + gap
+            t = inject + oneway
+            if self.nic_serialisation == "txrx":
+                floor = sb.rx_free.get(dst_node)
+                if floor is None:
+                    t = np.maximum(t, gap)
+                else:
+                    t = np.maximum(t, floor + gap)
+                sb.rx_free[dst_node] = t
+        key = (entry.src, entry.dst)
+        prev = sb.last_arrival.get(key)
+        if prev is not None:
+            t = np.maximum(t, prev)
+        sb.last_arrival[key] = t
+        sb.arrivals[entry.msg_id] = t
+        return t
+
+    # -- divergence splitting -------------------------------------------------------
+    def _split(
+        self,
+        sb: _SubBatch,
+        pn: int,
+        heads: list[VectorEntry],
+        win: np.ndarray,
+        winners: np.ndarray,
+        program,
+    ) -> list[_SubBatch]:
+        """Partition *sb* by the message each run's wildcard receive
+        matches; every child finishes process *pn*'s receive with its
+        forced winner and resumes the match phase at the next process."""
+        self.splits += len(winners) - 1
+        children = []
+        for w in winners:
+            mask = win == w
+            child = self._slice(sb, mask, program)
+            forced = child.scoreboard._entries[heads[int(w)].msg_id]
+            self._complete(child, pn, forced)
+            child.match_idx = sb.match_idx + 1
+            if child.size == 1:
+                self.singleton_subbatches += 1
+            children.append(child)
+        return children
+
+    def _slice(self, sb: _SubBatch, mask: np.ndarray, program) -> _SubBatch:
+        """A congruent copy of *sb* restricted to the runs where *mask*
+        holds, with process generators forked by replay."""
+        child = _SubBatch()
+        child.runs = sb.runs[mask]
+        child.scoreboard = sb.scoreboard.split(mask)
+        child.arrivals = {m: a[mask] for m, a in sb.arrivals.items()}
+        child.last_arrival = {k: v[mask] for k, v in sb.last_arrival.items()}
+        child.tx_free = {k: v[mask] for k, v in sb.tx_free.items()}
+        child.rx_free = {k: v[mask] for k, v in sb.rx_free.items()}
+        child.sweeps = sb.sweeps
+        child.mode = sb.mode
+        child.runnable = list(sb.runnable)
+        child.blocked = list(sb.blocked)
+        child.match_idx = sb.match_idx
+        child.procs = [self._fork_proc(p, mask, program) for p in sb.procs]
+        return child
+
+    def _fork_proc(self, proc: _BatchProc, mask: np.ndarray, program) -> _BatchProc:
+        """Clone one process: slice its vectors and rebuild its generator
+        by replaying the recorded resume history.
+
+        A generator cannot be copied, but model programs are
+        deterministic functions of their context and the values resumed
+        into them, so driving a fresh generator through the same history
+        suspends it at the same yield.  Replay cost is proportional to
+        the operations executed so far, paid once per (split, process).
+        """
+        ctx = proc.ctx
+        clone = _BatchProc(ctx, None, 0)
+        clone.done = proc.done
+        clone.blocked_src = proc.blocked_src
+        clone.blocked_label = proc.blocked_label
+        clone.resume_value = proc.resume_value
+        clone.n_yields = proc.n_yields
+        clone.matches = list(proc.matches)
+        clone.vtime = proc.vtime[mask]
+        clone.compute = proc.compute[mask]
+        clone.send_t = proc.send_t[mask]
+        clone.wait = proc.wait[mask]
+        clone.block_start = proc.block_start[mask]
+        clone.sends = proc.sends
+        clone.recvs = proc.recvs
+        if proc.done:
+            return clone
+        gen = program(ctx)
+        feed = iter(clone.matches)
+        op = None
+        try:
+            for _ in range(proc.n_yields):
+                value = next(feed) if op is not None and op[0] == "recv" else None
+                op = gen.send(value)
+        except StopIteration:
+            raise RuntimeError(
+                "model program is not deterministic under replay: generator "
+                "finished early while forking a diverged sub-batch"
+            ) from None
+        clone.gen = gen
+        return clone
+
+    # -- results ---------------------------------------------------------------------
+    def _orphans(self, sb: _SubBatch, j: int) -> list[ScoreboardEntry]:
+        """Run *j*'s view of the messages still on the scoreboard."""
+        return [
+            ScoreboardEntry(
+                msg_id=e.msg_id, src=e.src, dst=e.dst, size=e.size,
+                depart_time=float(e.depart[j]), intra=e.intra,
+                payload=e.payload,
+            )
+            for e in sb.scoreboard.entries()
+        ]
+
+    def _emit(self, sb: _SubBatch, results: list) -> None:
+        """Unpack a finished sub-batch into per-run MachineResults."""
+        finish = np.stack([p.vtime for p in sb.procs])
+        elapsed = finish.max(axis=0)
+        has_orphans = len(sb.scoreboard) > 0
+        for j, run in enumerate(sb.runs):
+            results[int(run)] = MachineResult(
+                elapsed=float(elapsed[j]),
+                finish_times=[float(p.vtime[j]) for p in sb.procs],
+                compute_time=[float(p.compute[j]) for p in sb.procs],
+                send_time=[float(p.send_t[j]) for p in sb.procs],
+                recv_wait_time=[float(p.wait[j]) for p in sb.procs],
+                messages=sb.scoreboard.total_added,
+                peak_contention=sb.scoreboard.peak,
+                sweeps=sb.sweeps,
+                orphans=self._orphans(sb, j) if has_orphans else [],
+                trace=None,
+            )

@@ -232,3 +232,51 @@ class TestScalarVectorSampleParity:
         h = _h([1.0, 2.0, 3.0], bins=3)
         draws = h.sample(np.random.default_rng(0), 17)
         assert draws.shape == (17,)
+
+
+class TestVectorSampleEdgeCases:
+    """Edge cases of the batched ``sample(size=...)`` draw, which PEVPM's
+    vectorised engine leans on for whole-batch timing vectors."""
+
+    def test_empty_histogram_unconstructible(self):
+        # There is no "empty histogram" to sample from: both construction
+        # paths refuse, so every histogram the batch engine sees has mass.
+        with pytest.raises(ValueError):
+            Histogram.from_samples([])
+        with pytest.raises(ValueError):
+            Histogram(np.array([0.0, 1.0]), np.array([0.0]))
+
+    def test_size_zero_draw(self):
+        h = _h([1.0, 2.0, 3.0], bins=3)
+        draws = h.sample(np.random.default_rng(0), 0)
+        assert draws.shape == (0,)
+
+    def test_single_bin_draws_span_bin(self):
+        h = _h([1.0, 2.0, 3.0, 4.0], bins=1)
+        assert h.nbins == 1
+        draws = h.sample(np.random.default_rng(7), 512)
+        assert np.all(draws >= h.edges[0])
+        assert np.all(draws <= h.edges[-1])
+        # Uniform within the single bin: the mean sits near the centre.
+        assert float(np.mean(draws)) == pytest.approx(2.5, rel=0.05)
+
+    def test_degenerate_sub_epsilon_span(self):
+        # Samples closer together than the bin resolution collapse to one
+        # eps-widened bin; vector draws must stay finite and on-value.
+        # A ~2-ulp span at 1.0: real (lo < hi), but linspace cannot cut
+        # it into 50 strictly increasing edges.
+        base = 1.0
+        h = _h([base, base + 5e-16], bins=50)
+        assert h.nbins == 1
+        draws = h.sample(np.random.default_rng(1), 256)
+        assert np.all(np.isfinite(draws))
+        assert np.allclose(draws, base, rtol=1e-9)
+        # Scalar and vector paths agree on the degenerate histogram too.
+        s_rng, v_rng = np.random.default_rng(5), np.random.default_rng(5)
+        assert h.sample(s_rng) == pytest.approx(float(h.sample(v_rng, 1)[0]), abs=0.0)
+
+    def test_quantiles_match_quantile_loop(self):
+        h = _h(list(np.random.default_rng(9).gamma(2.0, 5.0, size=400)), bins=24)
+        qs = np.linspace(0.0, 1.0, 11)
+        vec = h.quantiles(qs)
+        assert vec == pytest.approx([h.quantile(float(q)) for q in qs])

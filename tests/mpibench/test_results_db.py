@@ -190,3 +190,47 @@ class TestStatCache:
         # second call served from the stat cache
         assert db.mean_time("isend", 1024, contention=8) == direct_mean
         assert ("mean", "isend", 1024, 8, False) in db._stat_cache
+
+
+class TestSampleTimesContentionBracketing:
+    """The vectorised ``sample_times`` must pick the same benchmark
+    configuration (by contention -> nearest process count) and consume
+    the random stream the same way as the scalar ``sample_time``."""
+
+    def test_contention_selects_nearest_config(self, db):
+        # Configs hold 2, 8, 32 and 64 total processes; contention picks
+        # the log-space nearest (floored at 2, the smallest benchmark).
+        assert db.nearest_config("isend", 2) == (2, 1)
+        assert db.nearest_config("isend", 5) == (8, 1)
+        assert db.nearest_config("isend", 20) == (32, 1)
+        assert db.nearest_config("isend", 500) == (32, 2)
+
+    def test_contention_moves_the_distribution(self, db):
+        # The fixture's times grow with the config's process count, so a
+        # higher contention level must shift the sampled mean up.
+        rng = np.random.default_rng(0)
+        low = db.sample_times("isend", 1024, 2, rng, 4000)
+        high = db.sample_times("isend", 1024, 60, rng, 4000)
+        assert float(np.mean(high)) > float(np.mean(low)) * 1.2
+
+    def test_scalar_vector_stream_parity_interpolated(self, db):
+        # At a size strictly between two measured sizes both paths draw
+        # one uniform per sample and interpolate in quantile space, so n
+        # scalar calls replay exactly as one n-vector call.
+        s_rng, v_rng = np.random.default_rng(11), np.random.default_rng(11)
+        scalars = [db.sample_time("isend", 512, 8, s_rng) for _ in range(6)]
+        vector = db.sample_times("isend", 512, 8, v_rng, 6)
+        assert scalars == pytest.approx(list(vector), abs=0.0)
+
+    def test_vector_draws_at_measured_size_bracket(self, db):
+        # At an exactly-measured size lo == hi: no interpolation, and the
+        # draws stay inside that size's histogram support.
+        hist = db.result("isend", 8, 1).histograms[1024]
+        draws = db.sample_times("isend", 1024, 8, np.random.default_rng(2), 256)
+        assert np.all(draws >= hist.min - 1e-12)
+        assert np.all(draws <= hist.max + 1e-12)
+
+    def test_vector_draw_deterministic(self, db):
+        a = db.sample_times("isend", 512, 8, np.random.default_rng(3), 32)
+        b = db.sample_times("isend", 512, 8, np.random.default_rng(3), 32)
+        assert np.array_equal(a, b)
