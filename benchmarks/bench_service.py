@@ -1,0 +1,112 @@
+"""Serving-stack throughput: the prediction service vs a naive server.
+
+The service's request funnel (micro-batching into
+``BatchedVirtualMachine`` chunks, singleflight dedup, LRU/disk caching)
+exists to raise served-prediction throughput without changing a single
+served number.  This benchmark drives an in-process server with the
+closed-loop load generator at increasing concurrency, once with the full
+funnel and once in *naive* mode (batching, dedup and caching disabled --
+one engine evaluation per request), and asserts:
+
+* the full funnel is at least 2x the naive throughput at concurrency 8
+  (the ISSUE acceptance bar), and
+* both modes serve ``times`` bit-identical to a direct ``predict(...)``
+  call -- throughput features must not move the numbers.
+"""
+
+from conftest import write_figure
+from repro._tables import format_table
+from repro.apps.jacobi import parse_jacobi
+from repro.pevpm import predict, timing_from_db
+from repro.service import LoadGenerator, PredictionService, ServiceClient, ServiceThread
+
+ITERATIONS = 20
+NPROCS = 8
+RUNS = 8
+DISTINCT_SEEDS = 16
+CONCURRENCY = [2, 8]
+DURATION = 1.5  # seconds per (mode, concurrency) level
+
+
+def _request(sequence: int) -> dict:
+    return {
+        "model": "jacobi",
+        "model_params": {"iterations": ITERATIONS},
+        "nprocs": NPROCS,
+        "runs": RUNS,
+        "seed": sequence % DISTINCT_SEEDS,
+    }
+
+
+def _drive(db, spec, *, naive: bool) -> dict[int, dict]:
+    flags = dict(batching=False, dedup=False, caching=False) if naive else {}
+    service = PredictionService(db, spec=spec, max_wait=0.002, **flags)
+    summaries = {}
+    with ServiceThread(service) as thread:
+        host, port = thread.address
+        for concurrency in CONCURRENCY:
+            gen = LoadGenerator(host, port, _request, concurrency=concurrency)
+            summaries[concurrency] = gen.run(duration=DURATION).summary()
+        # Spot-check the contract while the server is still up.
+        client = ServiceClient(host, port)
+        record = client.predict(**_request(3))
+        client.close()
+    summaries["record"] = record
+    return summaries
+
+
+def test_service_throughput(spec, fig6_db, out_dir):
+    naive = _drive(fig6_db, spec, naive=True)
+    full = _drive(fig6_db, spec, naive=False)
+
+    # Both modes serve bit-identical numbers to a direct predict() call.
+    direct = predict(
+        parse_jacobi(),
+        NPROCS,
+        timing_from_db(fig6_db, mode="distribution", nprocs=NPROCS),
+        runs=RUNS,
+        seed=3,
+        params={
+            "iterations": ITERATIONS,
+            "xsize": 256,
+            "serial_time": spec.jacobi_serial_time,
+        },
+        vector_runs=True,
+    )
+    assert naive["record"]["times"] == direct.times
+    assert full["record"]["times"] == direct.times
+
+    rows = []
+    for concurrency in CONCURRENCY:
+        n, f = naive[concurrency], full[concurrency]
+        speedup = f["throughput_rps"] / max(n["throughput_rps"], 1e-9)
+        rows.append([
+            str(concurrency),
+            f"{n['throughput_rps']:.0f}", f"{n['p99_ms']:.2f}",
+            f"{f['throughput_rps']:.0f}", f"{f['p99_ms']:.2f}",
+            f"{speedup:.1f}x",
+        ])
+    table = format_table(
+        ["clients", "naive rps", "naive p99 ms", "full rps", "full p99 ms",
+         "speedup"],
+        rows,
+        title=(
+            f"service throughput: jacobi {ITERATIONS} iters x{NPROCS}, "
+            f"{RUNS} MC runs, {DISTINCT_SEEDS} distinct keys, "
+            f"{DURATION:g}s closed loop per level"
+        ),
+    )
+    write_figure(out_dir, "service", table)
+
+    for concurrency in CONCURRENCY:
+        assert naive[concurrency]["errors"] == 0
+        assert full[concurrency]["errors"] == 0
+        assert naive[concurrency]["status_counts"].get("200", 0) > 0
+        assert full[concurrency]["status_counts"].get("200", 0) > 0
+
+    # The acceptance bar: batching + singleflight + LRU must at least
+    # double served throughput once there is real concurrency.
+    high = CONCURRENCY[-1]
+    assert (
+        full[high]["throughput_rps"] >= 2.0 * naive[high]["throughput_rps"]
+    ), (full[high], naive[high])

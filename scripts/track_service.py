@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Append the current service throughput measurement to BENCH_service.json.
+
+Run from the repository root (``PYTHONPATH=src python
+scripts/track_service.py``) after a change that could move served-
+prediction throughput.  Each invocation starts an in-process prediction
+server twice -- once in *naive* mode (batching, singleflight and caching
+disabled: one engine evaluation per request) and once with the full
+request funnel -- drives each with the closed-loop load generator at a
+sweep of concurrency levels, and appends one row per (mode, concurrency)
+cell::
+
+    [{"commit": "...", "dirty": false, "date": "...",
+      "workload": "jacobi-20it-8p-8runs", "mode": "naive"|"full",
+      "concurrency": 8, "throughput_rps": ..., "p50_ms": ...,
+      "p99_ms": ..., "speedup_vs_naive": ...}, ...]
+
+``speedup_vs_naive`` is filled on the *full* rows so the funnel's gain
+(the ISSUE acceptance bar is >= 2x at concurrency >= 8) is visible at a
+glance across PRs.
+
+Uses the cached ``benchmarks/out/cache/fig6.json`` distribution database
+when present and measures a small fresh sweep otherwise, so the script
+is runnable on a clean checkout.  ``--check`` only validates that the
+history file parses (CI smoke).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.mpibench import BenchSettings, DistributionDB, MPIBench  # noqa: E402
+from repro.service import LoadGenerator, PredictionService, ServiceThread  # noqa: E402
+from repro.simnet import perseus  # noqa: E402
+
+HISTORY = REPO / "BENCH_service.json"
+DB_CACHE = REPO / "benchmarks" / "out" / "cache" / "fig6.json"
+
+ITERATIONS = 20
+NPROCS = 8
+RUNS = 8
+DISTINCT_SEEDS = 16
+CONCURRENCY = [2, 8]
+DURATION = 2.0  # seconds per (mode, concurrency) level
+
+
+def _load_db() -> DistributionDB:
+    if DB_CACHE.exists():
+        return DistributionDB.load(DB_CACHE)
+    bench = MPIBench(perseus(64), seed=1, settings=BenchSettings(reps=20, warmup=5))
+    return bench.sweep_isend(
+        [(1, 2), (2, 1), (8, 1), (16, 1)], sizes=[0, 512, 1024, 2048]
+    )
+
+
+def _git_state() -> tuple[str, bool]:
+    """The commit actually checked out (``git rev-parse HEAD``, short)
+    plus whether the working tree is dirty -- a measurement taken with
+    uncommitted changes must not be attributed to the clean commit."""
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        return commit, bool(status)
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown", False
+
+
+def _request(sequence: int) -> dict:
+    return {
+        "model": "jacobi",
+        "model_params": {"iterations": ITERATIONS},
+        "nprocs": NPROCS,
+        "runs": RUNS,
+        "seed": sequence % DISTINCT_SEEDS,
+    }
+
+
+def measure(db, spec, naive: bool) -> dict[int, dict]:
+    flags = dict(batching=False, dedup=False, caching=False) if naive else {}
+    service = PredictionService(db, spec=spec, **flags)
+    summaries: dict[int, dict] = {}
+    with ServiceThread(service) as thread:
+        host, port = thread.address
+        for concurrency in CONCURRENCY:
+            gen = LoadGenerator(host, port, _request, concurrency=concurrency)
+            summaries[concurrency] = gen.run(duration=DURATION).summary()
+    return summaries
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="only validate that the history file parses",
+    )
+    args = parser.parse_args()
+
+    history = []
+    if HISTORY.exists():
+        history = json.loads(HISTORY.read_text())
+        if not isinstance(history, list):
+            print(f"{HISTORY} is not a JSON list", file=sys.stderr)
+            return 1
+    if args.check:
+        print(f"{HISTORY.name}: {len(history)} entries, ok")
+        return 0
+
+    spec = perseus(64)
+    db = _load_db()
+    commit, dirty = _git_state()
+    date = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    workload = f"jacobi-{ITERATIONS}it-{NPROCS}p-{RUNS}runs"
+    results = {
+        "naive": measure(db, spec, naive=True),
+        "full": measure(db, spec, naive=False),
+    }
+    for mode in ("naive", "full"):
+        for concurrency in CONCURRENCY:
+            summary = results[mode][concurrency]
+            entry = {
+                "commit": commit,
+                "dirty": dirty,
+                "date": date,
+                "workload": workload,
+                "mode": mode,
+                "concurrency": concurrency,
+                "requests": summary["requests"],
+                "errors": summary["errors"],
+                "throughput_rps": summary["throughput_rps"],
+                "p50_ms": summary["p50_ms"],
+                "p99_ms": summary["p99_ms"],
+            }
+            if mode == "full":
+                naive_rps = results["naive"][concurrency]["throughput_rps"]
+                entry["speedup_vs_naive"] = round(
+                    summary["throughput_rps"] / max(naive_rps, 1e-9), 2
+                )
+            history.append(entry)
+            print(json.dumps(entry, indent=2))
+    HISTORY.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"appended to {HISTORY}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

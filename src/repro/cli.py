@@ -8,12 +8,20 @@ Subcommands:
 * ``repro pdf``       -- print distribution tables/ASCII plots for one
   configuration (the Figure 3/4 views);
 * ``repro predict``   -- build/load a database and predict an example
-  application's run time with PEVPM, comparing timing modes.
+  application's run time with PEVPM, comparing timing modes
+  (``--json`` for the machine-readable record the service also serves);
+* ``repro serve``     -- run the prediction service (HTTP/JSON);
+* ``repro loadgen``   -- drive a running service with closed-loop load.
+
+Exit codes: 0 on success, 3 when the modelled (or simulated) program
+deadlocks -- deadlock discovery is a PEVPM feature (Section 5), and
+scripts must be able to distinguish it from success.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import __version__
@@ -21,13 +29,16 @@ from ._tables import format_table, format_time
 from .apps.jacobi import jacobi_serial_time, jacobi_smpi, parse_jacobi
 from .mpibench import BenchSettings, DistributionDB, MPIBench
 from .mpibench.report import average_times_table, pdf_plots, tail_report
-from .pevpm import compare_timing_modes
+from .pevpm import ModelDeadlock, compare_timing_modes
 from .simnet import perseus
-from .smpi import run_program
+from .smpi import MpiDeadlock, run_program
 
 __all__ = ["main", "build_parser"]
 
 DEFAULT_SIZES = [0, 256, 1024, 4096, 16384, 65536]
+
+#: exit code for deadlock detected in the model or the simulated run
+EXIT_DEADLOCK = 3
 
 
 def _parse_config(text: str) -> tuple[int, int]:
@@ -98,6 +109,89 @@ def build_parser() -> argparse.ArgumentParser:
              "vectorised engine (fastest; statistically equivalent to "
              "per-run evaluation, and composes with --workers)",
     )
+    p_pred.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable prediction record (the same "
+             "serialisation the prediction service returns) instead of "
+             "the table",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP/JSON prediction service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8100)
+    p_serve.add_argument(
+        "--db", metavar="FILE",
+        help="serve from a saved DistributionDB (default: run a quick "
+             "benchmark campaign at start-up)",
+    )
+    p_serve.add_argument(
+        "--reps", type=int, default=50,
+        help="benchmark repetitions for the start-up campaign (no --db)",
+    )
+    p_serve.add_argument("--seed", type=int, default=1)
+    p_serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes per engine evaluation (results are "
+             "identical for any setting)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="on-disk prediction cache tier (shared with repro predict)",
+    )
+    p_serve.add_argument("--lru-size", type=int, default=1024)
+    p_serve.add_argument("--max-batch", type=int, default=8)
+    p_serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="micro-batching window in milliseconds",
+    )
+    p_serve.add_argument("--queue-limit", type=int, default=64)
+    p_serve.add_argument(
+        "--deadline-s", type=float, default=30.0,
+        help="default per-request deadline (504 when exceeded)",
+    )
+    p_serve.add_argument(
+        "--no-batch", action="store_true",
+        help="disable micro-batching (one evaluation per request)",
+    )
+    p_serve.add_argument(
+        "--no-dedup", action="store_true",
+        help="disable singleflight deduplication",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the LRU/disk cache tiers",
+    )
+
+    p_load = sub.add_parser(
+        "loadgen", help="closed-loop load against a running service"
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=8100)
+    p_load.add_argument(
+        "--concurrency", type=int, nargs="+", default=[1, 8],
+        help="closed-loop client counts to sweep",
+    )
+    p_load.add_argument(
+        "--duration", type=float, default=5.0,
+        help="seconds per concurrency level",
+    )
+    p_load.add_argument("--model", default="jacobi")
+    p_load.add_argument("--nprocs", type=int, default=8)
+    p_load.add_argument("--runs", type=int, default=16)
+    p_load.add_argument(
+        "--model-params", metavar="JSON", default=None,
+        help='model parameters, e.g. \'{"iterations": 20}\'',
+    )
+    p_load.add_argument(
+        "--distinct-seeds", type=int, default=16, metavar="K",
+        help="cycle requests over K distinct seeds (K distinct cache keys)",
+    )
+    p_load.add_argument(
+        "--json", action="store_true",
+        help="print per-level results as JSON instead of a table",
+    )
     return parser
 
 
@@ -150,7 +244,8 @@ def cmd_predict(args) -> int:
     if args.db:
         db = DistributionDB.load(args.db)
     else:
-        print("no --db given: running a quick benchmark campaign first...")
+        if not args.json:
+            print("no --db given: running a quick benchmark campaign first...")
         bench = MPIBench(spec, seed=args.seed, settings=BenchSettings(reps=50))
         configs = [(1, 2), (2, 1), (8, 1), (16, 1), (32, 1)]
         db = bench.sweep_isend(configs, sizes=[0, 512, 1024, 2048])
@@ -160,18 +255,55 @@ def cmd_predict(args) -> int:
         "serial_time": spec.jacobi_serial_time,
     }
     serial = jacobi_serial_time(spec, args.iterations)
-    preds = compare_timing_modes(
-        parse_jacobi(), args.nprocs, db, runs=args.runs, seed=args.seed,
-        params=params, ppn=args.ppn, workers=args.workers,
-        cache_dir=args.cache_dir, vector_runs=args.vector_runs,
-    )
+    try:
+        preds = compare_timing_modes(
+            parse_jacobi(), args.nprocs, db, runs=args.runs, seed=args.seed,
+            params=params, ppn=args.ppn, workers=args.workers,
+            cache_dir=args.cache_dir, vector_runs=args.vector_runs,
+        )
+        measured = None
+        if args.measure:
+            measured = run_program(
+                spec, jacobi_smpi, nprocs=args.nprocs, ppn=args.ppn,
+                seed=42, args=(args.iterations,),
+            ).elapsed
+    except (ModelDeadlock, MpiDeadlock) as exc:
+        if args.json:
+            print(json.dumps({"error": "deadlock", "detail": str(exc)}))
+        print(f"repro predict: deadlock detected: {exc}", file=sys.stderr)
+        return EXIT_DEADLOCK
+    if args.json:
+        from .service.records import prediction_record
+
+        doc = {
+            "workload": {
+                "model": "jacobi",
+                "model_params": {"iterations": args.iterations, "xsize": 256},
+                "nprocs": args.nprocs,
+                "ppn": args.ppn,
+                "runs": args.runs,
+                "seed": args.seed,
+            },
+            "serial_time": serial,
+            "db_fingerprint": db.fingerprint(),
+            "predictions": {
+                name: prediction_record(
+                    pred,
+                    seed=args.seed,
+                    vector_runs=args.vector_runs,
+                    nic_serialisation="tx",
+                    workers=args.workers,
+                    extra={"speedup": pred.speedup(serial)},
+                )
+                for name, pred in preds.items()
+            },
+        }
+        if measured is not None:
+            doc["measured_time"] = measured
+        print(json.dumps(doc, indent=2))
+        return 0
     rows = []
-    measured = None
-    if args.measure:
-        measured = run_program(
-            spec, jacobi_smpi, nprocs=args.nprocs, ppn=args.ppn,
-            seed=42, args=(args.iterations,),
-        ).elapsed
+    if measured is not None:
         rows.append(["measured (simulated run)", format_time(measured),
                      f"{serial / measured:.2f}", "-"])
     for name, pred in preds.items():
@@ -200,6 +332,102 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import PredictionService, ServiceServer
+
+    spec = perseus()
+    if args.db:
+        db = DistributionDB.load(args.db)
+    else:
+        print(
+            f"no --db given: running a quick benchmark campaign "
+            f"(reps={args.reps})...",
+            flush=True,
+        )
+        bench = MPIBench(
+            spec, seed=args.seed, settings=BenchSettings(reps=args.reps)
+        )
+        configs = [(1, 2), (2, 1), (8, 1), (16, 1), (32, 1)]
+        db = bench.sweep_isend(configs, sizes=[0, 512, 1024, 2048])
+    service = PredictionService(
+        db,
+        spec=spec,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        lru_size=args.lru_size,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait_ms / 1e3,
+        queue_limit=args.queue_limit,
+        deadline_s=args.deadline_s,
+        batching=not args.no_batch,
+        dedup=not args.no_dedup,
+        caching=not args.no_cache,
+    )
+    server = ServiceServer(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        print(f"repro service listening on http://{host}:{port}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    from .service.client import LoadGenerator, ServiceClient
+
+    model_params = json.loads(args.model_params) if args.model_params else {}
+
+    def request_factory(sequence: int) -> dict:
+        return {
+            "model": args.model,
+            "model_params": model_params,
+            "nprocs": args.nprocs,
+            "runs": args.runs,
+            "seed": sequence % args.distinct_seeds,
+        }
+
+    # Fail fast (and warm the campaign-dependent code paths) before
+    # unleashing the client threads.
+    ServiceClient(args.host, args.port).healthz()
+    summaries = []
+    for concurrency in args.concurrency:
+        gen = LoadGenerator(
+            args.host, args.port, request_factory, concurrency=concurrency
+        )
+        result = gen.run(duration=args.duration)
+        summaries.append(result.summary())
+    if args.json:
+        print(json.dumps(summaries, indent=2))
+        return 0
+    rows = [
+        [
+            str(s["concurrency"]), str(s["requests"]), str(s["errors"]),
+            f"{s['throughput_rps']:.1f}", f"{s['p50_ms']:.2f}",
+            f"{s['p99_ms']:.2f}",
+        ]
+        for s in summaries
+    ]
+    print(
+        format_table(
+            ["clients", "requests", "errors", "rps", "p50 ms", "p99 ms"],
+            rows,
+            title=f"closed-loop load: {args.model} x{args.nprocs} "
+                  f"({args.duration:g}s per level)",
+        )
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -207,6 +435,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench": cmd_bench,
         "pdf": cmd_pdf,
         "predict": cmd_predict,
+        "serve": cmd_serve,
+        "loadgen": cmd_loadgen,
     }
     return handlers[args.command](args)
 

@@ -280,6 +280,47 @@ class DistributionDB:
             self._stat_cache[key] = value
         return value
 
+    def describe(
+        self,
+        op: str,
+        size: int,
+        contention: int,
+        intra: bool = False,
+        quantiles: tuple[float, ...] = (0.05, 0.25, 0.5, 0.75, 0.95, 0.99),
+    ) -> dict:
+        """JSON-able summary of the distribution a lookup would sample.
+
+        This is the prediction service's ``/distributions`` query path:
+        it reports which benchmark configuration the contention level
+        resolved to, the measured sizes bracketing the request, and the
+        nearest size's histogram statistics and quantiles -- everything a
+        client needs to understand (and reproduce) what PEVPM would draw
+        from, without shipping the raw histogram.
+        """
+        result, lo, hi = self._locate(op, size, contention, intra)
+        nearest = lo if abs(size - lo) <= abs(hi - size) else hi
+        hist = result.histograms[nearest]
+        return {
+            "op": op,
+            "cluster": self.cluster,
+            "requested_size": size,
+            "contention": contention,
+            "intra": bool(intra),
+            "config": result.label,
+            "nodes": result.nodes,
+            "ppn": result.ppn,
+            "bracketing_sizes": [lo, hi],
+            "nearest_size": nearest,
+            "samples": hist.n,
+            "bins": hist.nbins,
+            "mean": hist.mean,
+            "std": hist.std,
+            "min": hist.min,
+            "max": hist.max,
+            "quantiles": {f"{q:g}": hist.quantile(q) for q in quantiles},
+            "db_fingerprint": self.fingerprint(),
+        }
+
     def mean_time(self, op: str, size: int, contention: int, intra: bool = False) -> float:
         """Average-time lookup (the 'avg' ablation of Figure 6)."""
         return self._stat_time("mean", op, size, contention, intra)

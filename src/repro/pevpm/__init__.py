@@ -42,7 +42,15 @@ from .parallel import (
 from .vector import BatchedVirtualMachine
 from . import patterns
 from .parser import ParseError, parse_annotations
-from .predict import Prediction, compare_timing_modes, predict, predict_speedups
+from .predict import (
+    Prediction,
+    build_prediction,
+    compare_timing_modes,
+    predict,
+    predict_speedups,
+    prediction_doc,
+    prediction_from_doc,
+)
 from .scoreboard import Scoreboard, ScoreboardEntry, VectorEntry, VectorScoreboard
 from .symbolic import StaticProfile, SymbolicModel, extract_symbolic_model, static_profile
 from .timeline import iteration_profile, render_run_spread, render_timeline
@@ -95,9 +103,12 @@ __all__ = [
     "VectorScoreboard",
     "VirtualMachine",
     "as_seed_sequence",
+    "build_prediction",
     "chunk_seed",
     "clamp_times",
     "compare_timing_modes",
+    "prediction_doc",
+    "prediction_from_doc",
     "compile_model",
     "evaluate",
     "evaluate_groups",

@@ -32,6 +32,7 @@ import hashlib
 import json
 import os
 import pickle
+import tempfile
 import time as _time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -400,6 +401,23 @@ class PredictionCache:
         )
         return h.hexdigest()
 
+    def group_key(self, group: RunGroup) -> str:
+        """The cache key of one :class:`RunGroup` -- the shared entry
+        point for :func:`~repro.pevpm.predict.predict` and the
+        prediction service's cache tiers."""
+        return self.key(
+            group.model,
+            group.params,
+            group.nprocs,
+            group.timing.fingerprint(),
+            group.seed,
+            group.runs,
+            group.nic_serialisation,
+            group.ppn,
+            vector_runs=group.vector_runs,
+            vector_batch=group.vector_batch,
+        )
+
     def _path(self, key: str) -> Path:
         return self.root / f"predict-{key}.json"
 
@@ -416,9 +434,30 @@ class PredictionCache:
         return doc
 
     def put(self, key: str, doc: dict) -> None:
+        """Persist *doc* crash- and concurrency-safely.
+
+        The entry is serialised to a uniquely-named temporary file in the
+        cache directory and atomically renamed into place: a writer
+        killed mid-write leaves only a stray ``.tmp`` file (never a
+        truncated entry that would poison later reads), and concurrent
+        writers of the same key cannot interleave -- the last complete
+        rename wins with a whole document either way.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         doc = dict(doc, version=self.VERSION)
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(doc))
-        tmp.replace(path)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f"predict-{key[:16]}-", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(doc))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

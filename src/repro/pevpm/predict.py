@@ -36,7 +36,14 @@ from .parallel import (
 from .timing import TimingModel, timing_from_db
 from .trace import LossReport
 
-__all__ = ["Prediction", "predict", "predict_speedups", "compare_timing_modes"]
+__all__ = [
+    "Prediction",
+    "build_prediction",
+    "prediction_from_doc",
+    "predict",
+    "predict_speedups",
+    "compare_timing_modes",
+]
 
 
 @dataclass
@@ -105,7 +112,12 @@ class Prediction:
         return LossReport(last.trace, last.elapsed, self.nprocs)
 
 
-def _build_prediction(group: RunGroup, outcomes, wall: float) -> Prediction:
+def build_prediction(group: RunGroup, outcomes, wall: float) -> Prediction:
+    """Aggregate one group's :class:`~repro.pevpm.parallel.RunOutcome`
+    list into a :class:`Prediction` -- the entry point shared by
+    :func:`predict` and the prediction service's micro-batcher (which
+    evaluates many groups per :func:`~repro.pevpm.parallel.evaluate_groups`
+    call and builds each request's prediction separately)."""
     return Prediction(
         nprocs=group.nprocs,
         timing_name=group.timing.name,
@@ -114,6 +126,32 @@ def _build_prediction(group: RunGroup, outcomes, wall: float) -> Prediction:
         wall_time=wall,
         run_walls=[o.wall for o in outcomes],
     )
+
+
+def prediction_from_doc(doc: dict) -> Prediction:
+    """Rehydrate a cached prediction document (the JSON form stored by
+    :class:`~repro.pevpm.parallel.PredictionCache` and the service's
+    in-memory tier) into a :class:`Prediction`."""
+    return Prediction(
+        nprocs=int(doc.get("nprocs", 0)),
+        timing_name=str(doc.get("timing", "")),
+        times=[float(t) for t in doc["times"]],
+        results=[],
+        wall_time=0.0,
+        run_walls=[float(w) for w in doc.get("run_walls", [])],
+        cached=True,
+    )
+
+
+def prediction_doc(group: RunGroup, pred: Prediction) -> dict:
+    """The JSON-able cache document for one finished evaluation
+    (inverse of :func:`prediction_from_doc`)."""
+    return {
+        "times": pred.times,
+        "run_walls": pred.run_walls,
+        "nprocs": group.nprocs,
+        "timing": group.timing.name,
+    }
 
 
 def _evaluate_predictions(
@@ -133,30 +171,10 @@ def _evaluate_predictions(
         if cache is None or group.trace_last:
             misses.append(i)
             continue
-        key = cache.key(
-            group.model,
-            group.params,
-            group.nprocs,
-            group.timing.fingerprint(),
-            group.seed,
-            group.runs,
-            group.nic_serialisation,
-            group.ppn,
-            vector_runs=group.vector_runs,
-            vector_batch=group.vector_batch,
-        )
-        keys[i] = key
+        key = keys[i] = cache.group_key(group)
         doc = cache.get(key)
         if doc is not None:
-            preds[i] = Prediction(
-                nprocs=group.nprocs,
-                timing_name=group.timing.name,
-                times=[float(t) for t in doc["times"]],
-                results=[],
-                wall_time=0.0,
-                run_walls=[float(w) for w in doc.get("run_walls", [])],
-                cached=True,
-            )
+            preds[i] = prediction_from_doc(doc)
         else:
             misses.append(i)
     if misses:
@@ -169,17 +187,9 @@ def _evaluate_predictions(
             # the pool).
             own = sum(o.wall for o in group_outcomes)
             total = sum(o.wall for per in outcomes for o in per) or 1.0
-            preds[i] = _build_prediction(groups[i], group_outcomes, wall * own / total)
+            preds[i] = build_prediction(groups[i], group_outcomes, wall * own / total)
             if cache is not None and keys[i] is not None:
-                cache.put(
-                    keys[i],
-                    {
-                        "times": preds[i].times,
-                        "run_walls": preds[i].run_walls,
-                        "nprocs": groups[i].nprocs,
-                        "timing": groups[i].timing.name,
-                    },
-                )
+                cache.put(keys[i], prediction_doc(groups[i], preds[i]))
     return preds  # type: ignore[return-value]
 
 

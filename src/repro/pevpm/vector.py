@@ -31,7 +31,7 @@ A sub-batch of size 1 is exactly the per-run engine evaluated through
 length-1 vectors -- heavily divergent programs degrade gracefully to
 per-run evaluation cost.
 
-Batch-mode conventions (documented in DESIGN.md section 7):
+Batch-mode conventions (documented in DESIGN.md section 6):
 
 * one RNG stream per batch, consumed in a deterministic order fixed by
   the program's structure, so the same seed gives bit-identical output

@@ -1,0 +1,58 @@
+"""The prediction service: serving PEVPM over HTTP/JSON.
+
+The paper's PEVPM is an execution-driven predictor meant to be *queried*
+-- "what is the run time of this model at P processes on this network?".
+This subsystem turns the engine into a stdlib-only asyncio service with
+the request funnel a production serving layer needs:
+
+* :mod:`.server`  -- asyncio HTTP server: ``/predict``,
+  ``/distributions``, ``/healthz``, ``/metrics``;
+* :mod:`.batcher` -- micro-batching of concurrent misses into one
+  :func:`~repro.pevpm.parallel.evaluate_groups` call (whose
+  ``vector_runs`` work units are ``BatchedVirtualMachine`` chunks);
+* :mod:`.dedup`   -- singleflight collapse of identical in-flight
+  requests;
+* :mod:`.cache`   -- in-memory LRU tier over the on-disk
+  :class:`~repro.pevpm.parallel.PredictionCache`;
+* :mod:`.jobs`    -- bounded admission (429 + Retry-After) and
+  deadlines (504);
+* :mod:`.metrics` -- counters and latency distributions, Prometheus
+  text format;
+* :mod:`.client`  -- blocking client and a closed-loop load generator;
+* :mod:`.records` -- request schema and the shared prediction record.
+
+The contract throughout: every served ``/predict`` response carries the
+seed and engine flags that produced it, and its ``times`` are
+bit-identical to the same :func:`repro.pevpm.predict` call made
+directly.
+"""
+
+from .batcher import MicroBatcher
+from .cache import TieredCache
+from .client import LoadGenerator, LoadResult, ServiceClient, ServiceError
+from .dedup import SingleFlight
+from .jobs import JobQueue, QueueFull
+from .metrics import ServiceMetrics
+from .records import MODELS, PredictRequest, RequestError, prediction_record
+from .server import PredictionService, ServiceServer
+from .server import ServiceThread
+
+__all__ = [
+    "LoadGenerator",
+    "LoadResult",
+    "MODELS",
+    "MicroBatcher",
+    "PredictRequest",
+    "PredictionService",
+    "QueueFull",
+    "RequestError",
+    "JobQueue",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceServer",
+    "ServiceThread",
+    "SingleFlight",
+    "TieredCache",
+    "prediction_record",
+]

@@ -1,0 +1,125 @@
+"""Micro-batching: coalesce concurrent predictions into engine batches.
+
+PR 2's :class:`~repro.pevpm.vector.BatchedVirtualMachine` evaluates a
+whole chunk of Monte Carlo runs in one lockstep sweep/match pass --
+exactly the shape a serving layer wants.  The micro-batcher completes
+the picture on the request side: concurrent ``/predict`` misses are
+collected for up to ``max_wait`` seconds (or ``max_batch`` requests,
+whichever first) and handed to the engine as **one**
+:func:`~repro.pevpm.parallel.evaluate_groups` call.  Each request stays
+its own :class:`~repro.pevpm.parallel.RunGroup` with its own seed
+streams -- coalescing shares pool start-up, per-group program
+compilation and (with ``workers > 1``) the worker processes, but never
+the random draws, so every request's times remain bit-identical to a
+direct ``predict(...)`` call.  Within a group, ``vector_runs`` requests
+are evaluated as ``BatchedVirtualMachine`` chunks, the engine's highest-
+throughput path.
+
+Evaluation runs on a single dedicated executor thread: batches pipeline
+(the collector keeps coalescing the next batch while the current one
+evaluates) and the engine's timing-model state is never shared between
+threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+from .metrics import ServiceMetrics
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Coalesce ``submit()`` items into batched evaluator calls.
+
+    *evaluate* is called with a list of items on the evaluator thread
+    and must return one result per item **in order**; a result may be an
+    exception instance, which is re-raised to that item's awaiter only
+    (one poisoned request must not fail its batch-mates).
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable[[list], list],
+        metrics: ServiceMetrics,
+        max_batch: int = 8,
+        max_wait: float = 0.002,
+        enabled: bool = True,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+        self._evaluate = evaluate
+        self._metrics = metrics
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.enabled = enabled
+        self._pending: asyncio.Queue | None = None
+        self._collector: asyncio.Task | None = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-eval"
+        )
+
+    async def submit(self, item) -> object:
+        """Queue *item* for batched evaluation; await its result."""
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        if not self.enabled:
+            await self._dispatch([(item, fut)])
+            return await fut
+        if self._pending is None:
+            self._pending = asyncio.Queue()
+            self._collector = asyncio.create_task(self._collect())
+        await self._pending.put((item, fut))
+        return await fut
+
+    async def _collect(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._pending.get()
+            batch = [first]
+            deadline = loop.time() + self.max_wait
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._pending.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            # Evaluate in the background so the collector keeps
+            # coalescing the next batch while this one runs.
+            asyncio.create_task(self._dispatch(batch))
+
+    async def _dispatch(self, batch: list[tuple]) -> None:
+        self._metrics.inc("repro_batches_total")
+        self._metrics.inc("repro_batched_requests_total", len(batch))
+        if len(batch) > 1:
+            self._metrics.inc("repro_coalesced_requests_total", len(batch) - 1)
+        loop = asyncio.get_running_loop()
+        items = [item for item, _ in batch]
+        try:
+            results = await loop.run_in_executor(
+                self._pool, self._evaluate, items
+            )
+        except BaseException as exc:  # evaluator itself failed wholesale
+            results = [exc] * len(batch)
+        for (_, fut), result in zip(batch, results):
+            if fut.done():
+                continue
+            if isinstance(result, BaseException):
+                fut.set_exception(result)
+            else:
+                fut.set_result(result)
+
+    def close(self) -> None:
+        if self._collector is not None:
+            self._collector.cancel()
+            self._collector = None
+        self._pool.shutdown(wait=False, cancel_futures=True)

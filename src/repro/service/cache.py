@@ -1,0 +1,71 @@
+"""Two-tier prediction cache: in-memory LRU over the on-disk store.
+
+The memory tier is a plain LRU of finished prediction documents (the
+JSON form :class:`~repro.pevpm.parallel.PredictionCache` persists);
+the optional disk tier survives restarts and is shared with anything
+else writing the same cache directory.  Disk hits are promoted into
+memory.  Keys are the service's content-addressed request keys, so a
+hit is by construction bit-identical to re-evaluating the request.
+
+Accessed from the event-loop thread only -- no locking needed; the
+disk tier's own writes are atomic (temp file + rename), so a served
+request killed mid-write cannot poison later reads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..pevpm.parallel import PredictionCache
+from .metrics import ServiceMetrics
+
+__all__ = ["TieredCache"]
+
+
+class TieredCache:
+    """LRU memory tier in front of an optional :class:`PredictionCache`."""
+
+    def __init__(
+        self,
+        capacity: int,
+        disk: PredictionCache | None,
+        metrics: ServiceMetrics,
+    ):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self.disk = disk
+        self._lru: OrderedDict[str, dict] = OrderedDict()
+        self._metrics = metrics
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def get(self, key: str) -> dict | None:
+        doc = self._lru.get(key)
+        if doc is not None:
+            self._lru.move_to_end(key)
+            self._metrics.inc("repro_cache_hits_total", tier="memory")
+            return doc
+        if self.disk is not None:
+            doc = self.disk.get(key)
+            if doc is not None:
+                self._metrics.inc("repro_cache_hits_total", tier="disk")
+                self._remember(key, doc)
+                return doc
+        self._metrics.inc("repro_cache_misses_total")
+        return None
+
+    def put(self, key: str, doc: dict) -> None:
+        self._remember(key, doc)
+        if self.disk is not None:
+            self.disk.put(key, doc)
+
+    def _remember(self, key: str, doc: dict) -> None:
+        if self.capacity == 0:
+            return
+        self._lru[key] = doc
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+            self._metrics.inc("repro_cache_evictions_total")

@@ -1,0 +1,239 @@
+"""Blocking service client and a closed-loop load generator.
+
+:class:`ServiceClient` is a thin stdlib (``http.client``) wrapper around
+the service's JSON endpoints -- what ``repro loadgen``, the end-to-end
+tests and the service benchmark drive.
+
+:class:`LoadGenerator` implements the classic closed-loop model: *C*
+client threads, each with its own persistent connection, firing the next
+request the moment the previous response arrives.  Offered load thus
+adapts to service capacity (no coordinated-omission bookkeeping needed)
+and throughput at concurrency *C* directly measures the serving stack's
+batching/dedup/cache gains.  Latencies are summarised through
+:class:`repro.mpibench.histogram.Histogram` -- the same machinery used
+for communication-time distributions.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..mpibench.histogram import Histogram
+
+__all__ = ["LoadGenerator", "LoadResult", "ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response."""
+
+    def __init__(self, status: int, doc: dict | str):
+        detail = doc.get("error") if isinstance(doc, dict) else str(doc)
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.doc = doc
+
+
+class ServiceClient:
+    """Blocking JSON client with one persistent keep-alive connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- plumbing --------------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None):
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        payload = None if body is None else json.dumps(body)
+        headers = {} if payload is None else {"Content-Type": "application/json"}
+        try:
+            self._conn.request(method, path, body=payload, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, OSError):
+            # Stale keep-alive connection: reconnect once.
+            self.close()
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._conn.request(method, path, body=payload, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        ctype = response.getheader("Content-Type", "")
+        if ctype.startswith("application/json"):
+            doc = json.loads(raw) if raw else {}
+        else:
+            doc = raw.decode()
+        return response.status, dict(response.getheaders()), doc
+
+    def _checked(self, method: str, path: str, body: dict | None = None):
+        status, _headers, doc = self._request(method, path, body)
+        if status != 200:
+            raise ServiceError(status, doc)
+        return doc
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # -- endpoints --------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        return self._checked("GET", "/metrics")
+
+    def predict(self, **request) -> dict:
+        """``POST /predict``; raises :class:`ServiceError` on non-200."""
+        return self._checked("POST", "/predict", request)
+
+    def predict_raw(self, request: dict) -> tuple[int, dict, dict]:
+        """``POST /predict`` returning (status, headers, doc) -- for
+        exercising the backpressure/deadline paths without exceptions."""
+        return self._request("POST", "/predict", request)
+
+    def distributions(self, **query) -> dict:
+        qs = "&".join(f"{k}={v}" for k, v in query.items())
+        return self._checked(
+            "GET", "/distributions" + (f"?{qs}" if qs else "")
+        )
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one closed-loop load run."""
+
+    concurrency: int
+    duration: float  #: measured wall seconds
+    latencies: list[float] = field(repr=False, default_factory=list)
+    status_counts: dict[int, int] = field(default_factory=dict)
+    errors: int = 0  #: transport-level failures
+
+    @property
+    def requests(self) -> int:
+        return sum(self.status_counts.values())
+
+    @property
+    def ok(self) -> int:
+        return self.status_counts.get(200, 0)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per wall second."""
+        if self.duration <= 0:
+            return 0.0
+        return self.requests / self.duration
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        hist = Histogram.from_samples(
+            self.latencies, bins=min(64, len(self.latencies))
+        )
+        return hist.quantile(q)
+
+    def summary(self) -> dict:
+        return {
+            "concurrency": self.concurrency,
+            "duration_s": round(self.duration, 4),
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "throughput_rps": round(self.throughput, 2),
+            "p50_ms": round(self.latency_quantile(0.5) * 1e3, 3),
+            "p90_ms": round(self.latency_quantile(0.9) * 1e3, 3),
+            "p99_ms": round(self.latency_quantile(0.99) * 1e3, 3),
+            "status_counts": {
+                str(code): count
+                for code, count in sorted(self.status_counts.items())
+            },
+        }
+
+
+class LoadGenerator:
+    """Closed-loop load: *concurrency* threads, each firing back-to-back."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        request_factory: Callable[[int], dict],
+        concurrency: int = 8,
+    ):
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.host = host
+        self.port = port
+        self.request_factory = request_factory
+        self.concurrency = concurrency
+
+    def run(
+        self,
+        duration: float | None = None,
+        total_requests: int | None = None,
+    ) -> LoadResult:
+        """Drive the service for *duration* seconds or *total_requests*
+        completed requests (whichever is given; both means either stops
+        the run)."""
+        if duration is None and total_requests is None:
+            raise ValueError("need duration and/or total_requests")
+        result = LoadResult(concurrency=self.concurrency, duration=0.0)
+        lock = threading.Lock()
+        counter = {"sent": 0}
+        stop_at = None
+        start_barrier = threading.Barrier(self.concurrency + 1)
+
+        def worker():
+            client = ServiceClient(self.host, self.port)
+            start_barrier.wait()
+            while True:
+                with lock:
+                    if stop_at is not None and _time.perf_counter() >= stop_at:
+                        break
+                    if (
+                        total_requests is not None
+                        and counter["sent"] >= total_requests
+                    ):
+                        break
+                    counter["sent"] += 1
+                    sequence = counter["sent"] - 1
+                request = self.request_factory(sequence)
+                t0 = _time.perf_counter()
+                try:
+                    status, _, _ = client.predict_raw(request)
+                except (OSError, http.client.HTTPException, ValueError):
+                    with lock:
+                        result.errors += 1
+                    continue
+                latency = _time.perf_counter() - t0
+                with lock:
+                    result.latencies.append(latency)
+                    result.status_counts[status] = (
+                        result.status_counts.get(status, 0) + 1
+                    )
+            client.close()
+
+        threads = [
+            threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+            for i in range(self.concurrency)
+        ]
+        for thread in threads:
+            thread.start()
+        start_barrier.wait()
+        t0 = _time.perf_counter()
+        if duration is not None:
+            stop_at = t0 + duration
+        for thread in threads:
+            thread.join()
+        result.duration = _time.perf_counter() - t0
+        return result

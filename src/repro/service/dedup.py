@@ -1,0 +1,60 @@
+"""Singleflight deduplication of identical concurrent requests.
+
+Two in-flight ``/predict`` requests with the same content key (the
+request's canonical form hashed together with the distribution
+database's fingerprint -- see :meth:`PredictRequest.key`) are guaranteed
+the same bit-identical answer, so only the first (the *leader*) reaches
+the engine; followers await the leader's future and share its result.
+This is safe precisely because of the reproducibility contract: dedup
+never changes what any client receives, only how often the engine runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from .metrics import ServiceMetrics
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """Key -> shared future map for in-flight evaluations."""
+
+    def __init__(self, metrics: ServiceMetrics):
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._metrics = metrics
+
+    def claim(self, key: str) -> tuple[bool, asyncio.Future]:
+        """Return ``(leader, future)`` for *key*.
+
+        The first claimant becomes the leader (and must later call
+        :meth:`resolve` or :meth:`reject`); followers get the same
+        future to await.
+        """
+        fut = self._inflight.get(key)
+        if fut is not None:
+            self._metrics.inc("repro_singleflight_hits_total")
+            return False, fut
+        fut = asyncio.get_running_loop().create_future()
+        self._inflight[key] = fut
+        self._metrics.inc("repro_singleflight_leads_total")
+        return True, fut
+
+    def resolve(self, key: str, result) -> None:
+        fut = self._inflight.pop(key, None)
+        if fut is not None and not fut.done():
+            fut.set_result(result)
+
+    def reject(self, key: str, exc: BaseException) -> None:
+        fut = self._inflight.pop(key, None)
+        if fut is not None and not fut.done():
+            fut.set_exception(exc)
+            # The leader re-raises on its own path; with no followers
+            # awaiting, the shared future's exception would otherwise be
+            # reported as never retrieved when it is collected.
+            fut.exception()
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)

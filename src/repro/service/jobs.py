@@ -1,0 +1,79 @@
+"""Admission control: a bounded job queue with backpressure and deadlines.
+
+A serving layer over a CPU-bound engine must bound its queue or latency
+grows without limit under overload.  The service admits at most
+``limit`` predictions in flight (queued in the micro-batcher or
+evaluating); requests beyond that are *shed* immediately with HTTP 429
+and a ``Retry-After`` hint, which keeps time-to-decision constant under
+overload instead of letting every client time out.  Cache hits and
+singleflight followers do not occupy slots -- only work that will
+actually reach the engine is counted.
+
+Deadlines are enforced at the handler: a request that cannot be answered
+within its (per-request or server-default) deadline gets HTTP 504.  The
+underlying evaluation is *not* cancelled -- it is shielded so its result
+still lands in the cache, turning a timed-out request into a warm entry
+for the next attempt.
+"""
+
+from __future__ import annotations
+
+from .metrics import ServiceMetrics
+
+__all__ = ["JobQueue", "QueueFull"]
+
+
+class QueueFull(RuntimeError):
+    """The job queue is at capacity; shed with 429 + Retry-After."""
+
+    def __init__(self, limit: int, retry_after: float):
+        super().__init__(f"job queue full ({limit} in flight)")
+        self.limit = limit
+        self.retry_after = retry_after
+
+
+class JobQueue:
+    """Counting admission gate, used from the event-loop thread only."""
+
+    def __init__(
+        self,
+        limit: int,
+        metrics: ServiceMetrics,
+        retry_after: float = 1.0,
+    ):
+        if limit < 1:
+            raise ValueError("queue limit must be >= 1")
+        self.limit = limit
+        self.retry_after = retry_after
+        self._inflight = 0
+        self._peak = 0
+        self._metrics = metrics
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def peak(self) -> int:
+        return self._peak
+
+    def acquire(self) -> None:
+        """Claim a slot or shed the request."""
+        if self._inflight >= self.limit:
+            self._metrics.inc("repro_jobs_shed_total")
+            raise QueueFull(self.limit, self.retry_after)
+        self._inflight += 1
+        self._peak = max(self._peak, self._inflight)
+        self._metrics.inc("repro_jobs_admitted_total")
+
+    def release(self) -> None:
+        if self._inflight <= 0:
+            raise RuntimeError("release without matching acquire")
+        self._inflight -= 1
+
+    def __enter__(self) -> "JobQueue":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()

@@ -1,0 +1,122 @@
+"""Service observability: counters and latency distributions.
+
+Nansamba et al. (*Leveraging Caliper and Benchpark*) make the case for
+measurement hooks built into the system rather than bolted on; the
+prediction service follows suit.  Counters cover the request funnel
+(admitted / shed / deduplicated / batched / cache tiers) and latencies
+are kept as raw second-valued samples per endpoint, summarised on demand
+through :class:`repro.mpibench.histogram.Histogram` -- the same
+distribution machinery MPIBench uses for communication times, because a
+serving latency is just another operation-time distribution.
+
+Rendering follows the Prometheus text exposition format, so ``/metrics``
+can be scraped by standard tooling (or just read by a human).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..mpibench.histogram import Histogram
+
+__all__ = ["ServiceMetrics"]
+
+#: latency quantiles exposed per endpoint
+QUANTILES = (0.5, 0.9, 0.99)
+
+
+class ServiceMetrics:
+    """Counters plus bounded latency reservoirs for one service."""
+
+    def __init__(self, reservoir: int = 8192):
+        #: (name, labels-tuple) -> value
+        self._counters: dict[tuple[str, tuple], float] = {}
+        #: endpoint -> bounded deque of latency samples (seconds)
+        self._latencies: dict[str, deque] = {}
+        self._reservoir = reservoir
+
+    # -- recording ----------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        key = (name, tuple(sorted(labels.items())))
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def observe(self, endpoint: str, seconds: float) -> None:
+        buf = self._latencies.get(endpoint)
+        if buf is None:
+            buf = self._latencies[endpoint] = deque(maxlen=self._reservoir)
+        buf.append(seconds)
+
+    # -- queries -----------------------------------------------------------------
+    def counter(self, name: str, **labels) -> float:
+        return self._counters.get((name, tuple(sorted(labels.items()))), 0.0)
+
+    def latency_histogram(self, endpoint: str) -> Histogram | None:
+        buf = self._latencies.get(endpoint)
+        if not buf:
+            return None
+        return Histogram.from_samples(buf, bins=min(64, len(buf)))
+
+    def latency_quantiles(self, endpoint: str) -> dict[float, float]:
+        hist = self.latency_histogram(endpoint)
+        if hist is None:
+            return {}
+        return {q: hist.quantile(q) for q in QUANTILES}
+
+    def snapshot(self) -> dict:
+        """JSON-able view of every counter and latency summary."""
+        counters: dict[str, float] = {}
+        for (name, labels), value in sorted(self._counters.items()):
+            suffix = (
+                "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
+                if labels
+                else ""
+            )
+            counters[name + suffix] = value
+        latencies = {}
+        for endpoint in sorted(self._latencies):
+            hist = self.latency_histogram(endpoint)
+            if hist is None:
+                continue
+            latencies[endpoint] = {
+                "count": len(self._latencies[endpoint]),
+                "mean": hist.mean,
+                **{f"p{int(q * 100)}": hist.quantile(q) for q in QUANTILES},
+            }
+        return {"counters": counters, "latency_seconds": latencies}
+
+    # -- exposition ----------------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """The Prometheus text format (v0.0.4) for ``/metrics``."""
+        lines: list[str] = []
+        seen_names: set[str] = set()
+        for (name, labels), value in sorted(self._counters.items()):
+            if name not in seen_names:
+                seen_names.add(name)
+                lines.append(f"# TYPE {name} counter")
+            label_str = (
+                "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
+                if labels
+                else ""
+            )
+            lines.append(f"{name}{label_str} {value:g}")
+        for endpoint in sorted(self._latencies):
+            buf = self._latencies[endpoint]
+            hist = self.latency_histogram(endpoint)
+            if hist is None:
+                continue
+            name = "repro_request_latency_seconds"
+            if name not in seen_names:
+                seen_names.add(name)
+                lines.append(f"# TYPE {name} summary")
+            for q in QUANTILES:
+                lines.append(
+                    f'{name}{{endpoint="{endpoint}",quantile="{q:g}"}} '
+                    f"{hist.quantile(q):.6g}"
+                )
+            lines.append(
+                f'{name}_count{{endpoint="{endpoint}"}} {len(buf)}'
+            )
+            lines.append(
+                f'{name}_sum{{endpoint="{endpoint}"}} {sum(buf):.6g}'
+            )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,237 @@
+"""Request schema, model registry, and the prediction response record.
+
+The service's reproducibility contract hinges on this module: a
+``/predict`` request is parsed into a :class:`PredictRequest` whose
+*canonical* form fills in every default, and the response record echoes
+back the seed and every engine flag that influenced the numbers.  A
+client can therefore replay any served prediction with a direct
+:func:`repro.pevpm.predict` call and obtain bit-identical times -- the
+discipline Hunold & Carpen-Amarie's *MPI Benchmarking Revisited* asks of
+benchmark results applies to served predictions too.
+
+The same :func:`prediction_record` serialiser backs ``repro predict
+--json``, so CLI output and service responses share one machine-readable
+format.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from ..apps.fft import fft_model
+from ..apps.jacobi import parse_jacobi
+from ..apps.taskfarm import make_tasks, taskfarm_model
+from ..pevpm.parallel import VECTOR_BATCH
+from ..pevpm.predict import Prediction
+
+__all__ = [
+    "MODELS",
+    "PredictRequest",
+    "RequestError",
+    "prediction_record",
+]
+
+
+class RequestError(ValueError):
+    """A malformed or unsupported request (HTTP 400)."""
+
+
+def _jacobi(spec, params: dict):
+    vm_params = {
+        "iterations": params["iterations"],
+        "xsize": params["xsize"],
+        "serial_time": spec.jacobi_serial_time,
+    }
+    return parse_jacobi(), vm_params
+
+
+def _fft(spec, params: dict):
+    return fft_model(params["n_points"]), None
+
+
+def _taskfarm(spec, params: dict):
+    tasks = make_tasks(
+        params["n_tasks"],
+        mean=params["task_mean"],
+        cv=params["task_cv"],
+        seed=params["task_seed"],
+    )
+    return taskfarm_model(tasks), None
+
+
+#: name -> (defaulted parameters, builder(spec, params) -> (model, vm_params)).
+#: One entry per communication-pattern class of Section 6.
+MODELS: dict[str, tuple[dict, object]] = {
+    "jacobi": ({"iterations": 100, "xsize": 256}, _jacobi),
+    "fft": ({"n_points": 4096}, _fft),
+    "taskfarm": (
+        {"n_tasks": 64, "task_mean": 5e-3, "task_cv": 0.5, "task_seed": 0},
+        _taskfarm,
+    ),
+}
+
+_TIMING_MODES = ("distribution", "average", "minimum", "parametric")
+_TIMING_SOURCES = ("nxp", "2x1")
+_NIC_MODES = ("off", "tx", "txrx")
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise RequestError(msg)
+
+
+def _as_int(value, name: str, minimum: int) -> int:
+    _require(
+        isinstance(value, int) and not isinstance(value, bool),
+        f"{name} must be an integer",
+    )
+    _require(value >= minimum, f"{name} must be >= {minimum}")
+    return value
+
+
+@dataclass
+class PredictRequest:
+    """One validated ``/predict`` request, defaults filled in."""
+
+    model: str
+    nprocs: int
+    model_params: dict = field(default_factory=dict)
+    ppn: int = 1
+    runs: int = 16
+    seed: int = 0
+    timing_mode: str = "distribution"
+    timing_source: str = "nxp"
+    nic_serialisation: str = "tx"
+    vector_runs: bool = True
+    vector_batch: int = VECTOR_BATCH
+    deadline_s: float | None = None  #: per-request deadline override
+
+    @classmethod
+    def from_dict(cls, doc: object) -> "PredictRequest":
+        _require(isinstance(doc, dict), "request body must be a JSON object")
+        known = {
+            "model", "nprocs", "model_params", "ppn", "runs", "seed",
+            "timing_mode", "timing_source", "nic_serialisation",
+            "vector_runs", "deadline_s",
+        }
+        unknown = set(doc) - known
+        _require(not unknown, f"unknown request fields: {sorted(unknown)}")
+        model = doc.get("model")
+        _require(model in MODELS, f"model must be one of {sorted(MODELS)}")
+        defaults, _ = MODELS[model]
+        raw_params = doc.get("model_params", {})
+        _require(isinstance(raw_params, dict), "model_params must be an object")
+        bad = set(raw_params) - set(defaults)
+        _require(not bad, f"unknown model_params for {model!r}: {sorted(bad)}")
+        params = dict(defaults, **raw_params)
+        mode = doc.get("timing_mode", "distribution")
+        _require(mode in _TIMING_MODES, f"timing_mode must be one of {_TIMING_MODES}")
+        source = doc.get("timing_source", "nxp")
+        _require(
+            source in _TIMING_SOURCES,
+            f"timing_source must be one of {_TIMING_SOURCES}",
+        )
+        nic = doc.get("nic_serialisation", "tx")
+        _require(nic in _NIC_MODES, f"nic_serialisation must be one of {_NIC_MODES}")
+        deadline = doc.get("deadline_s")
+        if deadline is not None:
+            _require(
+                isinstance(deadline, (int, float)) and deadline > 0,
+                "deadline_s must be a positive number",
+            )
+        return cls(
+            model=model,
+            nprocs=_as_int(doc.get("nprocs"), "nprocs", 1),
+            model_params=params,
+            ppn=_as_int(doc.get("ppn", 1), "ppn", 1),
+            runs=_as_int(doc.get("runs", 16), "runs", 1),
+            seed=_as_int(doc.get("seed", 0), "seed", 0),
+            timing_mode=mode,
+            timing_source=source,
+            nic_serialisation=nic,
+            vector_runs=bool(doc.get("vector_runs", True)),
+            deadline_s=None if deadline is None else float(deadline),
+        )
+
+    def canonical(self) -> dict:
+        """Every field that determines the numbers, defaults filled."""
+        return {
+            "model": self.model,
+            "model_params": dict(sorted(self.model_params.items())),
+            "nprocs": self.nprocs,
+            "ppn": self.ppn,
+            "runs": self.runs,
+            "seed": self.seed,
+            "timing_mode": self.timing_mode,
+            "timing_source": self.timing_source,
+            "nic_serialisation": self.nic_serialisation,
+            "vector_runs": self.vector_runs,
+            "vector_batch": self.vector_batch if self.vector_runs else None,
+        }
+
+    def key(self, db_fingerprint: str) -> str:
+        """Content-addressed identity of this request against one
+        distribution database -- the singleflight / cache-tier key.
+
+        Two requests share a key exactly when a direct ``predict(...)``
+        call would produce bit-identical times for both, so serving one
+        evaluation (or one cached document) to all of them preserves the
+        reproducibility contract.  Stable across server restarts and
+        hosts (unlike pickled closures, which the on-disk
+        ``PredictionCache`` falls back to for callable models).
+        """
+        blob = json.dumps(
+            {"db": db_fingerprint, "request": self.canonical()}, sort_keys=True
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def build_model(self, spec) -> tuple[object, dict | None]:
+        """Instantiate (model, vm params) for the simulated *spec*."""
+        _, builder = MODELS[self.model]
+        return builder(spec, self.model_params)
+
+
+def prediction_record(
+    pred: Prediction,
+    *,
+    seed: int | None = None,
+    vector_runs: bool | None = None,
+    vector_batch: int | None = None,
+    nic_serialisation: str | None = None,
+    workers: int | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Machine-readable record of one prediction.
+
+    Shared between the service's ``/predict`` response serialiser and
+    ``repro predict --json``: carries the per-run times plus the seed and
+    engine flags needed to reproduce them bit-identically with a direct
+    ``predict(...)`` call.
+    """
+    record = {
+        "nprocs": pred.nprocs,
+        "timing": pred.timing_name,
+        "runs": pred.runs,
+        "times": [float(t) for t in pred.times],
+        "mean_time": pred.mean_time,
+        "std_time": pred.std_time,
+        "stderr": pred.stderr,
+        "wall_time": pred.wall_time,
+        "cached": pred.cached,
+        "engine": {},
+    }
+    if seed is not None:
+        record["seed"] = seed
+    if vector_runs is not None:
+        record["engine"]["vector_runs"] = bool(vector_runs)
+        if vector_runs:
+            record["engine"]["vector_batch"] = vector_batch or VECTOR_BATCH
+    if nic_serialisation is not None:
+        record["engine"]["nic_serialisation"] = nic_serialisation
+    if workers is not None:
+        record["engine"]["workers"] = workers
+    if extra:
+        record.update(extra)
+    return record

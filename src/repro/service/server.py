@@ -1,0 +1,535 @@
+"""The asyncio prediction server.
+
+A stdlib-only HTTP/1.1 server (hand-rolled request parsing over
+``asyncio.start_server`` streams -- no ``http.server``) exposing the
+PEVPM engine and the MPIBench distribution database:
+
+* ``POST /predict``       -- serve a PEVPM prediction (JSON in/out);
+* ``GET  /distributions`` -- query the distribution database
+  (:meth:`~repro.mpibench.results.DistributionDB.describe`);
+* ``GET  /healthz``       -- liveness + configuration summary;
+* ``GET  /metrics``       -- Prometheus text exposition.
+
+The ``/predict`` funnel, in order: parse/validate -> content key ->
+LRU/disk cache (:mod:`.cache`) -> singleflight (:mod:`.dedup`) ->
+admission (:mod:`.jobs`, 429 when full) -> micro-batcher
+(:mod:`.batcher`) -> :func:`~repro.pevpm.parallel.evaluate_groups`.
+Deadlines produce 504 without cancelling the evaluation (the result
+still warms the cache).  Every stage preserves the reproducibility
+contract: a served response's ``times`` are bit-identical to the same
+``predict(...)`` call made directly with the seed and engine flags the
+response echoes back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time as _time
+from urllib.parse import parse_qsl, urlsplit
+
+from ..mpibench.results import DistributionDB
+from ..pevpm.machine import ModelDeadlock
+from ..pevpm.parallel import (
+    PredictionCache,
+    RunGroup,
+    as_seed_sequence,
+    evaluate_groups,
+)
+from ..pevpm.predict import build_prediction, prediction_doc, prediction_from_doc
+from ..pevpm.timing import timing_from_db
+from ..simnet import perseus
+from .batcher import MicroBatcher
+from .cache import TieredCache
+from .dedup import SingleFlight
+from .jobs import JobQueue, QueueFull
+from .metrics import ServiceMetrics
+from .records import MODELS, PredictRequest, RequestError, prediction_record
+
+__all__ = ["PredictionService", "ServiceServer"]
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+class PredictionService:
+    """Request funnel + engine glue; protocol-agnostic core of the server."""
+
+    def __init__(
+        self,
+        db: DistributionDB,
+        spec=None,
+        *,
+        workers: int | None = 1,
+        cache_dir=None,
+        lru_size: int = 1024,
+        max_batch: int = 8,
+        max_wait: float = 0.002,
+        queue_limit: int = 64,
+        deadline_s: float = 30.0,
+        retry_after: float = 1.0,
+        batching: bool = True,
+        dedup: bool = True,
+        caching: bool = True,
+    ):
+        self.db = db
+        self.spec = spec if spec is not None else perseus()
+        self.workers = workers
+        self.deadline_s = deadline_s
+        self.caching = caching
+        self.dedup_enabled = dedup
+        self.metrics = ServiceMetrics()
+        self.cache = TieredCache(
+            lru_size if caching else 0,
+            PredictionCache(cache_dir) if (caching and cache_dir) else None,
+            self.metrics,
+        )
+        self.dedup = SingleFlight(self.metrics)
+        self.jobs = JobQueue(queue_limit, self.metrics, retry_after=retry_after)
+        self.batcher = MicroBatcher(
+            self._evaluate_requests,
+            self.metrics,
+            max_batch=max_batch,
+            max_wait=max_wait,
+            enabled=batching,
+        )
+        self.db_fingerprint = db.fingerprint()
+        # Evaluator-thread caches: model trees and timing instances are
+        # deterministic per key and reused across requests (both engines
+        # call ``timing.reset()`` at run start, so reuse cannot change
+        # the draws of any individual evaluation).
+        self._models: dict[str, tuple[object, dict | None]] = {}
+        self._timings: dict[tuple, object] = {}
+
+    # -- engine side (evaluator thread) -----------------------------------------
+    def _group_for(self, req: PredictRequest) -> RunGroup:
+        model_key = json.dumps(
+            [req.model, sorted(req.model_params.items())], sort_keys=True
+        )
+        built = self._models.get(model_key)
+        if built is None:
+            built = self._models[model_key] = req.build_model(self.spec)
+        model, vm_params = built
+        timing_key = (req.timing_mode, req.timing_source, req.nprocs)
+        timing = self._timings.get(timing_key)
+        if timing is None:
+            timing = self._timings[timing_key] = timing_from_db(
+                self.db,
+                mode=req.timing_mode,
+                source=req.timing_source,
+                nprocs=req.nprocs,
+            )
+        return RunGroup(
+            model=model,
+            nprocs=req.nprocs,
+            timing=timing,
+            seed=as_seed_sequence(req.seed),
+            runs=req.runs,
+            params=vm_params,
+            nic_serialisation=req.nic_serialisation,
+            ppn=req.ppn,
+            vector_runs=req.vector_runs,
+            vector_batch=req.vector_batch,
+        )
+
+    def _finish(self, group: RunGroup, outcomes, wall: float) -> dict:
+        pred = build_prediction(group, outcomes, wall)
+        return dict(prediction_doc(group, pred), wall_time=wall)
+
+    def _evaluate_requests(self, reqs: list[PredictRequest]) -> list:
+        """Evaluate one micro-batch (runs on the evaluator thread).
+
+        All requests' groups go through **one** ``evaluate_groups``
+        call; a failure (e.g. a deadlocking model) falls back to
+        per-request evaluation so one poisoned request cannot fail its
+        batch-mates.  Returns one document or exception per request.
+        """
+        results: list = [None] * len(reqs)
+        groups: list[RunGroup] = []
+        idx: list[int] = []
+        for i, req in enumerate(reqs):
+            try:
+                groups.append(self._group_for(req))
+                idx.append(i)
+            except Exception as exc:
+                results[i] = exc
+        if groups:
+            t0 = _time.perf_counter()
+            try:
+                per_group = evaluate_groups(groups, workers=self.workers)
+            except Exception:
+                per_group = None
+            wall = _time.perf_counter() - t0
+            if per_group is None:
+                for i, group in zip(idx, groups):
+                    try:
+                        t1 = _time.perf_counter()
+                        outcomes = evaluate_groups([group], workers=self.workers)[0]
+                        results[i] = self._finish(
+                            group, outcomes, _time.perf_counter() - t1
+                        )
+                    except Exception as exc:
+                        results[i] = exc
+            else:
+                total = sum(o.wall for per in per_group for o in per) or 1.0
+                for i, group, outcomes in zip(idx, groups, per_group):
+                    own = sum(o.wall for o in outcomes)
+                    results[i] = self._finish(group, outcomes, wall * own / total)
+        return results
+
+    # -- request funnel (event-loop thread) -----------------------------------
+    async def _predict(self, req: PredictRequest, key: str) -> tuple[dict, str]:
+        """Resolve one validated request to (document, served-from)."""
+        if self.caching:
+            doc = self.cache.get(key)
+            if doc is not None:
+                return doc, "cache"
+        if not self.dedup_enabled:
+            with self.jobs:
+                doc = await self.batcher.submit(req)
+            if self.caching:
+                self.cache.put(key, doc)
+            return doc, "engine"
+        leader, fut = self.dedup.claim(key)
+        if not leader:
+            doc, _ = await fut
+            return doc, "singleflight"
+        try:
+            with self.jobs:
+                doc = await self.batcher.submit(req)
+            if self.caching:
+                self.cache.put(key, doc)
+            self.dedup.resolve(key, (doc, "engine"))
+            return doc, "engine"
+        except BaseException as exc:
+            self.dedup.reject(key, exc)
+            raise
+
+    async def handle_predict(self, body: object) -> tuple[int, dict, dict]:
+        """Full ``/predict`` handling: returns (status, headers, doc)."""
+        try:
+            req = PredictRequest.from_dict(body)
+        except RequestError as exc:
+            self.metrics.inc("repro_bad_requests_total")
+            return 400, {}, {"error": str(exc)}
+        key = req.key(self.db_fingerprint)
+        deadline = req.deadline_s if req.deadline_s is not None else self.deadline_s
+        # Shield the resolution task: a caller hitting its deadline must
+        # not cancel a shared evaluation; the late result still lands in
+        # the cache for the next attempt.
+        task = asyncio.ensure_future(self._predict(req, key))
+        try:
+            doc, source = await asyncio.wait_for(
+                asyncio.shield(task), timeout=deadline
+            )
+        except asyncio.TimeoutError:
+            self.metrics.inc("repro_deadline_exceeded_total")
+            # Observe (and discard) a late error so asyncio never logs a
+            # "never retrieved" warning for the shielded task.
+            task.add_done_callback(
+                lambda t: None if t.cancelled() else t.exception()
+            )
+            return (
+                504,
+                {},
+                {"error": "deadline exceeded", "deadline_s": deadline},
+            )
+        except QueueFull as exc:
+            return (
+                429,
+                {"Retry-After": f"{exc.retry_after:g}"},
+                {
+                    "error": "queue full",
+                    "inflight_limit": exc.limit,
+                    "retry_after_s": exc.retry_after,
+                },
+            )
+        except ModelDeadlock as exc:
+            self.metrics.inc("repro_model_deadlocks_total")
+            return 422, {}, {"error": "model deadlock", "detail": str(exc)}
+        except RequestError as exc:
+            self.metrics.inc("repro_bad_requests_total")
+            return 400, {}, {"error": str(exc)}
+        except Exception as exc:
+            self.metrics.inc("repro_evaluation_errors_total")
+            return 500, {}, {"error": f"evaluation failed: {exc}"}
+        pred = prediction_from_doc(doc)
+        pred.cached = source != "engine"
+        pred.wall_time = float(doc.get("wall_time", 0.0))
+        record = prediction_record(
+            pred,
+            seed=req.seed,
+            vector_runs=req.vector_runs,
+            vector_batch=req.vector_batch,
+            nic_serialisation=req.nic_serialisation,
+            workers=self.workers,
+            extra={
+                "model": req.model,
+                "model_params": req.model_params,
+                "ppn": req.ppn,
+                "timing_mode": req.timing_mode,
+                "timing_source": req.timing_source,
+                "served_from": source,
+                "db_fingerprint": self.db_fingerprint,
+                "request_key": key,
+            },
+        )
+        return 200, {}, record
+
+    def handle_distributions(self, query: dict) -> tuple[int, dict, dict]:
+        if "size" not in query:
+            ops = self.db.ops()
+            return 200, {}, {
+                "cluster": self.db.cluster,
+                "ops": ops,
+                "configs": {
+                    op: [f"{n}x{p}" for n, p in self.db.configs(op)] for op in ops
+                },
+                "db_fingerprint": self.db_fingerprint,
+            }
+        try:
+            doc = self.db.describe(
+                query.get("op", "isend"),
+                int(query["size"]),
+                int(query.get("contention", 2)),
+                intra=query.get("intra", "0") not in ("0", "false", ""),
+            )
+        except (KeyError, ValueError) as exc:
+            return 400, {}, {"error": str(exc)}
+        return 200, {}, doc
+
+    def healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "cluster": self.db.cluster,
+            "models": sorted(MODELS),
+            "db_fingerprint": self.db_fingerprint,
+            "inflight": self.jobs.inflight,
+            "queue_limit": self.jobs.limit,
+            "batching": self.batcher.enabled,
+            "dedup": self.dedup_enabled,
+            "caching": self.caching,
+            "lru_entries": len(self.cache),
+        }
+
+    def close(self) -> None:
+        self.batcher.close()
+
+
+class ServiceServer:
+    """HTTP front-end binding a :class:`PredictionService` to a socket."""
+
+    def __init__(self, service: PredictionService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    # -- HTTP plumbing ---------------------------------------------------------
+    async def _read_request(self, reader):
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, target, _version = request_line.decode("latin-1").split()
+        except ValueError:
+            raise ConnectionError("malformed request line")
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    @staticmethod
+    def _response(
+        status: int,
+        payload: bytes,
+        content_type: str,
+        extra_headers: dict | None = None,
+        keep_alive: bool = True,
+    ) -> bytes:
+        lines = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(payload)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + payload
+
+    async def _route(self, method: str, target: str, body: bytes):
+        """Dispatch one request -> (status, headers, payload, content-type)."""
+        svc = self.service
+        split = urlsplit(target)
+        path = split.path
+        query = dict(parse_qsl(split.query))
+        if path == "/healthz" and method == "GET":
+            return 200, {}, svc.healthz(), "application/json"
+        if path == "/metrics" and method == "GET":
+            return 200, {}, svc.metrics.render_prometheus(), "text/plain; version=0.0.4"
+        if path == "/distributions" and method in ("GET", "POST"):
+            if method == "POST" and body:
+                try:
+                    posted = json.loads(body)
+                except ValueError:
+                    return 400, {}, {"error": "body is not valid JSON"}, "application/json"
+                if not isinstance(posted, dict):
+                    return 400, {}, {"error": "body must be a JSON object"}, "application/json"
+                query = {**query, **{k: str(v) for k, v in posted.items()}}
+            status, headers, doc = svc.handle_distributions(query)
+            return status, headers, doc, "application/json"
+        if path == "/predict":
+            if method != "POST":
+                return 405, {}, {"error": "use POST"}, "application/json"
+            try:
+                parsed = json.loads(body) if body else {}
+            except ValueError:
+                return 400, {}, {"error": "body is not valid JSON"}, "application/json"
+            status, headers, doc = await svc.handle_predict(parsed)
+            return status, headers, doc, "application/json"
+        return 404, {}, {"error": f"no such endpoint {path!r}"}, "application/json"
+
+    async def _handle_connection(self, reader, writer) -> None:
+        svc = self.service
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+                    break
+                if request is None:
+                    break
+                method, target, headers, body = request
+                endpoint = urlsplit(target).path
+                svc.metrics.inc("repro_requests_total", endpoint=endpoint)
+                t0 = _time.perf_counter()
+                try:
+                    status, extra, doc, ctype = await self._route(method, target, body)
+                except Exception as exc:  # never tear the connection down
+                    svc.metrics.inc("repro_evaluation_errors_total")
+                    status, extra, doc, ctype = (
+                        500, {}, {"error": f"internal error: {exc}"}, "application/json"
+                    )
+                svc.metrics.observe(endpoint, _time.perf_counter() - t0)
+                svc.metrics.inc("repro_responses_total", code=str(status))
+                payload = (
+                    doc.encode() if isinstance(doc, str) else json.dumps(doc).encode()
+                )
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                writer.write(
+                    self._response(status, payload, ctype, extra, keep_alive)
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except asyncio.CancelledError:
+            # Server shutdown cancelling an idle keep-alive connection:
+            # end it quietly (asyncio's stream wrapper retrieves the
+            # handler task's exception and would log the cancellation).
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle keep-alive connections park in readline(); cancel them so
+        # shutdown doesn't leave pending tasks behind on the loop.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self.service.close()
+
+
+class ServiceThread:
+    """Run a :class:`ServiceServer` on a background thread (tests, the
+    load-generator benchmark, and anything else that wants an in-process
+    server with a real socket)."""
+
+    def __init__(self, service: PredictionService, host: str = "127.0.0.1", port: int = 0):
+        self.server = ServiceServer(service, host, port)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+
+    def __enter__(self) -> "ServiceThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.host, self.server.port
+
+    def start(self) -> tuple[str, int]:
+        def _run():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            loop.run_until_complete(self.server.start())
+            self._started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.server.stop())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("service failed to start within 30s")
+        return self.address
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+        self._loop = None

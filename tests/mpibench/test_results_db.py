@@ -234,3 +234,37 @@ class TestSampleTimesContentionBracketing:
         a = db.sample_times("isend", 512, 8, np.random.default_rng(3), 32)
         b = db.sample_times("isend", 512, 8, np.random.default_rng(3), 32)
         assert np.array_equal(a, b)
+
+
+class TestDescribe:
+    """``describe()`` is the service's /distributions query path: it must
+    report exactly what a ``sample_time`` lookup would resolve to."""
+
+    def test_reports_lookup_resolution(self, db):
+        doc = db.describe("isend", 700, contention=8)
+        assert doc["op"] == "isend"
+        assert doc["cluster"] == "perseus"
+        assert doc["requested_size"] == 700
+        assert doc["config"] == "8x1"  # contention=8 resolves to 8x1
+        assert (doc["nodes"], doc["ppn"]) == (8, 1)
+        assert doc["bracketing_sizes"] == [0, 1024]
+        assert doc["nearest_size"] == 1024
+        assert doc["samples"] == 200
+        assert 0 < doc["min"] <= doc["mean"] <= doc["max"]
+        assert doc["db_fingerprint"] == db.fingerprint()
+
+    def test_quantiles_are_monotone(self, db):
+        doc = db.describe("isend", 1024, contention=8)
+        values = [doc["quantiles"][f"{q:g}"] for q in (0.05, 0.25, 0.5, 0.75, 0.95, 0.99)]
+        assert values == sorted(values)
+        assert doc["min"] <= values[0] and values[-1] <= doc["max"]
+
+    def test_exact_size_brackets_to_itself(self, db):
+        doc = db.describe("isend", 1024, contention=8)
+        assert doc["bracketing_sizes"] == [1024, 1024]
+        assert doc["nearest_size"] == 1024
+        assert doc["mean"] == pytest.approx(db.mean_time("isend", 1024, contention=8))
+
+    def test_unknown_op_raises(self, db):
+        with pytest.raises(KeyError):
+            db.describe("bcast", 1024, contention=8)

@@ -94,3 +94,129 @@ class TestExport:
         lines = dat.read_text().strip().splitlines()
         assert lines[0].startswith("# size")
         assert len(lines) == 3
+
+
+@pytest.fixture()
+def saved_db(tmp_path):
+    db_path = tmp_path / "db.json"
+    main([
+        "bench", "--config", "2x1", "--config", "4x1",
+        "--sizes", "0", "1024", "--reps", "10", "--save", str(db_path),
+    ])
+    return db_path
+
+
+class TestPredictJson:
+    def test_json_record_is_machine_readable(self, capsys, saved_db):
+        import json
+
+        capsys.readouterr()
+        rc = main([
+            "predict", "--db", str(saved_db), "--nprocs", "4",
+            "--iterations", "20", "--runs", "2", "--seed", "3",
+            "--workers", "1", "--vector-runs", "--json",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["workload"]["model"] == "jacobi"
+        assert doc["workload"]["nprocs"] == 4
+        assert doc["serial_time"] > 0
+        assert doc["db_fingerprint"]
+        record = doc["predictions"]["distribution-nxp"]
+        # The record carries the seed and engine flags needed to replay
+        # it -- the same serialisation the prediction service returns.
+        assert record["seed"] == 3
+        assert record["engine"]["vector_runs"] is True
+        assert len(record["times"]) == 2
+        assert record["speedup"] > 0
+
+    def test_json_matches_direct_predict(self, capsys, saved_db):
+        import json
+
+        from repro.apps.jacobi import parse_jacobi
+        from repro.mpibench import DistributionDB
+        from repro.pevpm import predict, timing_from_db
+        from repro.simnet import perseus
+
+        capsys.readouterr()
+        main([
+            "predict", "--db", str(saved_db), "--nprocs", "4",
+            "--iterations", "20", "--runs", "2", "--seed", "3",
+            "--workers", "1", "--json",
+        ])
+        doc = json.loads(capsys.readouterr().out)
+        spec = perseus()
+        db = DistributionDB.load(saved_db)
+        direct = predict(
+            parse_jacobi(), 4,
+            timing_from_db(db, mode="distribution", nprocs=4),
+            runs=2, seed=3,
+            params={
+                "iterations": 20, "xsize": 256,
+                "serial_time": spec.jacobi_serial_time,
+            },
+        )
+        assert doc["predictions"]["distribution-nxp"]["times"] == direct.times
+
+
+class TestDeadlockExitCode:
+    def test_predict_returns_3_on_model_deadlock(
+        self, capsys, monkeypatch, saved_db
+    ):
+        from repro.pevpm import ModelDeadlock
+
+        def deadlock(*args, **kwargs):
+            raise ModelDeadlock({0: 1, 1: 0}, [])
+
+        monkeypatch.setattr("repro.cli.compare_timing_modes", deadlock)
+        capsys.readouterr()
+        rc = main([
+            "predict", "--db", str(saved_db), "--nprocs", "4", "--runs", "2",
+        ])
+        assert rc == 3
+        assert "deadlock detected" in capsys.readouterr().err
+
+    def test_json_mode_reports_deadlock_on_stdout(
+        self, capsys, monkeypatch, saved_db
+    ):
+        import json
+
+        from repro.pevpm import ModelDeadlock
+
+        def deadlock(*args, **kwargs):
+            raise ModelDeadlock({0: 1, 1: 0}, [])
+
+        monkeypatch.setattr("repro.cli.compare_timing_modes", deadlock)
+        capsys.readouterr()
+        rc = main([
+            "predict", "--db", str(saved_db), "--nprocs", "4",
+            "--runs", "2", "--json",
+        ])
+        assert rc == 3
+        assert json.loads(capsys.readouterr().out)["error"] == "deadlock"
+
+
+class TestServiceParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8100
+        assert args.queue_limit == 64
+        assert args.max_wait_ms == 2.0
+        assert not args.no_batch and not args.no_dedup and not args.no_cache
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--no-batch", "--no-dedup", "--no-cache",
+            "--max-wait-ms", "0.5", "--queue-limit", "4",
+        ])
+        assert args.port == 0
+        assert args.no_batch and args.no_dedup and args.no_cache
+        assert args.max_wait_ms == 0.5
+        assert args.queue_limit == 4
+
+    def test_loadgen_concurrency_sweep(self):
+        args = build_parser().parse_args([
+            "loadgen", "--concurrency", "1", "4", "16", "--duration", "2",
+        ])
+        assert args.concurrency == [1, 4, 16]
+        assert args.duration == 2.0
