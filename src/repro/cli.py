@@ -10,8 +10,14 @@ Subcommands:
 * ``repro predict``   -- build/load a database and predict an example
   application's run time with PEVPM, comparing timing modes
   (``--json`` for the machine-readable record the service also serves);
-* ``repro serve``     -- run the prediction service (HTTP/JSON);
-* ``repro loadgen``   -- drive a running service with closed-loop load.
+* ``repro serve``     -- run the prediction service (HTTP/JSON); drains
+  gracefully on SIGTERM/SIGINT, and ``--chaos`` enables the
+  fault-injection endpoint;
+* ``repro loadgen``   -- drive a running service with closed-loop load
+  (``--retries`` adds client-side backoff);
+* ``repro chaos``     -- arm deterministic faults on a ``--chaos``
+  server (kill a pool worker, corrupt/delay the disk cache, stall the
+  evaluator) and inspect what fired.
 
 Exit codes: 0 on success, 3 when the modelled (or simulated) program
 deadlocks -- deadlock discovery is a PEVPM feature (Section 5), and
@@ -163,6 +169,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the LRU/disk cache tiers",
     )
+    p_serve.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive engine failures that open the circuit breaker",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown", type=float, default=2.0,
+        help="seconds the open breaker sheds before probing the engine",
+    )
+    p_serve.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds to let in-flight requests finish on SIGTERM/SIGINT",
+    )
+    p_serve.add_argument(
+        "--chaos", action="store_true",
+        help="enable the /chaos fault-injection endpoint (repro chaos)",
+    )
+    p_serve.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the fault injector's own randomness",
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos", help="arm faults on a --chaos prediction service"
+    )
+    p_chaos.add_argument(
+        "action",
+        choices=[
+            "status", "kill-worker", "corrupt-cache", "delay-cache",
+            "stall", "plan",
+        ],
+        help="fault to arm (or 'status' to inspect the injector)",
+    )
+    p_chaos.add_argument("--host", default="127.0.0.1")
+    p_chaos.add_argument("--port", type=int, default=8100)
+    p_chaos.add_argument(
+        "--seconds", type=float, default=0.05,
+        help="stall/delay duration for delay-cache, stall and plan",
+    )
+    p_chaos.add_argument(
+        "--at", type=int, default=None, metavar="N",
+        help="site event index to fire on (default: next event)",
+    )
+    p_chaos.add_argument(
+        "--key", default=None,
+        help="corrupt-cache: a specific request key (default: seeded pick)",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0, help="plan: the schedule seed"
+    )
+    p_chaos.add_argument(
+        "--length", type=int, default=4, help="plan: number of faults"
+    )
 
     p_load = sub.add_parser(
         "loadgen", help="closed-loop load against a running service"
@@ -187,6 +245,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument(
         "--distinct-seeds", type=int, default=16, metavar="K",
         help="cycle requests over K distinct seeds (K distinct cache keys)",
+    )
+    p_load.add_argument(
+        "--retries", type=int, default=0, metavar="K",
+        help="client-side retry attempts with capped jittered backoff "
+             "(0: measure the raw service, every 429/504 verbatim)",
+    )
+    p_load.add_argument(
+        "--retry-base", type=float, default=0.05,
+        help="first backoff step in seconds (doubles per attempt)",
     )
     p_load.add_argument(
         "--json", action="store_true",
@@ -334,8 +401,9 @@ def cmd_predict(args) -> int:
 
 def cmd_serve(args) -> int:
     import asyncio
+    import signal
 
-    from .service import PredictionService, ServiceServer
+    from .service import FaultInjector, PredictionService, ServiceServer
 
     spec = perseus()
     if args.db:
@@ -351,6 +419,7 @@ def cmd_serve(args) -> int:
         )
         configs = [(1, 2), (2, 1), (8, 1), (16, 1), (32, 1)]
         db = bench.sweep_isend(configs, sizes=[0, 512, 1024, 2048])
+    injector = FaultInjector(seed=args.chaos_seed) if args.chaos else None
     service = PredictionService(
         db,
         spec=spec,
@@ -364,26 +433,98 @@ def cmd_serve(args) -> int:
         batching=not args.no_batch,
         dedup=not args.no_dedup,
         caching=not args.no_cache,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        fault_injector=injector,
     )
     server = ServiceServer(service, host=args.host, port=args.port)
 
     async def _serve() -> None:
         host, port = await server.start()
-        print(f"repro service listening on http://{host}:{port}", flush=True)
+        chaos = " (chaos mode: /chaos enabled)" if args.chaos else ""
+        print(
+            f"repro service listening on http://{host}:{port}{chaos}",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stop_signal = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop_signal.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix loop: fall back to KeyboardInterrupt
+        serve_task = asyncio.ensure_future(server.serve_forever())
         try:
-            await server.serve_forever()
+            await stop_signal.wait()
+            print(
+                f"draining (grace {args.drain_grace:g}s)...", flush=True
+            )
+            await server.drain(args.drain_grace)
         finally:
+            serve_task.cancel()
+            await asyncio.gather(serve_task, return_exceptions=True)
             await server.stop()
 
     try:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("shutting down")
+    print("drained; bye", flush=True)
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port, timeout=10.0)
+    try:
+        if args.action == "status":
+            doc = client.chaos()
+        elif args.action == "plan":
+            doc = client.chaos({
+                "plan": {
+                    "seed": args.seed,
+                    "length": args.length,
+                    "max_seconds": args.seconds,
+                },
+            })
+        else:
+            kind = {
+                "kill-worker": "kill_worker",
+                "corrupt-cache": "corrupt_cache",
+                "delay-cache": "delay_cache",
+                "stall": "stall_evaluator",
+            }[args.action]
+            payload = {"kind": kind, "seconds": args.seconds}
+            if args.at is not None:
+                payload["at"] = args.at
+            if args.key is not None:
+                payload["key"] = args.key
+            doc = client.chaos(payload)
+    except ServiceError as exc:
+        if exc.status == 404:
+            print(
+                "repro chaos: the server is not in chaos mode "
+                "(restart it with 'repro serve --chaos')",
+                file=sys.stderr,
+            )
+        else:
+            print(f"repro chaos: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"repro chaos: cannot reach {args.host}:{args.port} ({exc})",
+            file=sys.stderr,
+        )
+        return 1
+    finally:
+        client.close()
+    print(json.dumps(doc, indent=2))
     return 0
 
 
 def cmd_loadgen(args) -> int:
-    from .service.client import LoadGenerator, ServiceClient
+    from .service.client import LoadGenerator, RetryPolicy, ServiceClient
 
     model_params = json.loads(args.model_params) if args.model_params else {}
 
@@ -399,10 +540,14 @@ def cmd_loadgen(args) -> int:
     # Fail fast (and warm the campaign-dependent code paths) before
     # unleashing the client threads.
     ServiceClient(args.host, args.port).healthz()
+    retry = None
+    if args.retries > 0:
+        retry = RetryPolicy(retries=args.retries, base=args.retry_base)
     summaries = []
     for concurrency in args.concurrency:
         gen = LoadGenerator(
-            args.host, args.port, request_factory, concurrency=concurrency
+            args.host, args.port, request_factory, concurrency=concurrency,
+            retry=retry,
         )
         result = gen.run(duration=args.duration)
         summaries.append(result.summary())
@@ -412,6 +557,7 @@ def cmd_loadgen(args) -> int:
     rows = [
         [
             str(s["concurrency"]), str(s["requests"]), str(s["errors"]),
+            str(s["retries"]),
             f"{s['throughput_rps']:.1f}", f"{s['p50_ms']:.2f}",
             f"{s['p99_ms']:.2f}",
         ]
@@ -419,7 +565,8 @@ def cmd_loadgen(args) -> int:
     ]
     print(
         format_table(
-            ["clients", "requests", "errors", "rps", "p50 ms", "p99 ms"],
+            ["clients", "requests", "errors", "retries", "rps", "p50 ms",
+             "p99 ms"],
             rows,
             title=f"closed-loop load: {args.model} x{args.nprocs} "
                   f"({args.duration:g}s per level)",
@@ -437,6 +584,7 @@ def main(argv: list[str] | None = None) -> int:
         "predict": cmd_predict,
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -32,9 +32,11 @@ import hashlib
 import json
 import os
 import pickle
+import signal
 import tempfile
 import time as _time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Generator
@@ -50,9 +52,12 @@ __all__ = [
     "RunGroup",
     "RunOutcome",
     "PredictionCache",
+    "POOL_REBUILD_LIMIT",
+    "POOL_WEDGE_TIMEOUT",
     "VECTOR_BATCH",
     "as_seed_sequence",
     "chunk_seed",
+    "install_fault_injector",
     "run_seeds",
     "resolve_workers",
     "evaluate_groups",
@@ -63,6 +68,28 @@ __all__ = [
 #: under any ``workers`` setting: chunk boundaries and chunk seed streams
 #: depend only on (seed, runs, vector_batch).
 VECTOR_BATCH = 64
+
+#: how many times a broken process pool is rebuilt before the remaining
+#: work units finish on the serial path instead
+POOL_REBUILD_LIMIT = 2
+
+#: watchdog interval for the dispatch loop: if *no* work unit completes
+#: for this many seconds the pool is considered wedged (e.g. a child
+#: that deadlocked on a lock it inherited across ``fork``), its workers
+#: are killed and recovery proceeds as for a crashed worker.  Individual
+#: work units are chunks that normally finish in well under a second, so
+#: a pool silent for this long is stuck, not slow.
+POOL_WEDGE_TIMEOUT = 120.0
+
+#: chaos hook (see :mod:`repro.service.faults`): an object whose
+#: ``on_pool_dispatch(pool)`` is called after each round of submissions
+_FAULT_INJECTOR = None
+
+
+def install_fault_injector(injector) -> None:
+    """Install (or, with ``None``, remove) the process-pool fault hook."""
+    global _FAULT_INJECTOR
+    _FAULT_INJECTOR = injector
 
 
 # -- seeding ----------------------------------------------------------------------
@@ -218,6 +245,19 @@ _WORKER_PROGRAMS: dict[int, Callable] = {}
 
 def _init_worker(payload: bytes) -> None:
     global _WORKER_GROUPS
+    # Forked workers inherit the parent's signal dispositions and -- when
+    # the parent runs an asyncio loop with signal handlers -- its signal
+    # wakeup fd.  Without a reset, a SIGTERM aimed at a *worker* (e.g.
+    # ProcessPoolExecutor terminating the siblings of a crashed worker)
+    # is written into the parent's shared wakeup pipe and read there as
+    # "the server got SIGTERM", triggering a spurious drain.  Restore the
+    # defaults so worker signals stay the worker's own.
+    try:
+        signal.set_wakeup_fd(-1)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_DFL)
+    except (ValueError, OSError):
+        pass  # non-main thread or restricted host: nothing to undo
     _WORKER_GROUPS = pickle.loads(payload)
     _WORKER_PROGRAMS.clear()
 
@@ -272,8 +312,74 @@ def _evaluate_serial(groups: list[RunGroup]) -> list[list[RunOutcome]]:
     return out
 
 
+def _work_units(groups: list[RunGroup]) -> list[tuple]:
+    """Every dispatchable work unit, as a re-submittable descriptor.
+
+    ``("batch", gi, start, size)`` for batched-VM chunks and ``("run",
+    gi, run, child, trace)`` for scalar MC runs.  Descriptors carry
+    everything needed to (re-)dispatch, so recovery after a pool crash
+    re-runs exactly the lost units -- each with the same seed stream it
+    would have used the first time.
+    """
+    units: list[tuple] = []
+    for gi, group in enumerate(groups):
+        if _vectorised(group):
+            for start, size in _vector_chunks(group):
+                units.append(("batch", gi, start, size))
+            continue
+        children = run_seeds(group.seed, group.runs)
+        for run, child in enumerate(children):
+            trace = group.trace_last and run == group.runs - 1
+            units.append(("run", gi, run, child, trace))
+    return units
+
+
+def _submit_unit(pool: ProcessPoolExecutor, unit: tuple):
+    if unit[0] == "batch":
+        _, gi, start, size = unit
+        return pool.submit(_run_batch_task, gi, start, size)
+    _, gi, run, child, trace = unit
+    return pool.submit(_run_task, gi, run, child, trace)
+
+
+def _store_result(results, payload_out) -> None:
+    if len(payload_out) == 3 and isinstance(payload_out[2], list):
+        gi, start, outcomes = payload_out
+        results[gi][start:start + len(outcomes)] = outcomes
+    else:
+        gi, run, outcome = payload_out
+        results[gi][run] = outcome
+
+
+def _unit_done(results, unit: tuple) -> bool:
+    """Whether *unit*'s slot(s) in the result grid are already filled --
+    the completion record recovery consults after a pool crash.  A batch
+    unit fills its whole slice atomically, so its first slot suffices."""
+    return results[unit[1]][unit[2]] is not None
+
+
+def _evaluate_units_serial(groups, results, units: list[tuple]) -> None:
+    """Finish *units* on the serial path (the terminal fallback when the
+    pool keeps breaking); numbers are identical by construction."""
+    programs: dict[int, Callable] = {}
+    for unit in units:
+        gi = unit[1]
+        program = programs.get(gi)
+        if program is None:
+            program = programs[gi] = _program_for(groups[gi])
+        if unit[0] == "batch":
+            _, _, start, size = unit
+            outcomes = _execute_batch(groups[gi], program, start, size)
+            results[gi][start:start + len(outcomes)] = outcomes
+        else:
+            _, _, run, child, trace = unit
+            results[gi][run] = _execute_run(groups[gi], program, child, trace)
+
+
 def evaluate_groups(
-    groups: list[RunGroup], workers: int | None = None
+    groups: list[RunGroup],
+    workers: int | None = None,
+    on_rebuild: Callable[[int], None] | None = None,
 ) -> list[list[RunOutcome]]:
     """Evaluate every Monte Carlo run of every group, possibly in parallel.
 
@@ -286,6 +392,19 @@ def evaluate_groups(
     ``i`` always uses child stream ``i`` of the group's seed, and batch
     chunks are seeded by :func:`chunk_seed` at worker-independent
     boundaries.
+
+    **Crash recovery**: a worker process dying mid-evaluation (OOM kill,
+    SIGKILL, a crashed interpreter) surfaces as ``BrokenProcessPool``.
+    The executor is rebuilt and only the *unfinished* work units are
+    re-dispatched -- their seed streams depend on (seed, run index)
+    alone, so the recovered evaluation is bit-identical to an undisturbed
+    one.  A pool that stops making progress entirely -- no unit finishes
+    for :data:`POOL_WEDGE_TIMEOUT` seconds, e.g. a child deadlocked on a
+    lock it inherited across ``fork`` -- is killed and recovered the
+    same way.  After :data:`POOL_REBUILD_LIMIT` rebuilds the remaining
+    units finish serially instead, so the evaluation always terminates.
+    *on_rebuild*, when given, is called with the rebuild ordinal each
+    time the pool is reconstructed (metrics hook for the serving layer).
     """
     total = sum(
         len(_vector_chunks(g)) if _vectorised(g) else g.runs for g in groups
@@ -305,39 +424,74 @@ def evaluate_groups(
         return _evaluate_serial(groups)
 
     results: list[list[RunOutcome | None]] = [[None] * g.runs for g in groups]
-    try:
-        with ProcessPoolExecutor(
-            max_workers=nworkers, initializer=_init_worker, initargs=(payload,)
-        ) as pool:
-            pending = set()
-            for gi, group in enumerate(groups):
-                if _vectorised(group):
-                    for start, size in _vector_chunks(group):
-                        pending.add(
-                            pool.submit(_run_batch_task, gi, start, size)
-                        )
-                    continue
-                children = run_seeds(group.seed, group.runs)
-                for run, child in enumerate(children):
-                    trace = group.trace_last and run == group.runs - 1
-                    pending.add(pool.submit(_run_task, gi, run, child, trace))
+    remaining = _work_units(groups)
+    rebuilds = 0
+    while remaining:
+        pool = None
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(nworkers, len(remaining)),
+                initializer=_init_worker,
+                initargs=(payload,),
+            )
+            pending = {_submit_unit(pool, unit): unit for unit in remaining}
+            injector = _FAULT_INJECTOR
+            if injector is not None:
+                injector.on_pool_dispatch(pool)
             while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                done, _ = wait(
+                    pending,
+                    timeout=POOL_WEDGE_TIMEOUT,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # Nothing finished for a whole watchdog interval:
+                    # the pool is wedged, not slow (a forked child can
+                    # deadlock on a lock another thread held at fork
+                    # time, and such a child never crashes -- it just
+                    # sits there).  Kill the workers outright so the
+                    # shutdown below cannot block, then recover exactly
+                    # as for a crashed worker.
+                    _kill_pool_processes(pool)
+                    raise BrokenProcessPool(
+                        f"no work unit completed within "
+                        f"{POOL_WEDGE_TIMEOUT:g}s; pool presumed wedged"
+                    )
                 for fut in done:
-                    payload_out = fut.result()
-                    if len(payload_out) == 3 and isinstance(
-                        payload_out[2], list
-                    ):
-                        gi, start, outcomes = payload_out
-                        results[gi][start:start + len(outcomes)] = outcomes
-                    else:
-                        gi, run, outcome = payload_out
-                        results[gi][run] = outcome
-    except (OSError, RuntimeError):
-        # Pool creation can fail on restricted hosts (no /dev/shm, fork
-        # limits); the evaluation itself is still well-defined serially.
-        return _evaluate_serial(groups)
+                    unit = pending.pop(fut)
+                    _store_result(results, fut.result())
+            remaining = []
+        except BrokenProcessPool:
+            # A worker died: everything already stored stays; rebuild
+            # and re-dispatch only the units without a result.
+            remaining = [u for u in remaining if not _unit_done(results, u)]
+            rebuilds += 1
+            if on_rebuild is not None:
+                on_rebuild(rebuilds)
+            if rebuilds > POOL_REBUILD_LIMIT:
+                _evaluate_units_serial(groups, results, remaining)
+                remaining = []
+        except (OSError, RuntimeError):
+            # Pool creation can fail on restricted hosts (no /dev/shm,
+            # fork limits); the evaluation is still well-defined serially.
+            remaining = [u for u in remaining if not _unit_done(results, u)]
+            _evaluate_units_serial(groups, results, remaining)
+            remaining = []
+        finally:
+            if pool is not None:
+                # On the wedge path every worker is already dead, so the
+                # join inside shutdown cannot block.
+                pool.shutdown(wait=True, cancel_futures=True)
     return results  # type: ignore[return-value]
+
+
+def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """SIGKILL every worker of *pool* (wedged-pool recovery)."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            os.kill(proc.pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            pass
 
 
 # -- the on-disk prediction cache -----------------------------------------------
@@ -356,6 +510,10 @@ class PredictionCache:
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
+        #: corrupt entries quarantined by :meth:`get` since construction
+        self.corruptions = 0
+        #: optional callback(path) fired when an entry is quarantined
+        self.on_corrupt: Callable[[Path], None] | None = None
 
     def key(
         self,
@@ -422,16 +580,40 @@ class PredictionCache:
         return self.root / f"predict-{key}.json"
 
     def get(self, key: str) -> dict | None:
+        """Load one entry; a corrupt/truncated entry is a miss **and** is
+        quarantined (renamed to ``*.corrupt``) so later lookups do not
+        keep re-reading and re-failing on the poisoned file."""
         path = self._path(key)
         if not path.exists():
             return None
         try:
-            doc = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            doc = json.loads(text)
+            if not isinstance(doc, dict):
+                raise ValueError("cache entry is not a JSON object")
+        except ValueError:
+            self._quarantine(path)
             return None
         if doc.get("version") != self.VERSION:
             return None
         return doc
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a poisoned entry out of the lookup path (unlink if even
+        the rename fails) and notify the owner's corruption counter."""
+        self.corruptions += 1
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        if self.on_corrupt is not None:
+            self.on_corrupt(path)
 
     def put(self, key: str, doc: dict) -> None:
         """Persist *doc* crash- and concurrency-safely.

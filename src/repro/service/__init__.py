@@ -14,8 +14,10 @@ the request funnel a production serving layer needs:
   requests;
 * :mod:`.cache`   -- in-memory LRU tier over the on-disk
   :class:`~repro.pevpm.parallel.PredictionCache`;
-* :mod:`.jobs`    -- bounded admission (429 + Retry-After) and
-  deadlines (504);
+* :mod:`.jobs`    -- bounded admission (429 + Retry-After), deadlines
+  (504) and the engine-health circuit breaker (503);
+* :mod:`.faults`  -- deterministic fault injection (worker kills,
+  cache corruption, stalls) behind ``repro serve --chaos``;
 * :mod:`.metrics` -- counters and latency distributions, Prometheus
   text format;
 * :mod:`.client`  -- blocking client and a closed-loop load generator;
@@ -29,15 +31,31 @@ directly.
 
 from .batcher import MicroBatcher
 from .cache import TieredCache
-from .client import LoadGenerator, LoadResult, ServiceClient, ServiceError
-from .dedup import SingleFlight
-from .jobs import JobQueue, QueueFull
+from .client import (
+    LoadGenerator,
+    LoadResult,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+)
+from .dedup import LeaderCancelled, SingleFlight
+from .faults import FAULT_KINDS, FaultInjector, FaultPlan, FaultSpec
+from .jobs import BreakerOpen, CircuitBreaker, JobQueue, JobSlot, QueueFull
 from .metrics import ServiceMetrics
 from .records import MODELS, PredictRequest, RequestError, prediction_record
 from .server import PredictionService, ServiceServer
 from .server import ServiceThread
 
 __all__ = [
+    "BreakerOpen",
+    "CircuitBreaker",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "JobQueue",
+    "JobSlot",
+    "LeaderCancelled",
     "LoadGenerator",
     "LoadResult",
     "MODELS",
@@ -46,7 +64,7 @@ __all__ = [
     "PredictionService",
     "QueueFull",
     "RequestError",
-    "JobQueue",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "ServiceMetrics",

@@ -60,6 +60,7 @@ class MicroBatcher:
         self.enabled = enabled
         self._pending: asyncio.Queue | None = None
         self._collector: asyncio.Task | None = None
+        self._dispatches: set[asyncio.Task] = set()
         self._pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-eval"
         )
@@ -73,6 +74,13 @@ class MicroBatcher:
             return await fut
         if self._pending is None:
             self._pending = asyncio.Queue()
+        if self._collector is None or self._collector.done():
+            # Crash recovery: a collector that died (or was torn down)
+            # would strand every queued submit in an un-awaited future;
+            # restart it and count the restart.
+            if self._collector is not None:
+                self._collector.cancelled() or self._collector.exception()
+                self._metrics.inc("repro_batcher_restarts_total")
             self._collector = asyncio.create_task(self._collect())
         await self._pending.put((item, fut))
         return await fut
@@ -94,8 +102,11 @@ class MicroBatcher:
                 except asyncio.TimeoutError:
                     break
             # Evaluate in the background so the collector keeps
-            # coalescing the next batch while this one runs.
-            asyncio.create_task(self._dispatch(batch))
+            # coalescing the next batch while this one runs; track the
+            # task so shutdown can drain in-flight evaluations.
+            task = asyncio.create_task(self._dispatch(batch))
+            self._dispatches.add(task)
+            task.add_done_callback(self._dispatches.discard)
 
     async def _dispatch(self, batch: list[tuple]) -> None:
         self._metrics.inc("repro_batches_total")
@@ -117,6 +128,21 @@ class MicroBatcher:
                 fut.set_exception(result)
             else:
                 fut.set_result(result)
+
+    async def drain(self) -> None:
+        """Wait until every queued item has been dispatched and every
+        in-flight batch has resolved (the graceful-shutdown barrier:
+        callers holding responses still get them)."""
+        while True:
+            if self._dispatches:
+                await asyncio.gather(
+                    *list(self._dispatches), return_exceptions=True
+                )
+                continue
+            if self._pending is not None and not self._pending.empty():
+                await asyncio.sleep(self.max_wait or 0.001)
+                continue
+            return
 
     def close(self) -> None:
         if self._collector is not None:

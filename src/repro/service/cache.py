@@ -7,6 +7,14 @@ else writing the same cache directory.  Disk hits are promoted into
 memory.  Keys are the service's content-addressed request keys, so a
 hit is by construction bit-identical to re-evaluating the request.
 
+Fault tolerance: a corrupt/truncated disk entry is a miss, is
+quarantined by the disk tier (renamed ``*.corrupt`` so it is never
+re-read) and is counted as ``repro_cache_corrupt_total``; a disk
+*write* failure (full disk, permissions) is absorbed and counted as
+``repro_cache_write_errors_total`` -- the request that produced the
+document has its answer either way, so cache persistence must never
+fail it.
+
 Accessed from the event-loop thread only -- no locking needed; the
 disk tier's own writes are atomic (temp file + rename), so a served
 request killed mid-write cannot poison later reads.
@@ -30,6 +38,7 @@ class TieredCache:
         capacity: int,
         disk: PredictionCache | None,
         metrics: ServiceMetrics,
+        faults=None,
     ):
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
@@ -37,6 +46,11 @@ class TieredCache:
         self.disk = disk
         self._lru: OrderedDict[str, dict] = OrderedDict()
         self._metrics = metrics
+        self._faults = faults
+        if disk is not None:
+            disk.on_corrupt = lambda path: metrics.inc(
+                "repro_cache_corrupt_total"
+            )
 
     def __len__(self) -> int:
         return len(self._lru)
@@ -48,6 +62,8 @@ class TieredCache:
             self._metrics.inc("repro_cache_hits_total", tier="memory")
             return doc
         if self.disk is not None:
+            if self._faults is not None:
+                self._faults.on_cache_read(self.disk._path(key))
             doc = self.disk.get(key)
             if doc is not None:
                 self._metrics.inc("repro_cache_hits_total", tier="disk")
@@ -59,7 +75,12 @@ class TieredCache:
     def put(self, key: str, doc: dict) -> None:
         self._remember(key, doc)
         if self.disk is not None:
-            self.disk.put(key, doc)
+            try:
+                self.disk.put(key, doc)
+            except OSError:
+                # Persistence is best-effort: the caller already has the
+                # document, and the memory tier keeps serving it.
+                self._metrics.inc("repro_cache_write_errors_total")
 
     def _remember(self, key: str, doc: dict) -> None:
         if self.capacity == 0:

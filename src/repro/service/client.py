@@ -2,7 +2,15 @@
 
 :class:`ServiceClient` is a thin stdlib (``http.client``) wrapper around
 the service's JSON endpoints -- what ``repro loadgen``, the end-to-end
-tests and the service benchmark drive.
+tests and the service benchmark drive.  It is *resilient by
+configuration*: a :class:`RetryPolicy` adds capped, jittered exponential
+backoff for idempotent requests -- every ``/predict`` is idempotent by
+the reproducibility contract (content-addressed, deterministic) -- that
+honours the server's ``Retry-After`` hint on 429/503 and retries 504s
+and transport resets.  Retries are counted in a
+:class:`~.metrics.ServiceMetrics` instance
+(``repro_client_retries_total{reason=...}``) so a chaos run can report
+exactly how much client-side masking happened.
 
 :class:`LoadGenerator` implements the classic closed-loop model: *C*
 client threads, each with its own persistent connection, firing the next
@@ -18,14 +26,56 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import threading
 import time as _time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from ..mpibench.histogram import Histogram
+from .metrics import ServiceMetrics
 
-__all__ = ["LoadGenerator", "LoadResult", "ServiceClient", "ServiceError"]
+__all__ = [
+    "LoadGenerator",
+    "LoadResult",
+    "RetryPolicy",
+    "ServiceClient",
+    "ServiceError",
+]
+
+
+@dataclass
+class RetryPolicy:
+    """Capped jittered exponential backoff for idempotent requests.
+
+    The delay before attempt *k* (0-based) is ``base * 2**k``, capped at
+    ``cap``, then scaled down by up to ``jitter`` (a fraction in [0, 1])
+    drawn from a seeded generator -- deterministic for tests, decorrelated
+    between clients in production (seed ``None``).  A server-supplied
+    ``Retry-After`` overrides the computed delay (still capped), so a
+    backpressured client sleeps exactly as long as the service asked.
+    """
+
+    retries: int = 3  #: retry attempts after the first try
+    base: float = 0.05  #: first backoff step, seconds
+    cap: float = 2.0  #: upper bound on any single sleep, seconds
+    jitter: float = 0.5  #: fraction of the delay randomised away
+    statuses: tuple[int, ...] = (429, 503, 504)  #: retryable HTTP codes
+    seed: int | None = None  #: jitter stream seed (None: OS entropy)
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def backoff(self, attempt: int, retry_after: float | None = None) -> float:
+        """Seconds to sleep before retry *attempt* (0-based)."""
+        if retry_after is not None:
+            return min(max(retry_after, 0.0), self.cap)
+        delay = min(self.cap, self.base * (2 ** attempt))
+        return delay * (1 - self.jitter * self._rng.random())
 
 
 class ServiceError(RuntimeError):
@@ -41,20 +91,32 @@ class ServiceError(RuntimeError):
 class ServiceClient:
     """Blocking JSON client with one persistent keep-alive connection."""
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        retry: RetryPolicy | None = None,
+        metrics: ServiceMetrics | None = None,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: no retries unless asked: tests of the raw backpressure paths
+        #: (and raw load measurement) must see every 429/504 verbatim
+        self.retry = retry if retry is not None else RetryPolicy(retries=0)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._conn: http.client.HTTPConnection | None = None
+        self._sleep = _time.sleep  # injectable for tests
 
     # -- plumbing --------------------------------------------------------------
-    def _request(self, method: str, path: str, body: dict | None = None):
+    def _attempt(self, method: str, path: str, payload, headers):
+        """One HTTP round trip (with the legacy single reconnect for a
+        stale keep-alive connection)."""
         if self._conn is None:
             self._conn = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout
             )
-        payload = None if body is None else json.dumps(body)
-        headers = {} if payload is None else {"Content-Type": "application/json"}
         try:
             self._conn.request(method, path, body=payload, headers=headers)
             response = self._conn.getresponse()
@@ -74,6 +136,65 @@ class ServiceClient:
         else:
             doc = raw.decode()
         return response.status, dict(response.getheaders()), doc
+
+    @staticmethod
+    def _retry_after(headers: dict) -> float | None:
+        for name, value in headers.items():
+            if name.lower() == "retry-after":
+                try:
+                    return float(value)
+                except (TypeError, ValueError):
+                    return None
+        return None
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        idempotent: bool = True,
+    ):
+        """One logical request, retried per the client's policy.
+
+        *idempotent* requests (all of ours: ``/predict`` is
+        content-addressed and deterministic, the GETs are reads) are
+        retried on transport failures and on the policy's retryable
+        statuses, sleeping a capped jittered backoff -- or exactly the
+        server's ``Retry-After`` -- between attempts.  The final attempt's
+        outcome (or transport error) is returned/raised verbatim.
+        """
+        payload = None if body is None else json.dumps(body)
+        headers = {} if payload is None else {"Content-Type": "application/json"}
+        policy = self.retry
+        attempt = 0
+        while True:
+            try:
+                status, hdrs, doc = self._attempt(method, path, payload, headers)
+            except (http.client.HTTPException, OSError):
+                if not idempotent or attempt >= policy.retries:
+                    raise
+                self.close()
+                self.metrics.inc(
+                    "repro_client_retries_total", reason="transport"
+                )
+                self._sleep(policy.backoff(attempt))
+                attempt += 1
+                continue
+            if (
+                idempotent
+                and status in policy.statuses
+                and attempt < policy.retries
+            ):
+                self.metrics.inc(
+                    "repro_client_retries_total", reason=str(status)
+                )
+                self._sleep(
+                    policy.backoff(attempt, retry_after=self._retry_after(hdrs))
+                )
+                attempt += 1
+                continue
+            return status, hdrs, doc
 
     def _checked(self, method: str, path: str, body: dict | None = None):
         status, _headers, doc = self._request(method, path, body)
@@ -99,8 +220,17 @@ class ServiceClient:
 
     def predict_raw(self, request: dict) -> tuple[int, dict, dict]:
         """``POST /predict`` returning (status, headers, doc) -- for
-        exercising the backpressure/deadline paths without exceptions."""
-        return self._request("POST", "/predict", request)
+        exercising the backpressure/deadline paths without exceptions.
+        Never retried: callers of the raw form want every 429/503/504
+        verbatim (the load generator counts them as shed, not masked)."""
+        return self._request("POST", "/predict", request, idempotent=False)
+
+    def chaos(self, payload: dict | None = None) -> dict:
+        """``/chaos``: snapshot (no payload) or arm faults (payload).
+        Only routed when the server runs with ``--chaos``."""
+        if payload is None:
+            return self._checked("GET", "/chaos")
+        return self._checked("POST", "/chaos", payload)
 
     def distributions(self, **query) -> dict:
         qs = "&".join(f"{k}={v}" for k, v in query.items())
@@ -117,7 +247,8 @@ class LoadResult:
     duration: float  #: measured wall seconds
     latencies: list[float] = field(repr=False, default_factory=list)
     status_counts: dict[int, int] = field(default_factory=dict)
-    errors: int = 0  #: transport-level failures
+    errors: int = 0  #: transport-level failures (a malformed response is one)
+    retries: int = 0  #: client-side retries (only with a retry policy)
 
     @property
     def requests(self) -> int:
@@ -149,6 +280,7 @@ class LoadResult:
             "requests": self.requests,
             "ok": self.ok,
             "errors": self.errors,
+            "retries": self.retries,
             "throughput_rps": round(self.throughput, 2),
             "p50_ms": round(self.latency_quantile(0.5) * 1e3, 3),
             "p90_ms": round(self.latency_quantile(0.9) * 1e3, 3),
@@ -169,6 +301,7 @@ class LoadGenerator:
         port: int,
         request_factory: Callable[[int], dict],
         concurrency: int = 8,
+        retry: RetryPolicy | None = None,
     ):
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
@@ -176,6 +309,9 @@ class LoadGenerator:
         self.port = port
         self.request_factory = request_factory
         self.concurrency = concurrency
+        #: optional client-side retry policy; ``None`` measures the raw
+        #: service (every 429/504 lands in ``status_counts`` verbatim)
+        self.retry = retry
 
     def run(
         self,
@@ -193,8 +329,23 @@ class LoadGenerator:
         stop_at = None
         start_barrier = threading.Barrier(self.concurrency + 1)
 
-        def worker():
-            client = ServiceClient(self.host, self.port)
+        def worker(index: int):
+            retry = None
+            if self.retry is not None:
+                # Per-thread policy clone: decorrelated jitter streams.
+                retry = RetryPolicy(
+                    retries=self.retry.retries,
+                    base=self.retry.base,
+                    cap=self.retry.cap,
+                    jitter=self.retry.jitter,
+                    statuses=self.retry.statuses,
+                    seed=(
+                        None
+                        if self.retry.seed is None
+                        else self.retry.seed + index
+                    ),
+                )
+            client = ServiceClient(self.host, self.port, retry=retry)
             start_barrier.wait()
             while True:
                 with lock:
@@ -210,7 +361,12 @@ class LoadGenerator:
                 request = self.request_factory(sequence)
                 t0 = _time.perf_counter()
                 try:
-                    status, _, _ = client.predict_raw(request)
+                    if retry is not None:
+                        status, _, _ = client._request(
+                            "POST", "/predict", request
+                        )
+                    else:
+                        status, _, _ = client.predict_raw(request)
                 except (OSError, http.client.HTTPException, ValueError):
                     with lock:
                         result.errors += 1
@@ -221,10 +377,15 @@ class LoadGenerator:
                     result.status_counts[status] = (
                         result.status_counts.get(status, 0) + 1
                     )
+            retried = client.metrics.total("repro_client_retries_total")
+            with lock:
+                result.retries += int(retried)
             client.close()
 
         threads = [
-            threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+            threading.Thread(
+                target=worker, args=(i,), name=f"loadgen-{i}", daemon=True
+            )
             for i in range(self.concurrency)
         ]
         for thread in threads:

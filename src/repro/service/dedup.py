@@ -15,7 +15,17 @@ import asyncio
 
 from .metrics import ServiceMetrics
 
-__all__ = ["SingleFlight"]
+__all__ = ["LeaderCancelled", "SingleFlight"]
+
+
+class LeaderCancelled(RuntimeError):
+    """The singleflight leader was cancelled before resolving.
+
+    Followers must get a *rejection*, never a hang -- and never a bare
+    ``CancelledError``, which an awaiting follower's own task would
+    misread as *itself* being cancelled.  A retry simply elects a new
+    leader, so this maps to a retryable 503 at the HTTP layer.
+    """
 
 
 class SingleFlight:
@@ -49,6 +59,11 @@ class SingleFlight:
     def reject(self, key: str, exc: BaseException) -> None:
         fut = self._inflight.pop(key, None)
         if fut is not None and not fut.done():
+            if isinstance(exc, asyncio.CancelledError):
+                exc = LeaderCancelled(
+                    "evaluation leader cancelled mid-flight; retry elects "
+                    "a new leader"
+                )
             fut.set_exception(exc)
             # The leader re-raises on its own path; with no followers
             # awaiting, the shared future's exception would otherwise be

@@ -18,9 +18,12 @@ for the next attempt.
 
 from __future__ import annotations
 
+import time as _time
+from typing import Callable
+
 from .metrics import ServiceMetrics
 
-__all__ = ["JobQueue", "QueueFull"]
+__all__ = ["BreakerOpen", "CircuitBreaker", "JobQueue", "JobSlot", "QueueFull"]
 
 
 class QueueFull(RuntimeError):
@@ -30,6 +33,42 @@ class QueueFull(RuntimeError):
         super().__init__(f"job queue full ({limit} in flight)")
         self.limit = limit
         self.retry_after = retry_after
+
+
+class BreakerOpen(RuntimeError):
+    """The circuit breaker is open; shed with 503 + Retry-After."""
+
+    def __init__(self, retry_after: float):
+        super().__init__("circuit breaker open (engine failing)")
+        self.retry_after = retry_after
+
+
+class JobSlot:
+    """One admission slot, released exactly once.
+
+    The single acquire/release point per request: every handler path --
+    success, engine error, cancellation, even a double ``__exit__`` from
+    nested cleanup -- releases the slot at most once, so no exception
+    path can leak a slot until restart (which would eventually wedge
+    admission at the 429 limit).
+    """
+
+    def __init__(self, queue: "JobQueue"):
+        self._queue = queue
+        self._held = False
+
+    def __enter__(self) -> "JobSlot":
+        self._queue.acquire()
+        self._held = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def release(self) -> None:
+        if self._held:
+            self._held = False
+            self._queue.release()
 
 
 class JobQueue:
@@ -71,9 +110,92 @@ class JobQueue:
             raise RuntimeError("release without matching acquire")
         self._inflight -= 1
 
+    def admit(self) -> JobSlot:
+        """A fresh single-release slot guard (use ``with queue.admit():``)."""
+        return JobSlot(self)
+
     def __enter__(self) -> "JobQueue":
         self.acquire()
         return self
 
     def __exit__(self, *exc) -> None:
         self.release()
+
+
+class CircuitBreaker:
+    """Trip open after consecutive engine failures; recover via a probe.
+
+    Closed (normal) -> *threshold* consecutive infrastructure failures
+    open the breaker -> engine-bound requests are shed instantly with
+    503 + Retry-After for *cooldown* seconds -> half-open: exactly one
+    probe request is let through; its success closes the breaker, its
+    failure re-opens a full cooldown.  Request-shaped failures (bad
+    request, model deadlock) never count -- the breaker watches engine
+    *health*, not input quality.  Used from the event-loop thread only.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 5.0,
+        metrics: ServiceMetrics | None = None,
+        clock: Callable[[], float] = _time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("breaker cooldown must be > 0")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._metrics = metrics
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._clock() - self._opened_at >= self.cooldown:
+            return "half-open"
+        return "open"
+
+    @property
+    def retry_after(self) -> float:
+        """Seconds until the next probe is allowed (0 when closed)."""
+        if self._opened_at is None:
+            return 0.0
+        return max(0.0, self.cooldown - (self._clock() - self._opened_at))
+
+    def allow(self) -> bool:
+        """Whether one more engine-bound request may proceed now."""
+        if self._opened_at is None:
+            return True
+        if self._clock() - self._opened_at < self.cooldown or self._probing:
+            if self._metrics is not None:
+                self._metrics.inc("repro_breaker_rejected_total")
+            return False
+        self._probing = True  # half-open: a single probe goes through
+        return True
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        probing, self._probing = self._probing, False
+        if self._opened_at is not None:
+            if probing:  # the half-open probe failed: re-open in full
+                self._opened_at = self._clock()
+                self._trip()
+            return
+        self._failures += 1
+        if self._failures >= self.threshold:
+            self._opened_at = self._clock()
+            self._trip()
+
+    def _trip(self) -> None:
+        if self._metrics is not None:
+            self._metrics.inc("repro_breaker_open_total")

@@ -19,10 +19,37 @@ from collections import deque
 
 from ..mpibench.histogram import Histogram
 
-__all__ = ["ServiceMetrics"]
+__all__ = ["ServiceMetrics", "escape_label_value"]
 
 #: latency quantiles exposed per endpoint
 QUANTILES = (0.5, 0.9, 0.99)
+
+
+def escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    The spec requires ``\\`` -> ``\\\\``, ``"`` -> ``\\"`` and newline ->
+    ``\\n`` inside quoted label values; without this a hostile (or merely
+    unlucky) label -- an endpoint path with a quote, say -- renders an
+    exposition scrapers reject wholesale.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_str(labels) -> str:
+    """Render a ``(key, value)`` label tuple as ``{k="v",...}``."""
+    if not labels:
+        return ""
+    return (
+        "{"
+        + ",".join(f'{k}="{escape_label_value(v)}"' for k, v in labels)
+        + "}"
+    )
 
 
 class ServiceMetrics:
@@ -50,6 +77,12 @@ class ServiceMetrics:
     def counter(self, name: str, **labels) -> float:
         return self._counters.get((name, tuple(sorted(labels.items()))), 0.0)
 
+    def total(self, name: str) -> float:
+        """Sum of *name* across every label combination."""
+        return sum(
+            value for (n, _), value in self._counters.items() if n == name
+        )
+
     def latency_histogram(self, endpoint: str) -> Histogram | None:
         buf = self._latencies.get(endpoint)
         if not buf:
@@ -66,12 +99,7 @@ class ServiceMetrics:
         """JSON-able view of every counter and latency summary."""
         counters: dict[str, float] = {}
         for (name, labels), value in sorted(self._counters.items()):
-            suffix = (
-                "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
-                if labels
-                else ""
-            )
-            counters[name + suffix] = value
+            counters[name + _label_str(labels)] = value
         latencies = {}
         for endpoint in sorted(self._latencies):
             hist = self.latency_histogram(endpoint)
@@ -93,12 +121,7 @@ class ServiceMetrics:
             if name not in seen_names:
                 seen_names.add(name)
                 lines.append(f"# TYPE {name} counter")
-            label_str = (
-                "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
-                if labels
-                else ""
-            )
-            lines.append(f"{name}{label_str} {value:g}")
+            lines.append(f"{name}{_label_str(labels)} {value:g}")
         for endpoint in sorted(self._latencies):
             buf = self._latencies[endpoint]
             hist = self.latency_histogram(endpoint)
@@ -108,15 +131,12 @@ class ServiceMetrics:
             if name not in seen_names:
                 seen_names.add(name)
                 lines.append(f"# TYPE {name} summary")
+            ep = escape_label_value(endpoint)
             for q in QUANTILES:
                 lines.append(
-                    f'{name}{{endpoint="{endpoint}",quantile="{q:g}"}} '
+                    f'{name}{{endpoint="{ep}",quantile="{q:g}"}} '
                     f"{hist.quantile(q):.6g}"
                 )
-            lines.append(
-                f'{name}_count{{endpoint="{endpoint}"}} {len(buf)}'
-            )
-            lines.append(
-                f'{name}_sum{{endpoint="{endpoint}"}} {sum(buf):.6g}'
-            )
+            lines.append(f'{name}_count{{endpoint="{ep}"}} {len(buf)}')
+            lines.append(f'{name}_sum{{endpoint="{ep}"}} {sum(buf):.6g}')
         return "\n".join(lines) + "\n"

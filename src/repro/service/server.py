@@ -30,6 +30,7 @@ import time as _time
 from urllib.parse import parse_qsl, urlsplit
 
 from ..mpibench.results import DistributionDB
+from ..pevpm import parallel as _parallel
 from ..pevpm.machine import ModelDeadlock
 from ..pevpm.parallel import (
     PredictionCache,
@@ -42,8 +43,9 @@ from ..pevpm.timing import timing_from_db
 from ..simnet import perseus
 from .batcher import MicroBatcher
 from .cache import TieredCache
-from .dedup import SingleFlight
-from .jobs import JobQueue, QueueFull
+from .dedup import LeaderCancelled, SingleFlight
+from .faults import FaultPlan
+from .jobs import BreakerOpen, CircuitBreaker, JobQueue, QueueFull
 from .metrics import ServiceMetrics
 from .records import MODELS, PredictRequest, RequestError, prediction_record
 
@@ -57,6 +59,7 @@ _STATUS_TEXT = {
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 
@@ -80,6 +83,9 @@ class PredictionService:
         batching: bool = True,
         dedup: bool = True,
         caching: bool = True,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 2.0,
+        fault_injector=None,
     ):
         self.db = db
         self.spec = spec if spec is not None else perseus()
@@ -88,13 +94,29 @@ class PredictionService:
         self.caching = caching
         self.dedup_enabled = dedup
         self.metrics = ServiceMetrics()
+        self.faults = fault_injector
+        if fault_injector is not None:
+            if fault_injector.cache_root is None and cache_dir:
+                from pathlib import Path
+
+                fault_injector.cache_root = Path(cache_dir)
+            # Pool-kill faults fire inside the engine module.
+            _parallel.install_fault_injector(fault_injector)
         self.cache = TieredCache(
             lru_size if caching else 0,
             PredictionCache(cache_dir) if (caching and cache_dir) else None,
             self.metrics,
+            faults=fault_injector,
         )
         self.dedup = SingleFlight(self.metrics)
         self.jobs = JobQueue(queue_limit, self.metrics, retry_after=retry_after)
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold,
+            cooldown=breaker_cooldown,
+            metrics=self.metrics,
+        )
+        #: set by graceful shutdown: new predictions are shed with 503
+        self.draining = False
         self.batcher = MicroBatcher(
             self._evaluate_requests,
             self.metrics,
@@ -153,6 +175,8 @@ class PredictionService:
         per-request evaluation so one poisoned request cannot fail its
         batch-mates.  Returns one document or exception per request.
         """
+        if self.faults is not None:
+            self.faults.on_evaluate()
         results: list = [None] * len(reqs)
         groups: list[RunGroup] = []
         idx: list[int] = []
@@ -165,7 +189,9 @@ class PredictionService:
         if groups:
             t0 = _time.perf_counter()
             try:
-                per_group = evaluate_groups(groups, workers=self.workers)
+                per_group = evaluate_groups(
+                    groups, workers=self.workers, on_rebuild=self._pool_rebuilt
+                )
             except Exception:
                 per_group = None
             wall = _time.perf_counter() - t0
@@ -173,7 +199,11 @@ class PredictionService:
                 for i, group in zip(idx, groups):
                     try:
                         t1 = _time.perf_counter()
-                        outcomes = evaluate_groups([group], workers=self.workers)[0]
+                        outcomes = evaluate_groups(
+                            [group],
+                            workers=self.workers,
+                            on_rebuild=self._pool_rebuilt,
+                        )[0]
                         results[i] = self._finish(
                             group, outcomes, _time.perf_counter() - t1
                         )
@@ -186,7 +216,34 @@ class PredictionService:
                     results[i] = self._finish(group, outcomes, wall * own / total)
         return results
 
+    def _pool_rebuilt(self, ordinal: int) -> None:
+        """Engine recovery hook: a broken process pool was rebuilt."""
+        self.metrics.inc("repro_pool_rebuilds_total")
+
     # -- request funnel (event-loop thread) -----------------------------------
+    async def _engine_submit(self, req: PredictRequest) -> dict:
+        """Admit one request to the engine, with breaker accounting.
+
+        The breaker watches engine *health*: infrastructure failures
+        (evaluator crash, unrecoverable pool loss) count against it;
+        request-shaped outcomes (deadlocking models, bad requests,
+        shedding, cancellation) do not.
+        """
+        if not self.breaker.allow():
+            raise BreakerOpen(self.breaker.retry_after)
+        try:
+            with self.jobs.admit():
+                doc = await self.batcher.submit(req)
+        except (QueueFull, ModelDeadlock, RequestError):
+            raise
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        return doc
+
     async def _predict(self, req: PredictRequest, key: str) -> tuple[dict, str]:
         """Resolve one validated request to (document, served-from)."""
         if self.caching:
@@ -194,8 +251,7 @@ class PredictionService:
             if doc is not None:
                 return doc, "cache"
         if not self.dedup_enabled:
-            with self.jobs:
-                doc = await self.batcher.submit(req)
+            doc = await self._engine_submit(req)
             if self.caching:
                 self.cache.put(key, doc)
             return doc, "engine"
@@ -204,8 +260,7 @@ class PredictionService:
             doc, _ = await fut
             return doc, "singleflight"
         try:
-            with self.jobs:
-                doc = await self.batcher.submit(req)
+            doc = await self._engine_submit(req)
             if self.caching:
                 self.cache.put(key, doc)
             self.dedup.resolve(key, (doc, "engine"))
@@ -216,6 +271,15 @@ class PredictionService:
 
     async def handle_predict(self, body: object) -> tuple[int, dict, dict]:
         """Full ``/predict`` handling: returns (status, headers, doc)."""
+        if self.draining:
+            # Shutdown in progress: answer fast and well-formed instead
+            # of letting the socket hang while the engine drains.
+            self.metrics.inc("repro_drain_rejected_total")
+            return (
+                503,
+                {"Retry-After": "1", "Connection": "close"},
+                {"error": "server draining"},
+            )
         try:
             req = PredictRequest.from_dict(body)
         except RequestError as exc:
@@ -252,6 +316,23 @@ class PredictionService:
                     "inflight_limit": exc.limit,
                     "retry_after_s": exc.retry_after,
                 },
+            )
+        except BreakerOpen as exc:
+            retry_after = max(exc.retry_after, 0.1)
+            return (
+                503,
+                {"Retry-After": f"{retry_after:.3g}"},
+                {
+                    "error": "circuit breaker open",
+                    "retry_after_s": retry_after,
+                },
+            )
+        except LeaderCancelled as exc:
+            self.metrics.inc("repro_leader_cancelled_total")
+            return (
+                503,
+                {"Retry-After": "0.1"},
+                {"error": str(exc)},
             )
         except ModelDeadlock as exc:
             self.metrics.inc("repro_model_deadlocks_total")
@@ -307,8 +388,45 @@ class PredictionService:
             return 400, {}, {"error": str(exc)}
         return 200, {}, doc
 
+    def handle_chaos(self, body: object) -> tuple[int, dict, dict]:
+        """``/chaos`` control endpoint (only routed when chaos mode is on).
+
+        ``GET`` returns the injector snapshot; ``POST`` arms faults:
+        either ``{"kind": ..., "seconds": ..., "at": ..., "key": ...}``
+        for one fault or ``{"plan": {"seed": ..., "length": ...}}`` for
+        a whole seeded :class:`FaultPlan`.
+        """
+        if not isinstance(body, dict):
+            return 400, {}, {"error": "body must be a JSON object"}
+        try:
+            if "plan" in body:
+                plan_args = body["plan"]
+                if not isinstance(plan_args, dict):
+                    raise ValueError("plan must be a JSON object")
+                plan = FaultPlan.seeded(
+                    int(plan_args.get("seed", 0)),
+                    length=int(plan_args.get("length", 4)),
+                    max_seconds=float(plan_args.get("max_seconds", 0.05)),
+                )
+                self.faults.arm_plan(plan)
+                armed = [spec.to_dict() for spec in plan.faults]
+            else:
+                kind = body.get("kind")
+                if not isinstance(kind, str):
+                    raise ValueError("missing fault 'kind'")
+                spec = self.faults.arm(
+                    kind,
+                    seconds=float(body.get("seconds", 0.0)),
+                    at=(None if body.get("at") is None else int(body["at"])),
+                    key=body.get("key"),
+                )
+                armed = [spec.to_dict()]
+        except (TypeError, ValueError) as exc:
+            return 400, {}, {"error": str(exc)}
+        return 200, {}, {"armed": armed, "chaos": self.faults.snapshot()}
+
     def healthz(self) -> dict:
-        return {
+        doc = {
             "status": "ok",
             "cluster": self.db.cluster,
             "models": sorted(MODELS),
@@ -319,10 +437,17 @@ class PredictionService:
             "dedup": self.dedup_enabled,
             "caching": self.caching,
             "lru_entries": len(self.cache),
+            "breaker": self.breaker.state,
+            "draining": self.draining,
         }
+        if self.faults is not None:
+            doc["chaos"] = self.faults.snapshot()
+        return doc
 
     def close(self) -> None:
         self.batcher.close()
+        if self.faults is not None:
+            _parallel.install_fault_injector(None)
 
 
 class ServiceServer:
@@ -404,6 +529,17 @@ class ServiceServer:
                 return 400, {}, {"error": "body is not valid JSON"}, "application/json"
             status, headers, doc = await svc.handle_predict(parsed)
             return status, headers, doc, "application/json"
+        if path == "/chaos" and svc.faults is not None:
+            if method == "GET":
+                return 200, {}, {"chaos": svc.faults.snapshot()}, "application/json"
+            if method == "POST":
+                try:
+                    parsed = json.loads(body) if body else {}
+                except ValueError:
+                    return 400, {}, {"error": "body is not valid JSON"}, "application/json"
+                status, headers, doc = svc.handle_chaos(parsed)
+                return status, headers, doc, "application/json"
+            return 405, {}, {"error": "use GET or POST"}, "application/json"
         return 404, {}, {"error": f"no such endpoint {path!r}"}, "application/json"
 
     async def _handle_connection(self, reader, writer) -> None:
@@ -436,7 +572,10 @@ class ServiceServer:
                 payload = (
                     doc.encode() if isinstance(doc, str) else json.dumps(doc).encode()
                 )
-                keep_alive = headers.get("connection", "keep-alive") != "close"
+                keep_alive = (
+                    headers.get("connection", "keep-alive") != "close"
+                    and not svc.draining
+                )
                 writer.write(
                     self._response(status, payload, ctype, extra, keep_alive)
                 )
@@ -468,6 +607,35 @@ class ServiceServer:
             await self.start()
         async with self._server:
             await self._server.serve_forever()
+
+    async def drain(self, grace: float = 10.0) -> None:
+        """Graceful shutdown: stop accepting, shed new predictions with
+        503, let in-flight requests finish (bounded by *grace* seconds),
+        then stop.  Clients mid-request get their complete response with
+        ``Connection: close``; clients arriving late get a fast 503."""
+        self.service.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = asyncio.get_running_loop().time() + grace
+        try:
+            await asyncio.wait_for(
+                self.service.batcher.drain(),
+                timeout=max(0.0, deadline - asyncio.get_running_loop().time()),
+            )
+        except asyncio.TimeoutError:
+            pass
+        while self._connections:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                break
+            await asyncio.wait(
+                list(self._connections),
+                timeout=remaining,
+                return_when=asyncio.ALL_COMPLETED,
+            )
+        await self.stop()
 
     async def stop(self) -> None:
         if self._server is not None:
@@ -525,6 +693,18 @@ class ServiceThread:
         if not self._started.wait(timeout=30):
             raise RuntimeError("service failed to start within 30s")
         return self.address
+
+    def drain(self, grace: float = 10.0) -> None:
+        """Gracefully drain the server from any thread, then stop."""
+        if self._loop is not None:
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.drain(grace), self._loop
+            )
+            try:
+                future.result(timeout=grace + 10)
+            except Exception:
+                pass
+        self.stop()
 
     def stop(self) -> None:
         if self._loop is not None:
