@@ -61,6 +61,10 @@ class MicroBatcher:
         self._pending: asyncio.Queue | None = None
         self._collector: asyncio.Task | None = None
         self._dispatches: set[asyncio.Task] = set()
+        #: True while the collector holds popped items it has not yet
+        #: handed to a dispatch task (the coalescing window); drain()
+        #: must not declare the batcher empty during it.
+        self._coalescing = False
         self._pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-eval"
         )
@@ -89,24 +93,28 @@ class MicroBatcher:
         loop = asyncio.get_running_loop()
         while True:
             first = await self._pending.get()
-            batch = [first]
-            deadline = loop.time() + self.max_wait
-            while len(batch) < self.max_batch:
-                remaining = deadline - loop.time()
-                if remaining <= 0:
-                    break
-                try:
-                    batch.append(
-                        await asyncio.wait_for(self._pending.get(), remaining)
-                    )
-                except asyncio.TimeoutError:
-                    break
-            # Evaluate in the background so the collector keeps
-            # coalescing the next batch while this one runs; track the
-            # task so shutdown can drain in-flight evaluations.
-            task = asyncio.create_task(self._dispatch(batch))
-            self._dispatches.add(task)
-            task.add_done_callback(self._dispatches.discard)
+            self._coalescing = True
+            try:
+                batch = [first]
+                deadline = loop.time() + self.max_wait
+                while len(batch) < self.max_batch:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(self._pending.get(), remaining)
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                # Evaluate in the background so the collector keeps
+                # coalescing the next batch while this one runs; track the
+                # task so shutdown can drain in-flight evaluations.
+                task = asyncio.create_task(self._dispatch(batch))
+                self._dispatches.add(task)
+                task.add_done_callback(self._dispatches.discard)
+            finally:
+                self._coalescing = False
 
     async def _dispatch(self, batch: list[tuple]) -> None:
         self._metrics.inc("repro_batches_total")
@@ -139,7 +147,13 @@ class MicroBatcher:
                     *list(self._dispatches), return_exceptions=True
                 )
                 continue
-            if self._pending is not None and not self._pending.empty():
+            if self._coalescing or (
+                self._pending is not None and not self._pending.empty()
+            ):
+                # Queued items, or items the collector popped but has
+                # not yet handed to a dispatch task: wait a coalescing
+                # interval and re-check (returning now would let stop()
+                # cancel connections still awaiting that batch).
                 await asyncio.sleep(self.max_wait or 0.001)
                 continue
             return

@@ -52,8 +52,10 @@ class RetryPolicy:
     ``cap``, then scaled down by up to ``jitter`` (a fraction in [0, 1])
     drawn from a seeded generator -- deterministic for tests, decorrelated
     between clients in production (seed ``None``).  A server-supplied
-    ``Retry-After`` overrides the computed delay (still capped), so a
-    backpressured client sleeps exactly as long as the service asked.
+    ``Retry-After`` overrides the computed delay (still capped) but keeps
+    the jitter as an *additive* spread on top: every client shed by the
+    same overloaded server gets the same hint, and sleeping it exactly
+    would wake the whole herd at once against a just-recovered breaker.
     """
 
     retries: int = 3  #: retry attempts after the first try
@@ -73,7 +75,12 @@ class RetryPolicy:
     def backoff(self, attempt: int, retry_after: float | None = None) -> float:
         """Seconds to sleep before retry *attempt* (0-based)."""
         if retry_after is not None:
-            return min(max(retry_after, 0.0), self.cap)
+            hinted = max(retry_after, 0.0)
+            # Additive spread so clients sleeping on the same hint wake
+            # desynchronised; scaled by the larger of the hint and the
+            # base step so a tiny (or zero) hint still gets a spread.
+            hinted += self.jitter * self._rng.random() * max(hinted, self.base)
+            return min(hinted, self.cap)
         delay = min(self.cap, self.base * (2 ** attempt))
         return delay * (1 - self.jitter * self._rng.random())
 

@@ -131,7 +131,10 @@ class CircuitBreaker:
     probe request is let through; its success closes the breaker, its
     failure re-opens a full cooldown.  Request-shaped failures (bad
     request, model deadlock) never count -- the breaker watches engine
-    *health*, not input quality.  Used from the event-loop thread only.
+    *health*, not input quality -- and a probe ending in one of them
+    releases the probe slot (:meth:`release_probe`) so the next request
+    probes instead of being shed forever.  Used from the event-loop
+    thread only.
     """
 
     def __init__(
@@ -178,6 +181,17 @@ class CircuitBreaker:
             return False
         self._probing = True  # half-open: a single probe goes through
         return True
+
+    def release_probe(self) -> None:
+        """Give back a half-open probe slot without recording an outcome.
+
+        A probe request can end in a way that says nothing about engine
+        health (shed by admission, model deadlock, bad request,
+        cancellation).  Those paths must still free the probe slot --
+        otherwise ``allow()`` keeps returning ``False`` forever and the
+        breaker wedges open until restart.  No-op when not probing.
+        """
+        self._probing = False
 
     def record_success(self) -> None:
         self._failures = 0

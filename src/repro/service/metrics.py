@@ -15,6 +15,7 @@ can be scraped by standard tooling (or just read by a human).
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 
 from ..mpibench.histogram import Histogram
@@ -61,27 +62,38 @@ class ServiceMetrics:
         #: endpoint -> bounded deque of latency samples (seconds)
         self._latencies: dict[str, deque] = {}
         self._reservoir = reservoir
+        # Counters are bumped from the event loop *and* the evaluator
+        # thread (pool rebuilds, fault-injector hooks); the lock makes
+        # the read-modify-write atomic so no increment is lost.  Cheap
+        # relative to any engine evaluation.
+        self._lock = threading.Lock()
 
     # -- recording ----------------------------------------------------------------
     def inc(self, name: str, value: float = 1.0, **labels) -> None:
         key = (name, tuple(sorted(labels.items())))
-        self._counters[key] = self._counters.get(key, 0.0) + value
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
 
     def observe(self, endpoint: str, seconds: float) -> None:
-        buf = self._latencies.get(endpoint)
-        if buf is None:
-            buf = self._latencies[endpoint] = deque(maxlen=self._reservoir)
+        with self._lock:
+            buf = self._latencies.get(endpoint)
+            if buf is None:
+                buf = self._latencies[endpoint] = deque(maxlen=self._reservoir)
         buf.append(seconds)
 
     # -- queries -----------------------------------------------------------------
     def counter(self, name: str, **labels) -> float:
-        return self._counters.get((name, tuple(sorted(labels.items()))), 0.0)
+        with self._lock:
+            return self._counters.get(
+                (name, tuple(sorted(labels.items()))), 0.0
+            )
 
     def total(self, name: str) -> float:
         """Sum of *name* across every label combination."""
-        return sum(
-            value for (n, _), value in self._counters.items() if n == name
-        )
+        with self._lock:
+            return sum(
+                value for (n, _), value in self._counters.items() if n == name
+            )
 
     def latency_histogram(self, endpoint: str) -> Histogram | None:
         buf = self._latencies.get(endpoint)
@@ -97,8 +109,10 @@ class ServiceMetrics:
 
     def snapshot(self) -> dict:
         """JSON-able view of every counter and latency summary."""
+        with self._lock:
+            items = sorted(self._counters.items())
         counters: dict[str, float] = {}
-        for (name, labels), value in sorted(self._counters.items()):
+        for (name, labels), value in items:
             counters[name + _label_str(labels)] = value
         latencies = {}
         for endpoint in sorted(self._latencies):
@@ -117,7 +131,9 @@ class ServiceMetrics:
         """The Prometheus text format (v0.0.4) for ``/metrics``."""
         lines: list[str] = []
         seen_names: set[str] = set()
-        for (name, labels), value in sorted(self._counters.items()):
+        with self._lock:
+            counter_items = sorted(self._counters.items())
+        for (name, labels), value in counter_items:
             if name not in seen_names:
                 seen_names.add(name)
                 lines.append(f"# TYPE {name} counter")

@@ -234,9 +234,11 @@ class PredictionService:
         try:
             with self.jobs.admit():
                 doc = await self.batcher.submit(req)
-        except (QueueFull, ModelDeadlock, RequestError):
-            raise
-        except asyncio.CancelledError:
+        except (QueueFull, ModelDeadlock, RequestError, asyncio.CancelledError):
+            # Non-counting outcome: if this request was the half-open
+            # probe, free the probe slot so the next request can probe
+            # (otherwise the breaker wedges open until restart).
+            self.breaker.release_probe()
             raise
         except Exception:
             self.breaker.record_failure()

@@ -70,6 +70,26 @@ class TestServiceMetrics:
         assert snap["counters"]["repro_batches_total"] == 3
         assert snap["latency_seconds"]["/predict"]["count"] == 1
 
+    def test_inc_is_thread_safe(self):
+        # Counters are bumped from the evaluator thread (pool rebuilds,
+        # fault hooks) concurrently with the event loop; racing unlocked
+        # read-modify-writes would silently lose increments.
+        import threading
+
+        m = ServiceMetrics()
+        per_thread = 5000
+
+        def hammer():
+            for _ in range(per_thread):
+                m.inc("repro_pool_rebuilds_total")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.counter("repro_pool_rebuilds_total") == 4 * per_thread
+
 
 class TestJobQueue:
     def test_sheds_beyond_limit(self):
@@ -274,6 +294,33 @@ class TestMicroBatcher:
             MicroBatcher(lambda items: items, ServiceMetrics(), max_batch=0)
         with pytest.raises(ValueError):
             MicroBatcher(lambda items: items, ServiceMetrics(), max_wait=-1)
+
+    def test_drain_waits_out_coalescing_window(self):
+        # Regression: between the collector popping an item off the
+        # queue and creating its dispatch task (up to max_wait), the
+        # item is in neither _pending nor _dispatches; drain() must not
+        # declare the batcher empty then, or stop() cancels a
+        # connection still awaiting that batch.
+        def evaluate(items):
+            return [i * 2 for i in items]
+
+        async def scenario():
+            b = MicroBatcher(
+                evaluate, ServiceMetrics(), max_batch=8, max_wait=0.1
+            )
+            try:
+                fut = asyncio.ensure_future(b.submit(21))
+                # Let the collector pop the item into its coalescing
+                # window (it then waits max_wait for batch-mates).
+                while not b._coalescing:
+                    await asyncio.sleep(0.001)
+                await b.drain()
+                assert fut.done()
+                assert fut.result() == 42
+            finally:
+                b.close()
+
+        asyncio.run(scenario())
 
 
 class TestPredictRequest:

@@ -359,6 +359,20 @@ class TestRetryPolicy:
         assert policy.backoff(0, retry_after=60.0) == 0.5
         assert policy.backoff(0, retry_after=-1.0) == 0.0
 
+    def test_retry_after_gets_additive_jitter(self):
+        # Every client shed by the same 429/503 receives the same hint;
+        # without a spread they all wake and retry in lockstep against a
+        # just-recovered server.
+        policy = RetryPolicy(cap=2.0, jitter=0.5, seed=11)
+        delays = [policy.backoff(0, retry_after=0.25) for _ in range(16)]
+        for delay in delays:
+            assert 0.25 <= delay <= 0.25 * 1.5  # hint + up to jitter*hint
+        assert len(set(delays)) > 1  # spread, not one synchronised sleep
+        other = RetryPolicy(cap=2.0, jitter=0.5, seed=99)
+        assert [
+            RetryPolicy(cap=2.0, jitter=0.5, seed=11).backoff(0, retry_after=0.25)
+        ] != [other.backoff(0, retry_after=0.25)]
+
     def test_validation(self):
         with pytest.raises(ValueError):
             RetryPolicy(retries=-1)
@@ -491,6 +505,27 @@ class TestCircuitBreaker:
         assert breaker.retry_after == pytest.approx(1.0)
         assert metrics.counter("repro_breaker_open_total") == 2
 
+    def test_released_probe_frees_the_slot(self):
+        # Regression: a probe that ends without a health verdict (shed
+        # by admission, model deadlock, cancelled) must give the slot
+        # back -- otherwise allow() returns False forever and the
+        # breaker wedges open until restart.
+        breaker, clock, _ = self.make(threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        clock["now"] = 1.5
+        assert breaker.allow()       # the probe goes through
+        assert not breaker.allow()   # slot held
+        breaker.release_probe()      # probe shed: no success, no failure
+        assert breaker.state == "half-open"
+        assert breaker.allow()       # a fresh probe may go through
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_release_probe_when_closed_is_a_noop(self):
+        breaker, _, _ = self.make(threshold=2, cooldown=1.0)
+        breaker.release_probe()
+        assert breaker.state == "closed" and breaker.allow()
+
 
 class TestJobSlot:
     def test_slot_releases_exactly_once(self):
@@ -560,6 +595,33 @@ class TestBreakerInService:
         assert float(headers["Retry-After"]) > 0
         assert probe[0] == 200
         assert closed == "closed"
+
+    def test_shed_probe_does_not_wedge_breaker(self, db):
+        # Regression: if the half-open probe is shed by admission (or
+        # hits a model deadlock / bad request), the probe slot must be
+        # released -- otherwise every later engine-bound request gets
+        # 503 forever even though the engine is healthy again.
+        clock = {"now": 0.0}
+
+        async def scenario(service):
+            service.breaker = CircuitBreaker(
+                threshold=1, cooldown=1.0, metrics=service.metrics,
+                clock=lambda: clock["now"],
+            )
+            service.breaker.record_failure()  # breaker opens
+            clock["now"] = 2.0                # cooldown elapsed: half-open
+            service.jobs.acquire()            # admission full: probe is shed
+            shed = await service.handle_predict(jacobi_request())
+            service.jobs.release()
+            after = await service.handle_predict(jacobi_request())
+            return shed, after, service.breaker.state
+
+        shed, after, state = run_service(
+            db, scenario, caching=False, queue_limit=1
+        )
+        assert shed[0] == 429   # shed by admission, not by the breaker
+        assert after[0] == 200  # the next request probed: no wedge
+        assert state == "closed"
 
     def test_cache_hits_served_while_breaker_open(self, db):
         async def scenario(service):
