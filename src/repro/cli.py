@@ -17,7 +17,9 @@ Subcommands:
   (``--retries`` adds client-side backoff);
 * ``repro chaos``     -- arm deterministic faults on a ``--chaos``
   server (kill a pool worker, corrupt/delay the disk cache, stall the
-  evaluator) and inspect what fired.
+  evaluator) and inspect what fired;
+* ``repro trace``     -- fetch recent request traces from a running
+  service and render them as per-stage ASCII waterfalls.
 
 Exit codes: 0 on success, 3 when the modelled (or simulated) program
 deadlocks -- deadlock discovery is a PEVPM feature (Section 5), and
@@ -188,6 +190,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--chaos-seed", type=int, default=0,
         help="seed for the fault injector's own randomness",
+    )
+    p_serve.add_argument(
+        "--no-trace", action="store_true",
+        help="disable request tracing (spans, /trace, X-Repro-Trace)",
+    )
+    p_serve.add_argument(
+        "--trace-buffer", type=int, default=256, metavar="N",
+        help="finished traces kept in the ring buffer behind GET /trace",
+    )
+    p_serve.add_argument(
+        "--log-json", action="store_true",
+        help="emit one structured JSON log line per served /predict",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="fetch traces from a running service as waterfalls"
+    )
+    p_trace.add_argument("--host", default="127.0.0.1")
+    p_trace.add_argument("--port", type=int, default=8100)
+    p_trace.add_argument(
+        "--id", default=None, metavar="TRACE_ID",
+        help="one specific trace (default: the most recent ones)",
+    )
+    p_trace.add_argument(
+        "--limit", type=int, default=5, metavar="N",
+        help="how many recent traces to show (without --id)",
+    )
+    p_trace.add_argument(
+        "--json", action="store_true",
+        help="print the raw trace documents instead of waterfalls",
     )
 
     p_chaos = sub.add_parser(
@@ -403,6 +435,7 @@ def cmd_serve(args) -> int:
     import asyncio
     import signal
 
+    from .obs import Tracer
     from .service import FaultInjector, PredictionService, ServiceServer
 
     spec = perseus()
@@ -420,6 +453,10 @@ def cmd_serve(args) -> int:
         configs = [(1, 2), (2, 1), (8, 1), (16, 1), (32, 1)]
         db = bench.sweep_isend(configs, sizes=[0, 512, 1024, 2048])
     injector = FaultInjector(seed=args.chaos_seed) if args.chaos else None
+    # Tracing is on by default for the served configuration (the CI
+    # smoke scrapes /trace and the stage histograms); --no-trace keeps
+    # every funnel call site on its guarded no-op path.
+    tracer = None if args.no_trace else Tracer(capacity=args.trace_buffer)
     service = PredictionService(
         db,
         spec=spec,
@@ -436,6 +473,8 @@ def cmd_serve(args) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
         fault_injector=injector,
+        tracer=tracer,
+        log_json=args.log_json,
     )
     server = ServiceServer(service, host=args.host, port=args.port)
 
@@ -470,6 +509,48 @@ def cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("shutting down")
     print("drained; bye", flush=True)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .obs import render_waterfall
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port, timeout=10.0)
+    try:
+        if args.id is not None:
+            docs = [client.trace(args.id)]
+        else:
+            docs = client.trace(limit=args.limit).get("traces", [])
+    except ServiceError as exc:
+        if exc.status == 404:
+            print(f"repro trace: {exc}", file=sys.stderr)
+            print(
+                "(tracing may be disabled: restart the server without "
+                "--no-trace)",
+                file=sys.stderr,
+            )
+        else:
+            print(f"repro trace: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"repro trace: cannot reach {args.host}:{args.port} ({exc})",
+            file=sys.stderr,
+        )
+        return 1
+    finally:
+        client.close()
+    if args.json:
+        print(json.dumps(docs if args.id is None else docs[0], indent=2))
+        return 0
+    if not docs:
+        print("no traces recorded yet (serve a /predict first)")
+        return 0
+    for i, doc in enumerate(docs):
+        if i:
+            print()
+        print(render_waterfall(doc))
     return 0
 
 
@@ -585,6 +666,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
         "chaos": cmd_chaos,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,45 @@
+"""Structured request logging: one JSON object per line.
+
+``repro serve --log-json`` emits exactly one line per served
+``/predict`` with the fields an operator greps for when correlating a
+slow or failed request across systems: the trace ID (shared with the
+client via ``X-Repro-Trace`` and with ``GET /trace``), where the answer
+came from (cache tier / singleflight / engine), which micro-batch
+evaluated it, and the client's retry attempt counter.
+
+Plain ``json.dumps`` onto a stream under a lock -- no ``logging``
+handlers, no formatting layers; the line *is* the record.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time as _time
+
+__all__ = ["JsonLogger"]
+
+
+class JsonLogger:
+    """Write one JSON line per event to *stream* (default stdout)."""
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stdout
+        self._lock = threading.Lock()
+
+    def log(self, event: str, **fields) -> None:
+        """Emit ``{"ts": ..., "event": event, **fields}`` as one line.
+
+        ``None``-valued fields are dropped (absent beats ``null`` for
+        grep-ability); values must be JSON-serialisable.
+        """
+        doc = {"ts": round(_time.time(), 6), "event": event}
+        doc.update((k, v) for k, v in fields.items() if v is not None)
+        line = json.dumps(doc, separators=(",", ":"))
+        with self._lock:
+            self.stream.write(line + "\n")
+            try:
+                self.stream.flush()
+            except (OSError, ValueError):
+                pass  # closed/broken stream must never fail a request

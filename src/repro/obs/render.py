@@ -1,0 +1,59 @@
+"""ASCII waterfall rendering of exported traces (``repro trace``).
+
+Takes the JSON documents ``GET /trace`` serves (see
+:meth:`~repro.obs.tracer.Trace.to_dict`) and draws one bar per span,
+offset and scaled against the trace's total duration::
+
+    trace 1f2e3d4c5b6a7988  (12.41 ms)
+      request      |##############################################| 12.41ms
+      cache        |#                                             |  0.02ms  tier=miss
+      batch        | ############################################ | 11.90ms  batch=4
+      engine       |  ########################################### | 11.70ms
+      engine.sweep |  #############                               |  3.40ms
+
+Pure string munging over plain dicts -- usable against a live server
+(via the client) or a saved JSON export alike.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_waterfall"]
+
+#: span attributes surfaced inline after the bar, in display order
+_SHOWN_ATTRS = ("tier", "role", "batch_id", "batch_size", "queue_depth",
+                "synthetic", "status")
+
+
+def _bar(start_ms: float, dur_ms: float, total_ms: float, width: int) -> str:
+    if total_ms <= 0:
+        return " " * width
+    lead = int(round(start_ms / total_ms * width))
+    lead = min(lead, width - 1)
+    fill = int(round(dur_ms / total_ms * width))
+    fill = max(1, fill)  # every span is visible, however brief
+    fill = min(fill, width - lead)
+    return " " * lead + "#" * fill + " " * (width - lead - fill)
+
+
+def render_waterfall(trace_doc: dict, width: int = 48) -> str:
+    """Render one exported trace document as an ASCII waterfall."""
+    spans = trace_doc.get("spans", [])
+    header = f"trace {trace_doc.get('trace_id', '?')}"
+    if not spans:
+        return header + "  (no spans)"
+    total = max(s["start_ms"] + s["duration_ms"] for s in spans)
+    header += f"  ({total:.2f} ms, {len(spans)} spans)"
+    name_w = max(len(s["name"]) for s in spans)
+    lines = [header]
+    for s in spans:
+        attrs = s.get("attrs", {})
+        shown = "  ".join(
+            f"{k}={attrs[k]}" for k in _SHOWN_ATTRS if k in attrs
+        )
+        lines.append(
+            f"  {s['name']:<{name_w}} "
+            f"|{_bar(s['start_ms'], s['duration_ms'], total, width)}| "
+            f"{s['duration_ms']:8.2f}ms"
+            + (f"  {shown}" if shown else "")
+        )
+    return "\n".join(lines)

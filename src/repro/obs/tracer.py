@@ -1,0 +1,257 @@
+"""Explicit-clock spans and the bounded trace ring buffer.
+
+A :class:`Trace` is one request's worth of :class:`Span` records; a
+:class:`Tracer` hands out traces and retires finished ones into a
+bounded ring buffer (old traces fall off the back -- the buffer can
+never grow without limit under load).  Design constraints, in order:
+
+* **Zero cost when disabled.**  A disabled tracer's
+  :meth:`Tracer.start_trace` returns ``None`` and every call site in
+  the request funnel is guarded with ``if trace is not None`` (or the
+  :func:`span_or_null` helper), so the disabled path adds only a
+  ``None`` check per stage.
+* **No RNG contact.**  Span IDs come from ``os.urandom`` and span
+  times from an injected clock (``time.perf_counter`` by default);
+  nothing here reads or advances the engine's seeded streams, which is
+  what keeps a traced prediction bit-identical to an untraced one.
+* **Explicit clocks.**  The clock is a constructor argument, so tests
+  drive traces with a fake clock and assert exact durations.
+
+Spans may be recorded from the event-loop thread and the evaluator
+thread of one request concurrently; the per-trace lock makes appends
+safe (they are two dict writes, so contention is negligible).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time as _time
+from contextlib import contextmanager, nullcontext
+from typing import Callable
+
+__all__ = ["Span", "Trace", "Tracer", "span_or_null"]
+
+#: hard cap on an accepted ``X-Repro-Trace`` header value: IDs are
+#: opaque tokens, but unbounded hostile headers must not be stored
+MAX_TRACE_ID = 64
+
+
+def _new_id() -> str:
+    """A fresh 64-bit hex ID from OS entropy (never the seeded RNGs)."""
+    return os.urandom(8).hex()
+
+
+def clean_trace_id(value) -> str | None:
+    """Validate a client-supplied trace ID (header value) or reject it.
+
+    Accepts short printable tokens without whitespace; anything else
+    returns ``None`` and the server falls back to a generated ID.
+    """
+    if not isinstance(value, str):
+        return None
+    value = value.strip()
+    if not value or len(value) > MAX_TRACE_ID:
+        return None
+    if any(c.isspace() or not c.isprintable() for c in value):
+        return None
+    return value
+
+
+class Span:
+    """One named interval within a trace.
+
+    Times are raw clock readings (the tracer's clock); exported
+    documents convert them to offsets from the trace start so a
+    waterfall needs no clock epoch.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        end: float | None = None,
+        parent_id: str | None = None,
+        attrs: dict | None = None,
+    ):
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end = end
+        self.attrs = attrs or {}
+
+    @property
+    def duration(self) -> float:
+        return 0.0 if self.end is None else max(0.0, self.end - self.start)
+
+    def to_dict(self, epoch: float) -> dict:
+        doc = {
+            "span_id": self.span_id,
+            "name": self.name,
+            "start_ms": (self.start - epoch) * 1e3,
+            "duration_ms": self.duration * 1e3,
+        }
+        if self.parent_id is not None:
+            doc["parent_id"] = self.parent_id
+        if self.attrs:
+            doc["attrs"] = dict(self.attrs)
+        return doc
+
+
+class Trace:
+    """One request's spans, appendable from multiple threads."""
+
+    __slots__ = ("trace_id", "spans", "started_wall", "_clock", "_epoch", "_lock")
+
+    def __init__(self, trace_id: str, clock: Callable[[], float]):
+        self.trace_id = trace_id
+        self.spans: list[Span] = []
+        #: wall-clock start (for humans correlating traces with logs)
+        self.started_wall = _time.time()
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+
+    @contextmanager
+    def span(self, name: str, parent: Span | None = None, **attrs):
+        """Record a span covering the ``with`` body; yields the span so
+        the body can add attributes (``span.attrs["tier"] = ...``)."""
+        s = Span(
+            name,
+            self._clock(),
+            parent_id=None if parent is None else parent.span_id,
+            attrs=attrs,
+        )
+        try:
+            yield s
+        finally:
+            s.end = self._clock()
+            with self._lock:
+                self.spans.append(s)
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent: Span | None = None,
+        **attrs,
+    ) -> Span:
+        """Record a span post hoc from explicit clock readings -- how the
+        engine's per-phase buckets (measured on the evaluator side) are
+        attached once the result comes back."""
+        s = Span(
+            name,
+            start,
+            end,
+            parent_id=None if parent is None else parent.span_id,
+            attrs=attrs,
+        )
+        with self._lock:
+            self.spans.append(s)
+        return s
+
+    def annotate(self, name: str, **attrs) -> Span:
+        """A zero-duration marker span (an event)."""
+        now = self._clock()
+        return self.add_span(name, now, now, **attrs)
+
+    def now(self) -> float:
+        """The tracer's clock, for callers recording explicit spans."""
+        return self._clock()
+
+    def find(self, name: str) -> Span | None:
+        """The most recent finished span named *name* (or ``None``)."""
+        with self._lock:
+            for s in reversed(self.spans):
+                if s.name == name:
+                    return s
+        return None
+
+    def stage_durations(self) -> dict[str, float]:
+        """Summed seconds per span name -- the per-stage metrics feed."""
+        out: dict[str, float] = {}
+        with self._lock:
+            for s in self.spans:
+                out[s.name] = out.get(s.name, 0.0) + s.duration
+        return out
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            spans = sorted(self.spans, key=lambda s: (s.start, s.name))
+            return {
+                "trace_id": self.trace_id,
+                "started_unix": self.started_wall,
+                "spans": [s.to_dict(self._epoch) for s in spans],
+            }
+
+
+def span_or_null(trace: Trace | None, name: str, **attrs):
+    """``trace.span(...)`` or a no-op context manager when tracing is
+    off -- for call sites where an explicit ``if`` guard would obscure
+    the logic.  The null path allocates one shared ``nullcontext``."""
+    if trace is None:
+        return nullcontext(None)
+    return trace.span(name, **attrs)
+
+
+class Tracer:
+    """Hands out traces; retires finished ones into a ring buffer."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        clock: Callable[[], float] = _time.perf_counter,
+        enabled: bool = True,
+    ):
+        if capacity < 1:
+            raise ValueError("trace buffer capacity must be >= 1")
+        self.capacity = capacity
+        self.clock = clock
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        #: insertion-ordered trace_id -> finished Trace; bounded below
+        self._ring: dict[str, Trace] = {}
+
+    def start_trace(self, trace_id: str | None = None) -> Trace | None:
+        """A fresh trace (``None`` when the tracer is disabled).
+
+        *trace_id*, when given (header propagation), is used verbatim;
+        otherwise an ID is generated from OS entropy.
+        """
+        if not self.enabled:
+            return None
+        return Trace(trace_id or _new_id(), self.clock)
+
+    def finish(self, trace: Trace | None) -> None:
+        """Retire *trace* into the ring buffer (oldest falls off)."""
+        if trace is None:
+            return
+        with self._lock:
+            # Re-used IDs (a client replaying one header value) keep the
+            # latest trace; insertion order stays the eviction order.
+            self._ring.pop(trace.trace_id, None)
+            self._ring[trace.trace_id] = trace
+            while len(self._ring) > self.capacity:
+                self._ring.pop(next(iter(self._ring)))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def get(self, trace_id: str) -> dict | None:
+        with self._lock:
+            trace = self._ring.get(trace_id)
+        return None if trace is None else trace.to_dict()
+
+    def traces(self, limit: int | None = None) -> list[dict]:
+        """Finished traces, newest first, as JSON-able documents."""
+        with self._lock:
+            items = list(self._ring.values())
+        items.reverse()
+        if limit is not None:
+            items = items[: max(0, limit)]
+        return [t.to_dict() for t in items]

@@ -46,6 +46,7 @@ the paper hand-translated its directives into)::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter as _perf_counter
 from typing import Any, Callable, Generator
 
 import numpy as np
@@ -215,6 +216,7 @@ class VirtualMachine:
         max_sweeps: int = 10_000_000,
         nic_serialisation: str = "tx",
         ppn: int = 1,
+        profiler=None,
     ):
         validate_machine_config(nprocs, ppn, nic_serialisation)
         self.nprocs = nprocs
@@ -222,6 +224,11 @@ class VirtualMachine:
         self.params = params or {}
         self.rng = np.random.default_rng(seed)
         self.trace = TraceRecorder() if trace else None
+        #: optional :class:`repro.obs.PhaseProfiler` accumulating host
+        #: seconds into sweep/match/sample buckets.  Wall-clock
+        #: observation only -- profiling never touches the seeded RNG,
+        #: so a profiled run stays bit-identical to an unprofiled one.
+        self.profiler = profiler
         self.max_sweeps = max_sweeps
         #: how much per-NIC occupancy the VPM tracks: 'tx' (default)
         #: serialises back-to-back sends from one process; 'txrx' also
@@ -252,6 +259,7 @@ class VirtualMachine:
         rng = self.rng
         timing = self.timing
         trace = self.trace
+        prof = self.profiler
         sweeps = 0
 
         def sweep(proc: _Proc) -> None:
@@ -277,9 +285,16 @@ class VirtualMachine:
                     me = proc.ctx.procnum
                     intra = me // self.ppn == dst // self.ppn
                     depart = proc.vtime
-                    cost = timing.local_send_time(
-                        size, scoreboard.contention, rng, intra=intra
-                    )
+                    if prof is None:
+                        cost = timing.local_send_time(
+                            size, scoreboard.contention, rng, intra=intra
+                        )
+                    else:
+                        t0 = _perf_counter()
+                        cost = timing.local_send_time(
+                            size, scoreboard.contention, rng, intra=intra
+                        )
+                        prof.add("sample", _perf_counter() - t0)
                     proc.vtime += cost
                     proc.send_time += cost
                     proc.sends += 1
@@ -320,9 +335,16 @@ class VirtualMachine:
             occupancy of its endpoints."""
             t = arrivals.get(entry.msg_id)
             if t is None:
-                oneway = timing.one_way_time(
-                    entry.size, scoreboard.contention, rng, intra=entry.intra
-                )
+                if prof is None:
+                    oneway = timing.one_way_time(
+                        entry.size, scoreboard.contention, rng, intra=entry.intra
+                    )
+                else:
+                    t0 = _perf_counter()
+                    oneway = timing.one_way_time(
+                        entry.size, scoreboard.contention, rng, intra=entry.intra
+                    )
+                    prof.add("sample", _perf_counter() - t0)
                 if entry.intra or self.nic_serialisation == "off":
                     # Shared-memory messages never touch the NIC.
                     t = entry.depart_time + oneway
@@ -360,11 +382,23 @@ class VirtualMachine:
                 raise RuntimeError(
                     f"model exceeded {self.max_sweeps} sweep/match rounds"
                 )
-            for proc in runnable:
-                sweep(proc)
+            if prof is None:
+                for proc in runnable:
+                    sweep(proc)
+            else:
+                mark = prof.mark()
+                t0 = _perf_counter()
+                for proc in runnable:
+                    sweep(proc)
+                # Sample draws inside the sweep are already counted;
+                # exclusive() keeps the buckets disjoint.
+                prof.exclusive("sweep", _perf_counter() - t0, mark)
             alive = [p for p in procs if not p.done]
             if not alive:
                 break
+            if prof is not None:
+                match_mark = prof.mark()
+                match_t0 = _perf_counter()
 
             # Match phase: complete what we can, in deterministic order of
             # (block time, procnum).
@@ -397,6 +431,10 @@ class VirtualMachine:
                 scoreboard.remove(entry.msg_id)
                 arrivals.pop(entry.msg_id, None)
                 runnable.append(proc)
+            if prof is not None:
+                prof.exclusive(
+                    "match", _perf_counter() - match_t0, match_mark
+                )
 
             if not runnable:
                 raise ModelDeadlock(

@@ -43,6 +43,7 @@ from typing import Callable, Generator
 
 import numpy as np
 
+from ..obs.profile import PhaseProfiler
 from .directives import Block
 from .interpreter import compile_model
 from .machine import MachineResult, ProcContext, VirtualMachine
@@ -138,6 +139,10 @@ class RunGroup:
     #: ``trace_last`` wins when both are set.
     vector_runs: bool = False
     vector_batch: int = VECTOR_BATCH
+    #: collect per-phase host-time attribution (sweep/match/sample) for
+    #: every run -- wall-clock measurement only; the seeded RNG streams
+    #: are untouched, so profiled and unprofiled runs are bit-identical.
+    profile: bool = False
 
 
 def _vectorised(group: RunGroup) -> bool:
@@ -172,6 +177,10 @@ class RunOutcome:
     elapsed: float  #: virtual completion time (the prediction)
     result: MachineResult = field(repr=False)
     wall: float = 0.0  #: host seconds this run took to evaluate
+    #: per-phase host seconds (``{"sweep": ..., "match": ..., "sample":
+    #: ...}``) when the group asked for profiling; ``None`` otherwise.
+    #: Plain picklable dict so it rides back from pool workers.
+    phases: dict | None = None
 
 
 def _program_for(group: RunGroup) -> Callable[[ProcContext], Generator]:
@@ -191,6 +200,7 @@ def _execute_run(
     trace: bool,
 ) -> RunOutcome:
     t0 = _time.perf_counter()
+    profiler = PhaseProfiler() if group.profile else None
     vm = VirtualMachine(
         group.nprocs,
         group.timing,
@@ -199,10 +209,14 @@ def _execute_run(
         trace=trace,
         nic_serialisation=group.nic_serialisation,
         ppn=group.ppn,
+        profiler=profiler,
     )
     result = vm.run(program)
     return RunOutcome(
-        elapsed=result.elapsed, result=result, wall=_time.perf_counter() - t0
+        elapsed=result.elapsed,
+        result=result,
+        wall=_time.perf_counter() - t0,
+        phases=None if profiler is None else profiler.snapshot(),
     )
 
 
@@ -218,6 +232,7 @@ def _execute_batch(
     attributed an equal share.
     """
     t0 = _time.perf_counter()
+    profiler = PhaseProfiler() if group.profile else None
     vm = BatchedVirtualMachine(
         group.nprocs,
         group.timing,
@@ -226,11 +241,20 @@ def _execute_batch(
         params=group.params,
         nic_serialisation=group.nic_serialisation,
         ppn=group.ppn,
+        profiler=profiler,
     )
     results = vm.run(program)
     share = (_time.perf_counter() - t0) / size
+    # Phase time, like wall time, is a property of the whole chunk; each
+    # run is attributed an equal share.
+    phase_share = None if profiler is None else profiler.scaled(1.0 / size)
     return [
-        RunOutcome(elapsed=res.elapsed, result=res, wall=share)
+        RunOutcome(
+            elapsed=res.elapsed,
+            result=res,
+            wall=share,
+            phases=None if phase_share is None else dict(phase_share),
+        )
         for res in results
     ]
 

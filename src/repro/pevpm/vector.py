@@ -45,6 +45,7 @@ Batch-mode conventions (documented in DESIGN.md section 6):
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
 from typing import Callable, Generator
 
 import numpy as np
@@ -143,6 +144,7 @@ class BatchedVirtualMachine:
         max_sweeps: int = 10_000_000,
         nic_serialisation: str = "tx",
         ppn: int = 1,
+        profiler=None,
     ):
         validate_machine_config(nprocs, ppn, nic_serialisation)
         if runs < 1:
@@ -159,6 +161,11 @@ class BatchedVirtualMachine:
         self.splits = 0
         #: size-1 sub-batches created (the per-run fallback degree)
         self.singleton_subbatches = 0
+        #: optional :class:`repro.obs.PhaseProfiler` accumulating host
+        #: seconds into sweep/match/sample buckets.  Wall-clock reads
+        #: only -- never the seeded RNG stream, so a profiled batch is
+        #: bit-identical to an unprofiled one.
+        self.profiler = profiler
 
     # -- lifecycle ---------------------------------------------------------------
     def run(
@@ -203,8 +210,18 @@ class BatchedVirtualMachine:
                     raise RuntimeError(
                         f"model exceeded {self.max_sweeps} sweep/match rounds"
                     )
-                for pn in sb.runnable:
-                    self._sweep(sb, pn)
+                prof = self.profiler
+                if prof is None:
+                    for pn in sb.runnable:
+                        self._sweep(sb, pn)
+                else:
+                    mark = prof.mark()
+                    t0 = _perf_counter()
+                    for pn in sb.runnable:
+                        self._sweep(sb, pn)
+                    # Draw time inside the sweep is already in "sample";
+                    # exclusive() keeps the buckets disjoint.
+                    prof.exclusive("sweep", _perf_counter() - t0, mark)
                 alive = [p for p in sb.procs if not p.done]
                 if not alive:
                     return None
@@ -227,7 +244,14 @@ class BatchedVirtualMachine:
                 sb.runnable = []
                 sb.mode = "match"
             else:
-                children = self._match(sb, program)
+                prof = self.profiler
+                if prof is None:
+                    children = self._match(sb, program)
+                else:
+                    mark = prof.mark()
+                    t0 = _perf_counter()
+                    children = self._match(sb, program)
+                    prof.exclusive("match", _perf_counter() - t0, mark)
                 if children is not None:
                     return children
                 if not sb.runnable:
@@ -268,9 +292,17 @@ class BatchedVirtualMachine:
                 _k, dst, size, _label, payload = op
                 intra = pn // self.ppn == dst // self.ppn
                 depart = proc.vtime
-                cost = timing.local_send_times(
-                    size, scoreboard.contention, rng, r, intra=intra
-                )
+                prof = self.profiler
+                if prof is None:
+                    cost = timing.local_send_times(
+                        size, scoreboard.contention, rng, r, intra=intra
+                    )
+                else:
+                    t0 = _perf_counter()
+                    cost = timing.local_send_times(
+                        size, scoreboard.contention, rng, r, intra=intra
+                    )
+                    prof.add("sample", _perf_counter() - t0)
                 # Rebind (never mutate) the clock: the scoreboard entry
                 # keeps the departure vector alive.
                 proc.vtime = depart + cost
@@ -347,10 +379,19 @@ class BatchedVirtualMachine:
         t = sb.arrivals.get(entry.msg_id)
         if t is not None:
             return t
-        oneway = self.timing.one_way_times(
-            entry.size, sb.scoreboard.contention, self.rng, sb.size,
-            intra=entry.intra,
-        )
+        prof = self.profiler
+        if prof is None:
+            oneway = self.timing.one_way_times(
+                entry.size, sb.scoreboard.contention, self.rng, sb.size,
+                intra=entry.intra,
+            )
+        else:
+            t0 = _perf_counter()
+            oneway = self.timing.one_way_times(
+                entry.size, sb.scoreboard.contention, self.rng, sb.size,
+                intra=entry.intra,
+            )
+            prof.add("sample", _perf_counter() - t0)
         if entry.intra or self.nic_serialisation == "off":
             t = entry.depart + oneway
         else:

@@ -18,8 +18,10 @@ the request funnel a production serving layer needs:
   (504) and the engine-health circuit breaker (503);
 * :mod:`.faults`  -- deterministic fault injection (worker kills,
   cache corruption, stalls) behind ``repro serve --chaos``;
-* :mod:`.metrics` -- counters and latency distributions, Prometheus
-  text format;
+* :mod:`.metrics` -- counters, gauges, per-stage latency histograms
+  and endpoint latency summaries, Prometheus text format (the
+  observability layer of :mod:`repro.obs` feeds the stage histograms
+  and the queue-depth / batch-occupancy gauges);
 * :mod:`.client`  -- blocking client and a closed-loop load generator;
 * :mod:`.records` -- request schema and the shared prediction record.
 

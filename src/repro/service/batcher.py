@@ -58,6 +58,8 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_wait = max_wait
         self.enabled = enabled
+        #: monotonically increasing batch ordinal (trace/log correlation)
+        self._batch_seq = 0
         self._pending: asyncio.Queue | None = None
         self._collector: asyncio.Task | None = None
         self._dispatches: set[asyncio.Task] = set()
@@ -69,25 +71,36 @@ class MicroBatcher:
             max_workers=1, thread_name_prefix="repro-eval"
         )
 
-    async def submit(self, item) -> object:
-        """Queue *item* for batched evaluation; await its result."""
-        loop = asyncio.get_running_loop()
-        fut: asyncio.Future = loop.create_future()
-        if not self.enabled:
-            await self._dispatch([(item, fut)])
+    async def submit(self, item, trace=None) -> object:
+        """Queue *item* for batched evaluation; await its result.
+
+        With *trace*, the whole stay in the batcher -- coalescing wait
+        plus evaluation -- is recorded as a ``batch`` span, and the
+        dispatch adds a per-request ``engine`` span covering the
+        evaluator-thread call (tagged with batch ordinal and size).
+        """
+        start = None if trace is None else trace.now()
+        try:
+            loop = asyncio.get_running_loop()
+            fut: asyncio.Future = loop.create_future()
+            if not self.enabled:
+                await self._dispatch([(item, fut, trace)])
+                return await fut
+            if self._pending is None:
+                self._pending = asyncio.Queue()
+            if self._collector is None or self._collector.done():
+                # Crash recovery: a collector that died (or was torn
+                # down) would strand every queued submit in an un-awaited
+                # future; restart it and count the restart.
+                if self._collector is not None:
+                    self._collector.cancelled() or self._collector.exception()
+                    self._metrics.inc("repro_batcher_restarts_total")
+                self._collector = asyncio.create_task(self._collect())
+            await self._pending.put((item, fut, trace))
             return await fut
-        if self._pending is None:
-            self._pending = asyncio.Queue()
-        if self._collector is None or self._collector.done():
-            # Crash recovery: a collector that died (or was torn down)
-            # would strand every queued submit in an un-awaited future;
-            # restart it and count the restart.
-            if self._collector is not None:
-                self._collector.cancelled() or self._collector.exception()
-                self._metrics.inc("repro_batcher_restarts_total")
-            self._collector = asyncio.create_task(self._collect())
-        await self._pending.put((item, fut))
-        return await fut
+        finally:
+            if trace is not None:
+                trace.add_span("batch", start, trace.now())
 
     async def _collect(self) -> None:
         loop = asyncio.get_running_loop()
@@ -117,19 +130,34 @@ class MicroBatcher:
                 self._coalescing = False
 
     async def _dispatch(self, batch: list[tuple]) -> None:
+        self._batch_seq += 1
+        batch_id = self._batch_seq
         self._metrics.inc("repro_batches_total")
         self._metrics.inc("repro_batched_requests_total", len(batch))
         if len(batch) > 1:
             self._metrics.inc("repro_coalesced_requests_total", len(batch) - 1)
+        self._metrics.set_gauge("repro_batch_occupancy", len(batch))
         loop = asyncio.get_running_loop()
-        items = [item for item, _ in batch]
+        items = [item for item, _, _ in batch]
+        # All traces of a service share one tracer clock, so one
+        # timestamp pair brackets the evaluator call for every request
+        # in the batch.
+        traces = [tr for _, _, tr in batch if tr is not None]
+        t0 = traces[0].now() if traces else None
         try:
             results = await loop.run_in_executor(
                 self._pool, self._evaluate, items
             )
         except BaseException as exc:  # evaluator itself failed wholesale
             results = [exc] * len(batch)
-        for (_, fut), result in zip(batch, results):
+        if traces:
+            t1 = traces[0].now()
+            for tr in traces:
+                tr.add_span(
+                    "engine", t0, t1,
+                    batch_id=batch_id, batch_size=len(batch),
+                )
+        for (_, fut, _), result in zip(batch, results):
             if fut.done():
                 continue
             if isinstance(result, BaseException):

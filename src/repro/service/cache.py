@@ -55,12 +55,26 @@ class TieredCache:
     def __len__(self) -> int:
         return len(self._lru)
 
-    def get(self, key: str) -> dict | None:
+    def get(self, key: str, trace=None) -> dict | None:
+        """Look *key* up through the tiers.
+
+        When *trace* is given (a :class:`repro.obs.tracer.Trace`), the
+        lookup is recorded as a ``cache`` span whose ``tier`` attribute
+        says where it resolved (``memory`` / ``disk`` / ``miss``).
+        """
+        if trace is None:
+            return self._lookup(key)[0]
+        start = trace.now()
+        doc, tier = self._lookup(key)
+        trace.add_span("cache", start, trace.now(), tier=tier)
+        return doc
+
+    def _lookup(self, key: str) -> tuple[dict | None, str]:
         doc = self._lru.get(key)
         if doc is not None:
             self._lru.move_to_end(key)
             self._metrics.inc("repro_cache_hits_total", tier="memory")
-            return doc
+            return doc, "memory"
         if self.disk is not None:
             if self._faults is not None:
                 self._faults.on_cache_read(self.disk._path(key))
@@ -68,9 +82,9 @@ class TieredCache:
             if doc is not None:
                 self._metrics.inc("repro_cache_hits_total", tier="disk")
                 self._remember(key, doc)
-                return doc
+                return doc, "disk"
         self._metrics.inc("repro_cache_misses_total")
-        return None
+        return None, "miss"
 
     def put(self, key: str, doc: dict) -> None:
         self._remember(key, doc)

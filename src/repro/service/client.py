@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
 import random
 import threading
 import time as _time
@@ -105,6 +106,7 @@ class ServiceClient:
         timeout: float = 60.0,
         retry: RetryPolicy | None = None,
         metrics: ServiceMetrics | None = None,
+        trace: bool = False,
     ):
         self.host = host
         self.port = port
@@ -113,6 +115,12 @@ class ServiceClient:
         #: (and raw load measurement) must see every 429/504 verbatim
         self.retry = retry if retry is not None else RetryPolicy(retries=0)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        #: send a client-minted ``X-Repro-Trace`` ID with every
+        #: ``/predict`` so the server's trace shares the client's handle
+        self.trace_requests = trace
+        #: trace ID of the most recent ``/predict`` (client-minted, or
+        #: the server-assigned ID echoed back in ``X-Repro-Trace``)
+        self.last_trace_id: str | None = None
         self._conn: http.client.HTTPConnection | None = None
         self._sleep = _time.sleep  # injectable for tests
 
@@ -173,9 +181,19 @@ class ServiceClient:
         """
         payload = None if body is None else json.dumps(body)
         headers = {} if payload is None else {"Content-Type": "application/json"}
+        if self.trace_requests and path == "/predict":
+            # Client-minted trace ID (OS entropy, like the server's own):
+            # one ID covers the whole logical request across retries, so
+            # every server-side attempt traces under the same handle.
+            self.last_trace_id = os.urandom(8).hex()
+            headers["X-Repro-Trace"] = self.last_trace_id
         policy = self.retry
         attempt = 0
         while True:
+            if attempt > 0:
+                # Tell the server which retry ordinal this attempt is
+                # (logged by --log-json; never interpreted).
+                headers["X-Repro-Attempt"] = str(attempt)
             try:
                 status, hdrs, doc = self._attempt(method, path, payload, headers)
             except (http.client.HTTPException, OSError):
@@ -201,6 +219,11 @@ class ServiceClient:
                 )
                 attempt += 1
                 continue
+            if path == "/predict":
+                for name, value in hdrs.items():
+                    if name.lower() == "x-repro-trace":
+                        self.last_trace_id = value
+                        break
             return status, hdrs, doc
 
     def _checked(self, method: str, path: str, body: dict | None = None):
@@ -244,6 +267,15 @@ class ServiceClient:
         return self._checked(
             "GET", "/distributions" + (f"?{qs}" if qs else "")
         )
+
+    def trace(self, trace_id: str | None = None, limit: int = 20):
+        """``GET /trace``: one trace document by ID, or (with no ID) the
+        ``{"traces": [...]}`` listing of recent traces, newest first.
+        Raises :class:`ServiceError` when tracing is disabled server-side
+        or the ID is unknown."""
+        if trace_id is not None:
+            return self._checked("GET", f"/trace?id={trace_id}")
+        return self._checked("GET", f"/trace?limit={limit}")
 
 
 @dataclass

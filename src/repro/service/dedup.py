@@ -35,20 +35,25 @@ class SingleFlight:
         self._inflight: dict[str, asyncio.Future] = {}
         self._metrics = metrics
 
-    def claim(self, key: str) -> tuple[bool, asyncio.Future]:
+    def claim(self, key: str, trace=None) -> tuple[bool, asyncio.Future]:
         """Return ``(leader, future)`` for *key*.
 
         The first claimant becomes the leader (and must later call
         :meth:`resolve` or :meth:`reject`); followers get the same
-        future to await.
+        future to await.  With *trace*, the election is recorded as a
+        ``dedup`` annotation carrying the request's ``role``.
         """
         fut = self._inflight.get(key)
         if fut is not None:
             self._metrics.inc("repro_singleflight_hits_total")
+            if trace is not None:
+                trace.annotate("dedup", role="follower")
             return False, fut
         fut = asyncio.get_running_loop().create_future()
         self._inflight[key] = fut
         self._metrics.inc("repro_singleflight_leads_total")
+        if trace is not None:
+            trace.annotate("dedup", role="leader")
         return True, fut
 
     def resolve(self, key: str, result) -> None:

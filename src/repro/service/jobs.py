@@ -53,12 +53,13 @@ class JobSlot:
     admission at the 429 limit).
     """
 
-    def __init__(self, queue: "JobQueue"):
+    def __init__(self, queue: "JobQueue", trace=None):
         self._queue = queue
+        self._trace = trace
         self._held = False
 
     def __enter__(self) -> "JobSlot":
-        self._queue.acquire()
+        self._queue.acquire(self._trace)
         self._held = True
         return self
 
@@ -96,23 +97,40 @@ class JobQueue:
     def peak(self) -> int:
         return self._peak
 
-    def acquire(self) -> None:
-        """Claim a slot or shed the request."""
+    def acquire(self, trace=None) -> None:
+        """Claim a slot or shed the request.
+
+        With *trace*, the admission decision is recorded as an
+        ``admission`` annotation carrying the queue depth at the moment
+        of the decision; either way the live depth is published as the
+        ``repro_queue_depth`` gauge.
+        """
         if self._inflight >= self.limit:
             self._metrics.inc("repro_jobs_shed_total")
+            self._metrics.set_gauge("repro_queue_depth", self._inflight)
+            if trace is not None:
+                trace.annotate(
+                    "admission", queue_depth=self._inflight, status="shed"
+                )
             raise QueueFull(self.limit, self.retry_after)
         self._inflight += 1
         self._peak = max(self._peak, self._inflight)
         self._metrics.inc("repro_jobs_admitted_total")
+        self._metrics.set_gauge("repro_queue_depth", self._inflight)
+        if trace is not None:
+            trace.annotate(
+                "admission", queue_depth=self._inflight, status="admitted"
+            )
 
     def release(self) -> None:
         if self._inflight <= 0:
             raise RuntimeError("release without matching acquire")
         self._inflight -= 1
+        self._metrics.set_gauge("repro_queue_depth", self._inflight)
 
-    def admit(self) -> JobSlot:
+    def admit(self, trace=None) -> JobSlot:
         """A fresh single-release slot guard (use ``with queue.admit():``)."""
-        return JobSlot(self)
+        return JobSlot(self, trace)
 
     def __enter__(self) -> "JobQueue":
         self.acquire()

@@ -11,19 +11,36 @@ serving latency is just another operation-time distribution.
 
 Rendering follows the Prometheus text exposition format, so ``/metrics``
 can be scraped by standard tooling (or just read by a human).
+
+Beyond counters and endpoint latency summaries, the service exposes
+*attribution* metrics (the observability layer of :mod:`repro.obs`):
+
+* per-stage latency **histograms** (``repro_stage_seconds_bucket`` with
+  exponential ``le`` bounds) -- one series per funnel stage and engine
+  phase (cache, dedup, batch, engine, engine.sweep/match/sample,
+  serialize), mirroring PEVPM's loss-attribution buckets;
+* **gauges** -- queue depth, micro-batch occupancy, trace-buffer fill;
+  a gauge is either a stored value (:meth:`ServiceMetrics.set_gauge`)
+  or a callable sampled at render time
+  (:meth:`ServiceMetrics.register_gauge`).
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
+from typing import Callable
 
 from ..mpibench.histogram import Histogram
 
-__all__ = ["ServiceMetrics", "escape_label_value"]
+__all__ = ["ServiceMetrics", "escape_label_value", "unescape_label_value"]
 
 #: latency quantiles exposed per endpoint
 QUANTILES = (0.5, 0.9, 0.99)
+
+#: exponential ``le`` bounds for stage histograms: 10us .. ~100s covers
+#: everything from an LRU hit to a pathological engine evaluation
+STAGE_BUCKETS = tuple(1e-5 * 4 ** i for i in range(12))
 
 
 def escape_label_value(value) -> str:
@@ -40,6 +57,36 @@ def escape_label_value(value) -> str:
         .replace('"', '\\"')
         .replace("\n", "\\n")
     )
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value` (what a scraper does).
+
+    Processes one escape at a time so ``\\\\n`` round-trips as a
+    backslash followed by ``n``, not as a newline -- the property the
+    exposition format (and our Hypothesis round-trip test) demands.
+    """
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        c = value[i]
+        if c == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+                i += 2
+                continue
+            if nxt == '"':
+                out.append('"')
+                i += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+        out.append(c)
+        i += 1
+    return "".join(out)
 
 
 def _label_str(labels) -> str:
@@ -61,6 +108,12 @@ class ServiceMetrics:
         self._counters: dict[tuple[str, tuple], float] = {}
         #: endpoint -> bounded deque of latency samples (seconds)
         self._latencies: dict[str, deque] = {}
+        #: stage -> [bucket cumulative counts..., +Inf count, sum]
+        self._stages: dict[str, list[float]] = {}
+        #: (name, labels-tuple) -> stored gauge value
+        self._gauges: dict[tuple[str, tuple], float] = {}
+        #: (name, labels-tuple) -> callable sampled at render time
+        self._gauge_fns: dict[tuple[str, tuple], Callable[[], float]] = {}
         self._reservoir = reservoir
         # Counters are bumped from the event loop *and* the evaluator
         # thread (pool rebuilds, fault-injector hooks); the lock makes
@@ -81,6 +134,36 @@ class ServiceMetrics:
                 buf = self._latencies[endpoint] = deque(maxlen=self._reservoir)
         buf.append(seconds)
 
+    def observe_stage(self, stage: str, seconds: float) -> None:
+        """Record one per-stage duration into the stage histogram
+        (``repro_stage_seconds{stage=...}``) -- called with funnel-span
+        and engine-phase durations by the tracing layer."""
+        with self._lock:
+            row = self._stages.get(stage)
+            if row is None:
+                row = self._stages[stage] = [0.0] * (len(STAGE_BUCKETS) + 2)
+            for i, bound in enumerate(STAGE_BUCKETS):
+                if seconds <= bound:
+                    row[i] += 1.0
+            row[-2] += 1.0  # +Inf
+            row[-1] += seconds  # sum
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Store a gauge value (last write wins)."""
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            self._gauges[key] = float(value)
+
+    def register_gauge(
+        self, name: str, fn: Callable[[], float], **labels
+    ) -> None:
+        """Register a gauge sampled at render/snapshot time -- the shape
+        for live depths (jobs in flight, trace-buffer fill) that change
+        far more often than anyone scrapes."""
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            self._gauge_fns[key] = fn
+
     # -- queries -----------------------------------------------------------------
     def counter(self, name: str, **labels) -> float:
         with self._lock:
@@ -95,6 +178,25 @@ class ServiceMetrics:
                 value for (n, _), value in self._counters.items() if n == name
             )
 
+    def gauge(self, name: str, **labels) -> float | None:
+        """Current value of a gauge (stored or sampled); ``None`` when
+        the gauge does not exist."""
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            fn = self._gauge_fns.get(key)
+            if fn is None:
+                return self._gauges.get(key)
+        try:
+            return float(fn())
+        except Exception:
+            return None
+
+    def stage_count(self, stage: str) -> int:
+        """Observations recorded for one stage histogram."""
+        with self._lock:
+            row = self._stages.get(stage)
+            return 0 if row is None else int(row[-2])
+
     def latency_histogram(self, endpoint: str) -> Histogram | None:
         buf = self._latencies.get(endpoint)
         if not buf:
@@ -107,13 +209,30 @@ class ServiceMetrics:
             return {}
         return {q: hist.quantile(q) for q in QUANTILES}
 
+    def _gauge_items(self) -> list[tuple[tuple[str, tuple], float]]:
+        """Stored and sampled gauges, merged (sampled wins on clash)."""
+        with self._lock:
+            stored = dict(self._gauges)
+            fns = dict(self._gauge_fns)
+        for key, fn in fns.items():
+            try:
+                stored[key] = float(fn())
+            except Exception:
+                stored.pop(key, None)  # a dead sampler drops its series
+        return sorted(stored.items())
+
     def snapshot(self) -> dict:
-        """JSON-able view of every counter and latency summary."""
+        """JSON-able view of every counter, gauge and latency summary."""
         with self._lock:
             items = sorted(self._counters.items())
+            stage_rows = {k: list(v) for k, v in self._stages.items()}
         counters: dict[str, float] = {}
         for (name, labels), value in items:
             counters[name + _label_str(labels)] = value
+        gauges = {
+            name + _label_str(labels): value
+            for (name, labels), value in self._gauge_items()
+        }
         latencies = {}
         for endpoint in sorted(self._latencies):
             hist = self.latency_histogram(endpoint)
@@ -124,7 +243,16 @@ class ServiceMetrics:
                 "mean": hist.mean,
                 **{f"p{int(q * 100)}": hist.quantile(q) for q in QUANTILES},
             }
-        return {"counters": counters, "latency_seconds": latencies}
+        stages = {
+            stage: {"count": int(row[-2]), "sum": row[-1]}
+            for stage, row in sorted(stage_rows.items())
+        }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "latency_seconds": latencies,
+            "stage_seconds": stages,
+        }
 
     # -- exposition ----------------------------------------------------------------
     def render_prometheus(self) -> str:
@@ -138,6 +266,30 @@ class ServiceMetrics:
                 seen_names.add(name)
                 lines.append(f"# TYPE {name} counter")
             lines.append(f"{name}{_label_str(labels)} {value:g}")
+        for (name, labels), value in self._gauge_items():
+            if name not in seen_names:
+                seen_names.add(name)
+                lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{_label_str(labels)} {value:g}")
+        with self._lock:
+            stage_rows = sorted(
+                (k, list(v)) for k, v in self._stages.items()
+            )
+        if stage_rows:
+            lines.append("# TYPE repro_stage_seconds histogram")
+        for stage, row in stage_rows:
+            st = escape_label_value(stage)
+            for bound, count in zip(STAGE_BUCKETS, row):
+                lines.append(
+                    f'repro_stage_seconds_bucket{{stage="{st}",le="{bound:g}"}} '
+                    f"{count:g}"
+                )
+            lines.append(
+                f'repro_stage_seconds_bucket{{stage="{st}",le="+Inf"}} '
+                f"{row[-2]:g}"
+            )
+            lines.append(f'repro_stage_seconds_count{{stage="{st}"}} {row[-2]:g}')
+            lines.append(f'repro_stage_seconds_sum{{stage="{st}"}} {row[-1]:.6g}')
         for endpoint in sorted(self._latencies):
             buf = self._latencies[endpoint]
             hist = self.latency_histogram(endpoint)

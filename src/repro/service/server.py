@@ -8,7 +8,10 @@ PEVPM engine and the MPIBench distribution database:
 * ``GET  /distributions`` -- query the distribution database
   (:meth:`~repro.mpibench.results.DistributionDB.describe`);
 * ``GET  /healthz``       -- liveness + configuration summary;
-* ``GET  /metrics``       -- Prometheus text exposition.
+* ``GET  /metrics``       -- Prometheus text exposition;
+* ``GET  /trace``         -- recent request traces as JSON (only when
+  the service was built with a :class:`~repro.obs.Tracer`; see
+  :mod:`repro.obs`).
 
 The ``/predict`` funnel, in order: parse/validate -> content key ->
 LRU/disk cache (:mod:`.cache`) -> singleflight (:mod:`.dedup`) ->
@@ -30,6 +33,7 @@ import time as _time
 from urllib.parse import parse_qsl, urlsplit
 
 from ..mpibench.results import DistributionDB
+from ..obs import ENGINE_PHASES, JsonLogger, Tracer, clean_trace_id, merge_phases
 from ..pevpm import parallel as _parallel
 from ..pevpm.machine import ModelDeadlock
 from ..pevpm.parallel import (
@@ -86,6 +90,9 @@ class PredictionService:
         breaker_threshold: int = 5,
         breaker_cooldown: float = 2.0,
         fault_injector=None,
+        tracer: Tracer | None = None,
+        log_json: bool = False,
+        log_stream=None,
     ):
         self.db = db
         self.spec = spec if spec is not None else perseus()
@@ -94,6 +101,14 @@ class PredictionService:
         self.caching = caching
         self.dedup_enabled = dedup
         self.metrics = ServiceMetrics()
+        #: ``None`` (the default) keeps every tracing call site on its
+        #: guarded no-op path -- the pre-observability hot path.
+        self.tracer = tracer
+        self.logger = JsonLogger(log_stream) if log_json else None
+        if tracer is not None:
+            self.metrics.register_gauge(
+                "repro_trace_buffer_traces", lambda: len(tracer)
+            )
         self.faults = fault_injector
         if fault_injector is not None:
             if fault_injector.cache_root is None and cache_dir:
@@ -161,11 +176,21 @@ class PredictionService:
             ppn=req.ppn,
             vector_runs=req.vector_runs,
             vector_batch=req.vector_batch,
+            # Per-phase host-time attribution rides along whenever the
+            # service is tracing; it is pure wall-clock measurement, so
+            # the evaluation's draws (and times) are unchanged.
+            profile=self.tracer is not None and self.tracer.enabled,
         )
 
     def _finish(self, group: RunGroup, outcomes, wall: float) -> dict:
+        t0 = _time.perf_counter()
         pred = build_prediction(group, outcomes, wall)
-        return dict(prediction_doc(group, pred), wall_time=wall)
+        doc = dict(prediction_doc(group, pred), wall_time=wall)
+        phases = merge_phases(outcomes)
+        if phases:
+            phases["serialize"] = _time.perf_counter() - t0
+            doc["phases"] = phases
+        return doc
 
     def _evaluate_requests(self, reqs: list[PredictRequest]) -> list:
         """Evaluate one micro-batch (runs on the evaluator thread).
@@ -221,7 +246,7 @@ class PredictionService:
         self.metrics.inc("repro_pool_rebuilds_total")
 
     # -- request funnel (event-loop thread) -----------------------------------
-    async def _engine_submit(self, req: PredictRequest) -> dict:
+    async def _engine_submit(self, req: PredictRequest, trace=None) -> dict:
         """Admit one request to the engine, with breaker accounting.
 
         The breaker watches engine *health*: infrastructure failures
@@ -232,8 +257,8 @@ class PredictionService:
         if not self.breaker.allow():
             raise BreakerOpen(self.breaker.retry_after)
         try:
-            with self.jobs.admit():
-                doc = await self.batcher.submit(req)
+            with self.jobs.admit(trace):
+                doc = await self.batcher.submit(req, trace)
         except (QueueFull, ModelDeadlock, RequestError, asyncio.CancelledError):
             # Non-counting outcome: if this request was the half-open
             # probe, free the probe slot so the next request can probe
@@ -246,23 +271,29 @@ class PredictionService:
         self.breaker.record_success()
         return doc
 
-    async def _predict(self, req: PredictRequest, key: str) -> tuple[dict, str]:
+    async def _predict(
+        self, req: PredictRequest, key: str, trace=None
+    ) -> tuple[dict, str]:
         """Resolve one validated request to (document, served-from)."""
         if self.caching:
-            doc = self.cache.get(key)
+            doc = self.cache.get(key, trace)
             if doc is not None:
                 return doc, "cache"
         if not self.dedup_enabled:
-            doc = await self._engine_submit(req)
+            doc = await self._engine_submit(req, trace)
             if self.caching:
                 self.cache.put(key, doc)
             return doc, "engine"
-        leader, fut = self.dedup.claim(key)
+        leader, fut = self.dedup.claim(key, trace)
         if not leader:
-            doc, _ = await fut
+            if trace is None:
+                doc, _ = await fut
+            else:
+                with trace.span("singleflight.wait"):
+                    doc, _ = await fut
             return doc, "singleflight"
         try:
-            doc = await self._engine_submit(req)
+            doc = await self._engine_submit(req, trace)
             if self.caching:
                 self.cache.put(key, doc)
             self.dedup.resolve(key, (doc, "engine"))
@@ -271,8 +302,110 @@ class PredictionService:
             self.dedup.reject(key, exc)
             raise
 
-    async def handle_predict(self, body: object) -> tuple[int, dict, dict]:
-        """Full ``/predict`` handling: returns (status, headers, doc)."""
+    async def handle_predict(
+        self, body: object, headers: dict | None = None
+    ) -> tuple[int, dict, dict]:
+        """Full ``/predict`` handling: returns (status, headers, doc).
+
+        *headers* (lower-cased names) carries trace propagation: a valid
+        ``x-repro-trace`` value pins the trace ID (so client and server
+        share one handle on the request) and ``x-repro-attempt`` is the
+        client's retry ordinal, logged but never interpreted.  When the
+        service has a tracer, the response echoes the trace ID back as
+        ``X-Repro-Trace`` and the finished trace lands in the ring
+        buffer behind ``GET /trace``.
+        """
+        headers = headers or {}
+        trace = None
+        if self.tracer is not None:
+            trace = self.tracer.start_trace(
+                clean_trace_id(headers.get("x-repro-trace"))
+            )
+        t_trace = None if trace is None else trace.now()
+        t0 = _time.perf_counter()
+        status, extra, doc, source = await self._predict_outcome(body, trace)
+        if trace is not None:
+            extra = dict(extra)
+            extra["X-Repro-Trace"] = trace.trace_id
+            self._finish_trace(trace, t_trace, status, source)
+        if self.logger is not None:
+            self._log_predict(
+                trace, headers, status, source, doc,
+                _time.perf_counter() - t0,
+            )
+        return status, extra, doc
+
+    def _finish_trace(self, trace, start, status, source) -> None:
+        """Close out one request's trace: add the covering ``request``
+        span, feed every stage duration into the per-stage histograms
+        and retire the trace into the ring buffer."""
+        attrs = {"status": status}
+        if source is not None:
+            attrs["served_from"] = source
+        trace.add_span("request", start, trace.now(), **attrs)
+        for stage, seconds in trace.stage_durations().items():
+            self.metrics.observe_stage(stage, seconds)
+        self.tracer.finish(trace)
+
+    def _attach_engine_phases(self, trace, doc) -> None:
+        """Subdivide the ``engine`` span into sweep/match/sample/serialize
+        children from the evaluator-side phase buckets.  The real phases
+        interleave finely, so the children are *synthetic*: cumulative
+        offsets anchored at the engine span's start, flagged
+        ``synthetic=True`` in the export."""
+        phases = doc.get("phases") if isinstance(doc, dict) else None
+        engine = trace.find("engine")
+        if not phases or engine is None:
+            return
+        at = engine.start
+        for phase in (*ENGINE_PHASES, "serialize"):
+            seconds = phases.get(phase, 0.0)
+            if seconds <= 0.0:
+                continue
+            trace.add_span(
+                f"engine.{phase}", at, at + seconds,
+                parent=engine, synthetic=True,
+            )
+            at += seconds
+
+    def _log_predict(
+        self, trace, headers, status, source, doc, elapsed
+    ) -> None:
+        """One structured JSON line per served ``/predict``."""
+        attempt = headers.get("x-repro-attempt")
+        try:
+            attempt = None if attempt is None else int(attempt)
+        except (TypeError, ValueError):
+            attempt = None
+        batch_id = tier = None
+        if trace is not None:
+            engine = trace.find("engine")
+            if engine is not None:
+                batch_id = engine.attrs.get("batch_id")
+            cache_span = trace.find("cache")
+            if cache_span is not None:
+                tier = cache_span.attrs.get("tier")
+        error = (
+            doc.get("error")
+            if isinstance(doc, dict) and status != 200
+            else None
+        )
+        self.logger.log(
+            "predict",
+            trace_id=None if trace is None else trace.trace_id,
+            status=status,
+            served_from=source,
+            cache_tier=tier,
+            batch_id=batch_id,
+            attempt=attempt,
+            elapsed_ms=round(elapsed * 1e3, 3),
+            error=error,
+        )
+
+    async def _predict_outcome(
+        self, body: object, trace=None
+    ) -> tuple[int, dict, dict, str | None]:
+        """The ``/predict`` decision: (status, headers, doc, served-from)."""
         if self.draining:
             # Shutdown in progress: answer fast and well-formed instead
             # of letting the socket hang while the engine drains.
@@ -281,18 +414,19 @@ class PredictionService:
                 503,
                 {"Retry-After": "1", "Connection": "close"},
                 {"error": "server draining"},
+                None,
             )
         try:
             req = PredictRequest.from_dict(body)
         except RequestError as exc:
             self.metrics.inc("repro_bad_requests_total")
-            return 400, {}, {"error": str(exc)}
+            return 400, {}, {"error": str(exc)}, None
         key = req.key(self.db_fingerprint)
         deadline = req.deadline_s if req.deadline_s is not None else self.deadline_s
         # Shield the resolution task: a caller hitting its deadline must
         # not cancel a shared evaluation; the late result still lands in
         # the cache for the next attempt.
-        task = asyncio.ensure_future(self._predict(req, key))
+        task = asyncio.ensure_future(self._predict(req, key, trace))
         try:
             doc, source = await asyncio.wait_for(
                 asyncio.shield(task), timeout=deadline
@@ -308,6 +442,7 @@ class PredictionService:
                 504,
                 {},
                 {"error": "deadline exceeded", "deadline_s": deadline},
+                None,
             )
         except QueueFull as exc:
             return (
@@ -318,6 +453,7 @@ class PredictionService:
                     "inflight_limit": exc.limit,
                     "retry_after_s": exc.retry_after,
                 },
+                None,
             )
         except BreakerOpen as exc:
             retry_after = max(exc.retry_after, 0.1)
@@ -328,6 +464,7 @@ class PredictionService:
                     "error": "circuit breaker open",
                     "retry_after_s": retry_after,
                 },
+                None,
             )
         except LeaderCancelled as exc:
             self.metrics.inc("repro_leader_cancelled_total")
@@ -335,16 +472,24 @@ class PredictionService:
                 503,
                 {"Retry-After": "0.1"},
                 {"error": str(exc)},
+                None,
             )
         except ModelDeadlock as exc:
             self.metrics.inc("repro_model_deadlocks_total")
-            return 422, {}, {"error": "model deadlock", "detail": str(exc)}
+            return (
+                422, {}, {"error": "model deadlock", "detail": str(exc)}, None
+            )
         except RequestError as exc:
             self.metrics.inc("repro_bad_requests_total")
-            return 400, {}, {"error": str(exc)}
+            return 400, {}, {"error": str(exc)}, None
         except Exception as exc:
             self.metrics.inc("repro_evaluation_errors_total")
-            return 500, {}, {"error": f"evaluation failed: {exc}"}
+            return 500, {}, {"error": f"evaluation failed: {exc}"}, None
+        if trace is not None and source == "engine":
+            # The raw engine document carries the evaluator-side phase
+            # buckets; attach them while it is still in scope (the
+            # response record below deliberately omits them).
+            self._attach_engine_phases(trace, doc)
         pred = prediction_from_doc(doc)
         pred.cached = source != "engine"
         pred.wall_time = float(doc.get("wall_time", 0.0))
@@ -366,7 +511,7 @@ class PredictionService:
                 "request_key": key,
             },
         )
-        return 200, {}, record
+        return 200, {}, record, source
 
     def handle_distributions(self, query: dict) -> tuple[int, dict, dict]:
         if "size" not in query:
@@ -441,6 +586,7 @@ class PredictionService:
             "lru_entries": len(self.cache),
             "breaker": self.breaker.state,
             "draining": self.draining,
+            "tracing": self.tracer is not None and self.tracer.enabled,
         }
         if self.faults is not None:
             doc["chaos"] = self.faults.snapshot()
@@ -501,7 +647,10 @@ class ServiceServer:
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         return head + payload
 
-    async def _route(self, method: str, target: str, body: bytes):
+    async def _route(
+        self, method: str, target: str, body: bytes,
+        headers: dict | None = None,
+    ):
         """Dispatch one request -> (status, headers, payload, content-type)."""
         svc = self.service
         split = urlsplit(target)
@@ -511,6 +660,27 @@ class ServiceServer:
             return 200, {}, svc.healthz(), "application/json"
         if path == "/metrics" and method == "GET":
             return 200, {}, svc.metrics.render_prometheus(), "text/plain; version=0.0.4"
+        if path == "/trace" and method == "GET":
+            tracer = svc.tracer
+            if tracer is None:
+                return 404, {}, {"error": "tracing disabled"}, "application/json"
+            trace_id = query.get("id")
+            if trace_id:
+                doc = tracer.get(trace_id)
+                if doc is None:
+                    return (
+                        404, {}, {"error": f"no trace {trace_id!r}"},
+                        "application/json",
+                    )
+                return 200, {}, doc, "application/json"
+            try:
+                limit = int(query.get("limit", "20"))
+            except ValueError:
+                return (
+                    400, {}, {"error": "limit must be an integer"},
+                    "application/json",
+                )
+            return 200, {}, {"traces": tracer.traces(limit)}, "application/json"
         if path == "/distributions" and method in ("GET", "POST"):
             if method == "POST" and body:
                 try:
@@ -529,8 +699,10 @@ class ServiceServer:
                 parsed = json.loads(body) if body else {}
             except ValueError:
                 return 400, {}, {"error": "body is not valid JSON"}, "application/json"
-            status, headers, doc = await svc.handle_predict(parsed)
-            return status, headers, doc, "application/json"
+            status, resp_headers, doc = await svc.handle_predict(
+                parsed, headers
+            )
+            return status, resp_headers, doc, "application/json"
         if path == "/chaos" and svc.faults is not None:
             if method == "GET":
                 return 200, {}, {"chaos": svc.faults.snapshot()}, "application/json"
@@ -563,7 +735,9 @@ class ServiceServer:
                 svc.metrics.inc("repro_requests_total", endpoint=endpoint)
                 t0 = _time.perf_counter()
                 try:
-                    status, extra, doc, ctype = await self._route(method, target, body)
+                    status, extra, doc, ctype = await self._route(
+                        method, target, body, headers
+                    )
                 except Exception as exc:  # never tear the connection down
                     svc.metrics.inc("repro_evaluation_errors_total")
                     status, extra, doc, ctype = (

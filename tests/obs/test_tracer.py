@@ -1,0 +1,238 @@
+"""Unit tests for the observability primitives (:mod:`repro.obs`).
+
+The tracer's design constraints are each asserted directly: explicit
+injectable clocks (tests drive a fake clock and check exact durations),
+zero cost when disabled (``start_trace`` returns ``None``), a bounded
+ring buffer (old traces fall off), and IDs that never touch the seeded
+RNG streams (OS entropy, validated when client-supplied).
+"""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    ENGINE_PHASES,
+    JsonLogger,
+    PhaseProfiler,
+    Tracer,
+    clean_trace_id,
+    merge_phases,
+    render_waterfall,
+    span_or_null,
+)
+from repro.obs.tracer import MAX_TRACE_ID
+
+
+class FakeClock:
+    """A hand-cranked clock for exact span arithmetic."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestTracer:
+    def test_disabled_tracer_hands_out_none(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.start_trace() is None
+        tracer.finish(None)  # must be a no-op, not an error
+        assert len(tracer) == 0
+
+    def test_span_durations_from_explicit_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        trace = tracer.start_trace()
+        with trace.span("cache", tier="miss"):
+            clock.advance(0.25)
+        clock.advance(1.0)
+        with trace.span("batch"):
+            clock.advance(0.5)
+        doc = trace.to_dict()
+        spans = {s["name"]: s for s in doc["spans"]}
+        assert spans["cache"]["start_ms"] == pytest.approx(0.0)
+        assert spans["cache"]["duration_ms"] == pytest.approx(250.0)
+        assert spans["cache"]["attrs"]["tier"] == "miss"
+        assert spans["batch"]["start_ms"] == pytest.approx(1250.0)
+        assert spans["batch"]["duration_ms"] == pytest.approx(500.0)
+
+    def test_add_span_and_annotate(self):
+        clock = FakeClock()
+        trace = Tracer(clock=clock).start_trace("tid-1")
+        assert trace.trace_id == "tid-1"
+        clock.advance(2.0)
+        trace.add_span("engine", 0.5, 1.75, batch_id=3)
+        marker = trace.annotate("admission", queue_depth=2)
+        assert marker.duration == 0.0
+        found = trace.find("engine")
+        assert found is not None and found.attrs["batch_id"] == 3
+        assert trace.find("nope") is None
+        durations = trace.stage_durations()
+        assert durations["engine"] == pytest.approx(1.25)
+        assert durations["admission"] == 0.0
+
+    def test_child_spans_carry_parent_ids(self):
+        clock = FakeClock()
+        trace = Tracer(clock=clock).start_trace()
+        parent = trace.add_span("engine", 0.0, 1.0)
+        trace.add_span("engine.sweep", 0.0, 0.4, parent=parent, synthetic=True)
+        doc = trace.to_dict()
+        sweep = next(s for s in doc["spans"] if s["name"] == "engine.sweep")
+        assert sweep["parent_id"] == parent.span_id
+        assert sweep["attrs"]["synthetic"] is True
+
+    def test_ring_buffer_evicts_oldest(self):
+        tracer = Tracer(capacity=3)
+        ids = []
+        for _ in range(5):
+            trace = tracer.start_trace()
+            ids.append(trace.trace_id)
+            tracer.finish(trace)
+        assert len(tracer) == 3
+        assert tracer.get(ids[0]) is None
+        assert tracer.get(ids[1]) is None
+        for tid in ids[2:]:
+            assert tracer.get(tid) is not None
+        # Newest first in the listing, bounded by limit.
+        listed = [t["trace_id"] for t in tracer.traces(limit=2)]
+        assert listed == [ids[4], ids[3]]
+
+    def test_replayed_trace_id_keeps_latest(self):
+        clock = FakeClock()
+        tracer = Tracer(capacity=4, clock=clock)
+        first = tracer.start_trace("dup")
+        first.add_span("cache", 0.0, 1.0)
+        tracer.finish(first)
+        second = tracer.start_trace("dup")
+        second.add_span("engine", 0.0, 2.0)
+        tracer.finish(second)
+        assert len(tracer) == 1
+        doc = tracer.get("dup")
+        assert [s["name"] for s in doc["spans"]] == ["engine"]
+
+    def test_span_or_null_paths(self):
+        with span_or_null(None, "cache") as span:
+            assert span is None
+        trace = Tracer(clock=FakeClock()).start_trace()
+        with span_or_null(trace, "cache", tier="memory") as span:
+            assert span is not None
+        assert trace.find("cache").attrs["tier"] == "memory"
+
+    def test_concurrent_span_appends(self):
+        trace = Tracer().start_trace()
+        barrier = threading.Barrier(4)
+
+        def worker(n: int):
+            barrier.wait()
+            for i in range(200):
+                trace.add_span(f"w{n}", float(i), float(i) + 0.5)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(trace.to_dict()["spans"]) == 800
+
+
+class TestCleanTraceId:
+    def test_accepts_printable_tokens(self):
+        assert clean_trace_id("abc123") == "abc123"
+        assert clean_trace_id("  padded  ") == "padded"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [None, 42, "", "   ", "a" * (MAX_TRACE_ID + 1), "with space",
+         "tab\tid", "new\nline", "bell\x07"],
+    )
+    def test_rejects_hostile_values(self, bad):
+        assert clean_trace_id(bad) is None
+
+
+class TestPhaseProfiler:
+    def test_disjoint_buckets_via_exclusive(self):
+        prof = PhaseProfiler()
+        mark = prof.mark()
+        prof.add("sample", 0.3)  # sampling inside the swept region
+        prof.exclusive("sweep", 1.0, mark)
+        assert prof.phases["sweep"] == pytest.approx(0.7)
+        assert prof.phases["sample"] == pytest.approx(0.3)
+        # A region entirely spent sampling never goes negative.
+        mark = prof.mark()
+        prof.add("sample", 0.5)
+        prof.exclusive("match", 0.4, mark)
+        assert prof.phases["match"] == 0.0
+
+    def test_scaled_and_snapshot_drop_empty_phases(self):
+        prof = PhaseProfiler()
+        prof.add("sweep", 2.0)
+        assert prof.snapshot() == {"sweep": 2.0}
+        assert prof.scaled(0.25) == {"sweep": 0.5}
+
+    def test_merge_phases_over_outcomes(self):
+        class Outcome:
+            def __init__(self, phases):
+                self.phases = phases
+
+        total = merge_phases(
+            [Outcome({"sweep": 1.0, "sample": 0.5}),
+             Outcome(None),
+             Outcome({"sweep": 0.5, "match": 0.25})]
+        )
+        assert total == {"sweep": 1.5, "sample": 0.5, "match": 0.25}
+
+    def test_engine_phases_are_the_known_buckets(self):
+        assert ENGINE_PHASES == ("sweep", "match", "sample")
+
+
+class TestJsonLogger:
+    def test_one_line_per_event_and_none_dropped(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream)
+        logger.log("predict", trace_id="t1", status=200, batch_id=None)
+        logger.log("predict", trace_id="t2", status=429)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "predict"
+        assert first["trace_id"] == "t1"
+        assert first["status"] == 200
+        assert "batch_id" not in first
+        assert isinstance(first["ts"], float)
+
+
+class TestRenderWaterfall:
+    def _doc(self):
+        return {
+            "trace_id": "abcd",
+            "spans": [
+                {"name": "request", "start_ms": 0.0, "duration_ms": 10.0},
+                {"name": "cache", "start_ms": 0.1, "duration_ms": 0.2,
+                 "attrs": {"tier": "miss"}},
+                {"name": "engine", "start_ms": 2.0, "duration_ms": 7.5,
+                 "attrs": {"batch_id": 4, "batch_size": 2}},
+            ],
+        }
+
+    def test_waterfall_lists_every_span_with_attrs(self):
+        text = render_waterfall(self._doc())
+        assert "trace abcd" in text
+        assert "3 spans" in text
+        for needle in ("request", "cache", "engine", "tier=miss",
+                       "batch_id=4"):
+            assert needle in text
+        # Every span gets a visible bar, however short.
+        cache_line = next(l for l in text.splitlines() if "cache" in l)
+        assert "#" in cache_line
+
+    def test_empty_trace_renders(self):
+        assert "no spans" in render_waterfall({"trace_id": "x", "spans": []})

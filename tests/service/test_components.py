@@ -22,6 +22,8 @@ from repro.service import (
     TieredCache,
 )
 
+pytestmark = pytest.mark.service
+
 
 class TestServiceMetrics:
     def test_counters_with_labels(self):

@@ -49,6 +49,8 @@ from repro.service import (
 )
 from repro.simnet import perseus
 
+pytestmark = [pytest.mark.service, pytest.mark.chaos]
+
 SPEC = perseus(16)
 ITER = 20
 
@@ -225,6 +227,7 @@ class TestEngineRecovery:
             o.elapsed for o in baseline[0]
         ]
 
+    @pytest.mark.slow
     def test_wedged_pool_is_killed_and_recovered(self, db, monkeypatch):
         # A forked child that inherits a held lock deadlocks without
         # ever crashing, so no BrokenProcessPool is raised on its own.
@@ -825,6 +828,7 @@ class TestDrain:
 
 # -- loadgen resilience (acceptance: no malformed responses) -------------------
 class TestLoadGeneratorRetries:
+    @pytest.mark.slow
     def test_retries_mask_backpressure(self, db):
         service = PredictionService(
             db, spec=SPEC, queue_limit=1, max_wait=0.1, caching=False,

@@ -1,0 +1,142 @@
+"""Property tests for :mod:`repro.service.metrics` (Hypothesis).
+
+Two families of invariants a scraper relies on:
+
+* **latency quantiles** summarised through the MPIBench histogram are
+  monotone in ``q`` and bounded by the observed min/max -- a violated
+  order (p99 < p50) would silently corrupt every dashboard built on
+  the exposition;
+* **label escaping** round-trips arbitrary (including adversarial)
+  label values through the Prometheus text format: what a scraper
+  unescapes is exactly what the service observed.
+"""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.metrics import (
+    STAGE_BUCKETS,
+    ServiceMetrics,
+    escape_label_value,
+    unescape_label_value,
+)
+
+#: second-valued latency samples across the service's realistic range
+#: (sub-microsecond LRU hits to multi-second evaluations)
+latency_samples = st.lists(
+    st.floats(min_value=1e-7, max_value=1e3, allow_nan=False,
+              allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+quantile_sets = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=2,
+    max_size=12,
+)
+
+
+class TestLatencyQuantiles:
+    @given(samples=latency_samples, qs=quantile_sets)
+    @settings(max_examples=200, deadline=None)
+    def test_quantiles_monotone_in_q(self, samples, qs):
+        metrics = ServiceMetrics()
+        for s in samples:
+            metrics.observe("predict", s)
+        hist = metrics.latency_histogram("predict")
+        ordered = sorted(qs)
+        values = [hist.quantile(q) for q in ordered]
+        for lo, hi in zip(values, values[1:]):
+            assert lo <= hi + 1e-12
+
+    @given(samples=latency_samples)
+    @settings(max_examples=200, deadline=None)
+    def test_quantiles_bounded_by_min_max(self, samples):
+        metrics = ServiceMetrics()
+        for s in samples:
+            metrics.observe("predict", s)
+        hist = metrics.latency_histogram("predict")
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            value = hist.quantile(q)
+            assert min(samples) - 1e-12 <= value <= max(samples) + 1e-12
+
+    @given(samples=latency_samples)
+    @settings(max_examples=100, deadline=None)
+    def test_published_quantiles_match_histogram(self, samples):
+        metrics = ServiceMetrics()
+        for s in samples:
+            metrics.observe("predict", s)
+        published = metrics.latency_quantiles("predict")
+        hist = metrics.latency_histogram("predict")
+        for q, value in published.items():
+            assert value == hist.quantile(q)
+
+
+class TestLabelEscaping:
+    @given(value=st.text(max_size=200))
+    @settings(max_examples=500, deadline=None)
+    def test_escape_round_trips(self, value):
+        assert unescape_label_value(escape_label_value(value)) == value
+
+    @given(value=st.text(max_size=100))
+    @settings(max_examples=300, deadline=None)
+    def test_escaped_value_has_no_raw_newlines_or_quotes(self, value):
+        escaped = escape_label_value(value)
+        assert "\n" not in escaped
+        # Every quote in the escaped form is preceded by an odd number
+        # of backslashes (i.e. it is escaped).
+        for m in re.finditer('"', escaped):
+            backslashes = 0
+            i = m.start() - 1
+            while i >= 0 and escaped[i] == "\\":
+                backslashes += 1
+                i -= 1
+            assert backslashes % 2 == 1
+
+    @given(value=st.text(max_size=100))
+    @settings(max_examples=300, deadline=None)
+    def test_rendered_exposition_recovers_label_verbatim(self, value):
+        metrics = ServiceMetrics()
+        metrics.inc("repro_probe_total", endpoint=value)
+        text = metrics.render_prometheus()
+        # The exposition format is \n-delimited; split on exactly that.
+        # (str.splitlines would also split on \x1e/ -class characters
+        # that the Prometheus spec deliberately leaves unescaped.)
+        lines = [
+            l for l in text.split("\n") if l.startswith("repro_probe_total{")
+        ]
+        assert len(lines) == 1  # hostile labels never split a line
+        match = re.fullmatch(
+            r'repro_probe_total\{endpoint="(.*)"\} 1', lines[0]
+        )
+        assert match is not None
+        assert unescape_label_value(match.group(1)) == value
+
+
+class TestStageHistogram:
+    @given(
+        observations=st.lists(
+            st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bucket_counts_cumulative_and_consistent(self, observations):
+        metrics = ServiceMetrics()
+        for s in observations:
+            metrics.observe_stage("engine", s)
+        text = metrics.render_prometheus()
+        counts = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith('repro_stage_seconds_bucket{stage="engine"')
+        ]
+        assert len(counts) == len(STAGE_BUCKETS) + 1  # + the +Inf bucket
+        for lo, hi in zip(counts, counts[1:]):
+            assert lo <= hi  # cumulative by definition
+        assert counts[-1] == len(observations)
+        assert metrics.stage_count("engine") == len(observations)

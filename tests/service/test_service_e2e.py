@@ -29,6 +29,8 @@ from repro.service import MODELS, PredictionService, ServiceClient, ServiceThrea
 from repro.service import records as service_records
 from repro.simnet import perseus
 
+pytestmark = pytest.mark.service
+
 SPEC = perseus(16)
 ITER = 20  # keep served jacobi evaluations fast
 
