@@ -8,15 +8,29 @@ processor-seconds per host wall second) for a fixed Jacobi workload, so
 the performance trajectory is visible across PRs::
 
     [{"commit": "...", "dirty": false, "engine": "per-run"|"batched",
-      "date": "...", "simulated_per_wall": ..., ...}, ...]
+      "compiled": true|false, "date": "...", "simulated_per_wall": ...,
+      ...}, ...]
 
-Each invocation appends one row per engine (the per-run machine and the
-batched vectorised one), so the throughput of both is tracked.
+Each invocation appends one row per engine variant: the per-run machine
+(compiled schedules), the batched vectorised machine interpreting
+generators, and the batched machine on compiled schedules -- the
+production configuration.  ``--only batched-compiled`` measures just the
+last (what CI appends).
+
+A measurement taken with uncommitted changes is tagged ``dirty`` and a
+warning goes to stderr; dirty rows are kept for local trend-spotting but
+are **excluded** from the ratchet -- they cannot be attributed to any
+commit.
+
+``--check`` is the CI ratchet: it validates that the history parses and
+that the most recent *clean* batched+compiled row for the reference
+workload meets the throughput floor (``--floor``, default 200 simulated
+processor-seconds per wall second -- roughly 3x the paper's own 67.5x
+claim).  A regression below the floor fails CI.
 
 Uses the cached ``benchmarks/out/cache/fig6.json`` distribution database
 when present (the benchmark suite's artefact) and measures a small fresh
 sweep otherwise, so the script is runnable on a clean checkout.
-``--check`` only validates that the history file parses (CI smoke).
 """
 
 from __future__ import annotations
@@ -42,7 +56,24 @@ DB_CACHE = REPO / "benchmarks" / "out" / "cache" / "fig6.json"
 
 ITERATIONS = 100
 NPROCS = 32
-RUNS = 8
+WORKLOAD = f"jacobi-{ITERATIONS}it-{NPROCS}p"
+#: Monte Carlo runs for the per-run engine (each run pays the full
+#: sweep/match cost, so a handful suffices for a stable wall number).
+RUNS_PER_RUN = 8
+#: Monte Carlo runs for the batched engine: one full vector chunk, so
+#: the measurement is a single-core single-batch number -- no pool
+#: scheduling noise in the ratchet.
+RUNS_BATCHED = 64
+#: Ratchet floor (simulated processor-seconds per host wall second) for
+#: the clean batched+compiled reference row.
+DEFAULT_FLOOR = 200.0
+
+#: (name, vector_runs, compiled, runs, workers) measurement variants.
+VARIANTS = {
+    "per-run": ("per-run", False, True, RUNS_PER_RUN, None),
+    "batched-interpreted": ("batched", True, False, RUNS_BATCHED, 1),
+    "batched-compiled": ("batched", True, True, RUNS_BATCHED, 1),
+}
 
 
 def _load_db() -> DistributionDB:
@@ -72,9 +103,9 @@ def _git_state() -> tuple[str, bool]:
         return "unknown", False
 
 
-def measure(vector_runs: bool = False) -> dict:
+def measure(variant: str, db: DistributionDB) -> dict:
+    engine, vector_runs, compiled, runs, workers = VARIANTS[variant]
     spec = perseus(64)
-    db = _load_db()
     params = {
         "iterations": ITERATIONS,
         "xsize": 256,
@@ -83,9 +114,10 @@ def measure(vector_runs: bool = False) -> dict:
     timing = timing_from_db(db, mode="distribution")
     t0 = time.perf_counter()
     pred = predict(
-        parse_jacobi(), NPROCS, timing, runs=RUNS, seed=1, params=params,
-        workers=None,  # one worker per host core
+        parse_jacobi(), NPROCS, timing, runs=runs, seed=1, params=params,
+        workers=workers,
         vector_runs=vector_runs,
+        compiled=compiled,
     )
     wall = time.perf_counter() - t0
     commit, dirty = _git_state()
@@ -93,9 +125,10 @@ def measure(vector_runs: bool = False) -> dict:
         "commit": commit,
         "dirty": dirty,
         "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
-        "workload": f"jacobi-{ITERATIONS}it-{NPROCS}p",
-        "engine": "batched" if vector_runs else "per-run",
-        "runs": RUNS,
+        "workload": WORKLOAD,
+        "engine": engine,
+        "compiled": compiled,
+        "runs": runs,
         "wall_seconds": round(wall, 4),
         "mean_run_wall": round(pred.mean_run_wall, 4),
         "simulated_per_wall": round(pred.simulated_per_wall, 2),
@@ -103,11 +136,73 @@ def measure(vector_runs: bool = False) -> dict:
     }
 
 
+def ratchet_row(history: list) -> dict | None:
+    """The newest clean batched+compiled row for the reference workload.
+
+    Dirty rows are skipped: a number measured on an uncommitted tree says
+    nothing about the commit CI is judging.  Rows from before the engine
+    and compiled tags existed (no ``engine`` key) are skipped too.
+    """
+    for row in reversed(history):
+        if not isinstance(row, dict) or row.get("dirty"):
+            continue
+        if (
+            row.get("workload") == WORKLOAD
+            and row.get("engine") == "batched"
+            and row.get("compiled") is True
+        ):
+            return row
+    return None
+
+
+def check(history: list, floor: float) -> int:
+    dirty = sum(1 for row in history if isinstance(row, dict) and row.get("dirty"))
+    if dirty:
+        print(
+            f"note: ignoring {dirty} dirty row(s) "
+            "(measured on an uncommitted tree)",
+            file=sys.stderr,
+        )
+    row = ratchet_row(history)
+    if row is None:
+        print(
+            f"{HISTORY.name}: no clean batched+compiled row for {WORKLOAD}; "
+            "run scripts/track_eval_cost.py on a clean tree first",
+            file=sys.stderr,
+        )
+        return 1
+    value = float(row.get("simulated_per_wall", 0.0))
+    if value < floor:
+        print(
+            f"{HISTORY.name}: eval-cost ratchet FAILED: latest clean "
+            f"batched+compiled row ({row.get('commit')}, {row.get('date')}) "
+            f"reaches {value:.2f}x simulated/wall, floor is {floor:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"{HISTORY.name}: {len(history)} entries, ok; ratchet row "
+        f"{row.get('commit')} at {value:.2f}x >= {floor:.2f}x"
+    )
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--check", action="store_true",
-        help="only validate that the history file parses",
+        help="validate the history file and enforce the throughput floor "
+             "on the latest clean batched+compiled row (no measurement)",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=DEFAULT_FLOOR, metavar="X",
+        help="minimum simulated/wall ratio the ratchet row must reach "
+             f"(default {DEFAULT_FLOOR:g})",
+    )
+    parser.add_argument(
+        "--only", choices=sorted(VARIANTS), metavar="VARIANT",
+        help="measure a single variant "
+             f"({', '.join(sorted(VARIANTS))}) instead of all three",
     )
     args = parser.parse_args()
 
@@ -118,11 +213,19 @@ def main() -> int:
             print(f"{HISTORY} is not a JSON list", file=sys.stderr)
             return 1
     if args.check:
-        print(f"{HISTORY.name}: {len(history)} entries, ok")
-        return 0
+        return check(history, args.floor)
 
-    for vector_runs in (False, True):
-        entry = measure(vector_runs=vector_runs)
+    _, tree_dirty = _git_state()
+    if tree_dirty:
+        print(
+            "warning: working tree is dirty -- rows will be tagged "
+            "dirty and excluded from the ratchet",
+            file=sys.stderr,
+        )
+    db = _load_db()
+    variants = [args.only] if args.only else list(VARIANTS)
+    for variant in variants:
+        entry = measure(variant, db)
         history.append(entry)
         print(json.dumps(entry, indent=2))
     HISTORY.write_text(json.dumps(history, indent=2) + "\n")

@@ -118,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
              "per-run evaluation, and composes with --workers)",
     )
     p_pred.add_argument(
+        "--compiled", action=argparse.BooleanOptionalAction, default=True,
+        help="lower models to static per-rank schedules before evaluation "
+             "(bit-identical results; --no-compiled forces the generator "
+             "interpreter)",
+    )
+    p_pred.add_argument(
         "--json", action="store_true",
         help="print the machine-readable prediction record (the same "
              "serialisation the prediction service returns) instead of "
@@ -359,6 +365,7 @@ def cmd_predict(args) -> int:
             parse_jacobi(), args.nprocs, db, runs=args.runs, seed=args.seed,
             params=params, ppn=args.ppn, workers=args.workers,
             cache_dir=args.cache_dir, vector_runs=args.vector_runs,
+            compiled=args.compiled,
         )
         measured = None
         if args.measure:
@@ -390,6 +397,7 @@ def cmd_predict(args) -> int:
                     pred,
                     seed=args.seed,
                     vector_runs=args.vector_runs,
+                    compiled=args.compiled,
                     nic_serialisation="tx",
                     workers=args.workers,
                     extra={"speedup": pred.speedup(serial)},

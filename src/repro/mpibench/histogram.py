@@ -34,7 +34,7 @@ class Histogram:
     ``nbins``).
     """
 
-    __slots__ = ("edges", "counts", "n", "_mean", "_std", "_min", "_max", "_samples", "_sorted", "_cum")
+    __slots__ = ("edges", "counts", "n", "_mean", "_std", "_min", "_max", "_samples", "_sorted", "_cum", "_icdf")
 
     def __init__(
         self,
@@ -60,11 +60,18 @@ class Histogram:
         total = float(counts.sum())
         if total <= 0:
             raise ValueError("histogram must contain at least one sample")
+        if samples is not None and len(samples) == 0:
+            # An empty retained-sample array (e.g. a document persisted
+            # with "samples": []) carries no information; treat it as
+            # absent so every quantile/sampling path uses the binned
+            # form instead of indexing into an empty sorted array.
+            samples = None
         self.edges = edges
         self.counts = counts
         self.n = int(round(total))
         self._samples = samples
         self._sorted = None  # lazily cached sorted samples (fast quantiles)
+        self._icdf = None  # lazily compiled inverse-CDF table (see icdf())
         # Cumulative bin counts, precomputed at construction (and so on
         # DB load): every sampling/quantile path needs them, and PEVPM's
         # first draw from each histogram used to pay the cumsum.
@@ -224,29 +231,80 @@ class Histogram:
 
     def quantiles(self, qs: np.ndarray) -> np.ndarray:
         """Vectorised inverse CDF (see :meth:`quantile`) for an array of
-        probabilities -- the fast path for batched PEVPM sampling."""
-        qs = np.asarray(qs, dtype=float)
+        probabilities -- the fast path for batched PEVPM sampling.
+        Delegates to the compiled :meth:`icdf` table, so repeated calls
+        pay one gather, not per-call table setup."""
+        return self.icdf()(np.asarray(qs, dtype=float))
+
+    def icdf(self):
+        """The compiled inverse-CDF: a callable mapping an array of
+        probabilities in ``[0, 1]`` to quantile values, bit-identical to
+        :meth:`quantiles`.
+
+        This is the lookup-table form PEVPM's sampling hot path uses
+        (see ``DistributionDB.make_sampler``): every per-call constant --
+        the sorted-sample table and its scale, or the cumulative-count
+        table -- is bound once, so a draw is a single multiply +
+        gather(+lerp) instead of a table rebuild.  Compiled lazily and
+        cached; never pickled (workers recompile on first use).
+        """
+        f = self._icdf
+        if f is not None:
+            return f
         if self._samples is not None:
             srt = self._sorted
             if srt is None:
                 srt = self._sorted = np.sort(self._samples)
-            pos = qs * (len(srt) - 1)
-            lo = pos.astype(int)
-            hi = np.minimum(lo + 1, len(srt) - 1)
-            frac = pos - lo
-            return srt[lo] * (1.0 - frac) + srt[hi] * frac
-        cum = self._cum
-        total = cum[-1]
-        target = qs * total
-        idx = np.minimum(
-            np.searchsorted(cum, target, side="left"), len(self.counts) - 1
-        )
-        prev = np.where(idx > 0, cum[np.maximum(idx - 1, 0)], 0.0)
-        inbin = self.counts[idx]
-        frac = np.where(inbin > 0, (target - prev) / np.where(inbin > 0, inbin, 1.0), 0.0)
-        lo = self.edges[idx]
-        hi = self.edges[idx + 1]
-        return lo + frac * (hi - lo)
+            scale = len(srt) - 1
+            nmax = len(srt) - 1
+
+            def f(qs):
+                pos = qs * scale
+                lo = pos.astype(int)
+                hi = np.minimum(lo + 1, nmax)
+                frac = pos - lo
+                return srt[lo] * (1.0 - frac) + srt[hi] * frac
+        else:
+            cum = self._cum
+            total = cum[-1]
+            counts = self.counts
+            edges_lo = self.edges[:-1]
+            edges_hi = self.edges[1:]
+            last = len(counts) - 1
+
+            def f(qs):
+                target = qs * total
+                idx = np.minimum(
+                    np.searchsorted(cum, target, side="left"), last
+                )
+                prev = np.where(idx > 0, cum[np.maximum(idx - 1, 0)], 0.0)
+                inbin = counts[idx]
+                frac = np.where(
+                    inbin > 0,
+                    (target - prev) / np.where(inbin > 0, inbin, 1.0),
+                    0.0,
+                )
+                lo = edges_lo[idx]
+                hi = edges_hi[idx]
+                return lo + frac * (hi - lo)
+        self._icdf = f
+        return f
+
+    # -- pickling ---------------------------------------------------------------
+    # Histograms ride to pool workers inside pickled timing models; the
+    # compiled inverse-CDF is a closure (unpicklable) and cheap to
+    # rebuild, so it is dropped from the pickled state.
+    def __getstate__(self):
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_icdf"
+        }
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._icdf = None
 
     def tail_mass(self, threshold: float) -> float:
         """Fraction of samples above *threshold* -- used to quantify the

@@ -36,6 +36,33 @@ from .histogram import Histogram
 __all__ = ["BenchmarkResult", "DistributionDB"]
 
 
+class _CellSampler:
+    """A fully-resolved sampling cell: the compiled inverse-CDF table(s)
+    for one (op, size, contention, intra) lookup, plus the precomputed
+    size-interpolation blend weights.
+
+    Calling it draws *n* times with a single uniform batch and one or two
+    table gathers -- no dict probes, no histogram dispatch.  Built by
+    :meth:`DistributionDB.make_sampler`, bit-identical to the historical
+    ``sample_times`` arithmetic (the blend uses a precomputed ``1.0 - w``,
+    which is the same float the old expression produced per call).
+    """
+
+    __slots__ = ("_flo", "_fhi", "_w", "_one_minus_w")
+
+    def __init__(self, flo, fhi=None, w: float = 0.0):
+        self._flo = flo
+        self._fhi = fhi
+        self._w = w
+        self._one_minus_w = 1.0 - w
+
+    def __call__(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        u = rng.random(n)
+        if self._fhi is None:
+            return self._flo(u)
+        return self._one_minus_w * self._flo(u) + self._w * self._fhi(u)
+
+
 @dataclass
 class BenchmarkResult:
     """All histograms from one (operation, nodes x ppn) benchmark run."""
@@ -117,6 +144,10 @@ class DistributionDB:
         self._bracket_cache: dict[tuple, tuple[int, int]] = {}
         self._locate_cache: dict[tuple, tuple[BenchmarkResult, int, int]] = {}
         self._stat_cache: dict[tuple, float] = {}
+        # (op, size, contention, intra) -> _CellSampler: the compiled
+        # inverse-CDF tables PEVPM's hot path draws through.  Holds
+        # closures, so it is dropped on pickle (see __getstate__).
+        self._sampler_cache: dict[tuple, _CellSampler] = {}
         self._fingerprint: str | None = None
 
     # -- population --------------------------------------------------------------
@@ -135,6 +166,7 @@ class DistributionDB:
         self._bracket_cache.clear()
         self._locate_cache.clear()
         self._stat_cache.clear()
+        self._sampler_cache.clear()
         self._fingerprint = None
 
     def ops(self) -> list[str]:
@@ -250,6 +282,33 @@ class DistributionDB:
         qhi = result.histograms[hi].quantile(u)
         return float((1.0 - w) * qlo + w * qhi)
 
+    def make_sampler(
+        self, op: str, size: int, contention: int, intra: bool = False
+    ) -> _CellSampler:
+        """The compiled sampler for one lookup cell.
+
+        Resolves the contention->configuration and size-bracketing
+        lookups once and binds the bracketing histograms' inverse-CDF
+        tables (:meth:`Histogram.icdf`) with the interpolation weight, so
+        every subsequent draw is a uniform batch plus one or two
+        gathers.  Cached per (op, size, contention, intra); invalidated
+        by :meth:`add`."""
+        key = (op, size, contention, intra)
+        sampler = self._sampler_cache.get(key)
+        if sampler is None:
+            result, lo, hi = self._locate(op, size, contention, intra)
+            if lo == hi:
+                sampler = _CellSampler(result.histograms[lo].icdf())
+            else:
+                w = (size - lo) / (hi - lo)
+                sampler = _CellSampler(
+                    result.histograms[lo].icdf(),
+                    result.histograms[hi].icdf(),
+                    w,
+                )
+            self._sampler_cache[key] = sampler
+        return sampler
+
     def sample_times(
         self,
         op: str,
@@ -260,15 +319,10 @@ class DistributionDB:
         intra: bool = False,
     ) -> np.ndarray:
         """Vectorised version of :meth:`sample_time`: *n* independent
-        draws at once (quantile-space size interpolation included)."""
-        result, lo, hi = self._locate(op, size, contention, intra)
-        u = rng.random(n)
-        if lo == hi:
-            return result.histograms[lo].quantiles(u)
-        w = (size - lo) / (hi - lo)
-        qlo = result.histograms[lo].quantiles(u)
-        qhi = result.histograms[hi].quantiles(u)
-        return (1.0 - w) * qlo + w * qhi
+        draws at once (quantile-space size interpolation included).
+        Delegates to the cached :meth:`make_sampler` cell, consuming the
+        RNG stream exactly as the uncached form did."""
+        return self.make_sampler(op, size, contention, intra)(rng, n)
 
     def _stat_time(self, stat: str, op: str, size: int, contention: int, intra: bool) -> float:
         key = (stat, op, size, contention, intra)
@@ -356,6 +410,15 @@ class DistributionDB:
                         )
             self._fingerprint = h.hexdigest()
         return self._fingerprint
+
+    # -- pickling ---------------------------------------------------------------------
+    # The DB ships to prediction-pool workers by pickle; the sampler
+    # cache holds compiled closures (unpicklable, cheap to rebuild), so
+    # it travels empty and each worker recompiles its cells on first use.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_sampler_cache"] = {}
+        return state
 
     # -- persistence -------------------------------------------------------------------
     def save(self, path: str | Path, include_samples: bool = True) -> None:

@@ -25,6 +25,12 @@ from .directives import (
     Serial,
     validate_model,
 )
+from .compile import (
+    CompiledProgram,
+    clear_compile_cache,
+    compile_program,
+    compiled_program_for,
+)
 from .expr import ExprError, evaluate
 from .interpreter import compile_model, model_messages
 from .machine import ANY_SOURCE, MachineResult, ModelDeadlock, ProcContext, VirtualMachine
@@ -71,6 +77,7 @@ __all__ = [
     "AverageTiming",
     "BatchedVirtualMachine",
     "Block",
+    "CompiledProgram",
     "DistributionTiming",
     "ExprError",
     "HockneyTiming",
@@ -109,7 +116,10 @@ __all__ = [
     "compare_timing_modes",
     "prediction_doc",
     "prediction_from_doc",
+    "clear_compile_cache",
     "compile_model",
+    "compile_program",
+    "compiled_program_for",
     "evaluate",
     "evaluate_groups",
     "resolve_workers",

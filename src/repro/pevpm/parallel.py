@@ -44,6 +44,7 @@ from typing import Callable, Generator
 import numpy as np
 
 from ..obs.profile import PhaseProfiler
+from .compile import compiled_program_for
 from .directives import Block
 from .interpreter import compile_model
 from .machine import MachineResult, ProcContext, VirtualMachine
@@ -143,6 +144,13 @@ class RunGroup:
     #: every run -- wall-clock measurement only; the seeded RNG streams
     #: are untouched, so profiled and unprofiled runs are bit-identical.
     profile: bool = False
+    #: lower the model to a static per-rank schedule once
+    #: (:func:`repro.pevpm.compile.compiled_program_for`) and execute the
+    #: compiled form; bit-identical to interpreted evaluation, and a
+    #: divergent (wildcard-racing) program transparently falls back to
+    #: its generator.  Part of the cache key: a compiled evaluation is
+    #: recorded as such.
+    compiled: bool = True
 
 
 def _vectorised(group: RunGroup) -> bool:
@@ -183,7 +191,11 @@ class RunOutcome:
     phases: dict | None = None
 
 
-def _program_for(group: RunGroup) -> Callable[[ProcContext], Generator]:
+def _program_for(group: RunGroup):
+    """The executable form of a group's model: a compiled static schedule
+    when the group asks for one, else the generator factory."""
+    if group.compiled:
+        return compiled_program_for(group.model, group.nprocs, group.params)
     if isinstance(group.model, Block):
         return compile_model(group.model, group.params)
     if callable(group.model):
@@ -530,7 +542,7 @@ class PredictionCache:
     objects.
     """
 
-    VERSION = 2
+    VERSION = 3
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
@@ -551,13 +563,17 @@ class PredictionCache:
         ppn: int,
         vector_runs: bool = False,
         vector_batch: int = VECTOR_BATCH,
+        compiled: bool = True,
     ) -> str:
         """Content fingerprint of one ``predict`` call.
 
         Batch-mode evaluations use their own seed-stream convention, so
         the vector flag (and, when set, the chunk size) is part of the
         key -- scalar and batched results for the same seed are distinct
-        cache entries.
+        cache entries.  The compiled-schedule flag is keyed too: compiled
+        and interpreted evaluations are bit-identical by contract, but a
+        distinct key keeps any violation of that contract observable
+        instead of silently papered over by the cache.
         """
         try:
             model_blob = pickle.dumps((model, params), protocol=4)
@@ -577,6 +593,7 @@ class PredictionCache:
                     "ppn": ppn,
                     "vector": bool(vector_runs),
                     "vbatch": vector_batch if vector_runs else None,
+                    "compiled": bool(compiled),
                 },
                 sort_keys=True,
             ).encode()
@@ -598,6 +615,7 @@ class PredictionCache:
             group.ppn,
             vector_runs=group.vector_runs,
             vector_batch=group.vector_batch,
+            compiled=group.compiled,
         )
 
     def _path(self, key: str) -> Path:

@@ -206,6 +206,7 @@ def predict(
     workers: int | None = 1,
     cache_dir=None,
     vector_runs: bool = False,
+    compiled: bool = True,
 ) -> Prediction:
     """Evaluate *model* (directive Block or program callable) *runs* times.
 
@@ -226,6 +227,14 @@ def predict(
     statistically equivalent to -- not bit-identical with -- the per-run
     engine's; it is itself deterministic for a given seed.  A traced
     last run forces the per-run engine.
+
+    ``compiled=True`` (the default) lowers the model to a static per-rank
+    schedule once (:mod:`repro.pevpm.compile`) and executes the compiled
+    form -- bit-identical times, with the per-op interpretation cost paid
+    once instead of per run.  Programs whose structure is genuinely
+    timing-dependent (a wildcard receive with racing senders) are
+    detected at compile time and fall back to the generator interpreter
+    unchanged.  ``compiled=False`` forces the interpreter everywhere.
     """
     if runs < 1:
         raise ValueError("runs must be >= 1")
@@ -240,6 +249,7 @@ def predict(
         nic_serialisation=nic_serialisation,
         ppn=ppn,
         vector_runs=vector_runs,
+        compiled=compiled,
     )
     return _evaluate_predictions([group], workers, cache_dir)[0]
 
@@ -256,6 +266,7 @@ def predict_speedups(
     workers: int | None = 1,
     cache_dir=None,
     vector_runs: bool = False,
+    compiled: bool = True,
 ) -> dict[int, float]:
     """Speedup curve across machine sizes (the Figure 6 x-axis).
 
@@ -279,6 +290,7 @@ def predict_speedups(
             params=params,
             ppn=ppn,
             vector_runs=vector_runs,
+            compiled=compiled,
         )
         for nprocs, child in zip(proc_counts, children)
     ]
@@ -302,6 +314,7 @@ def compare_timing_modes(
     workers: int | None = 1,
     cache_dir=None,
     vector_runs: bool = False,
+    compiled: bool = True,
 ) -> dict[str, Prediction]:
     """Run the paper's Figure 6 ablation at one machine size.
 
@@ -332,6 +345,7 @@ def compare_timing_modes(
             nic_serialisation=nic_serialisation,
             ppn=ppn,
             vector_runs=vector_runs,
+            compiled=compiled,
         )
         for mode, source in modes
     ]

@@ -37,9 +37,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .compile import compiled_program_for
 from .directives import Block
 from .interpreter import compile_model
-from .machine import MatchInfo, ProcContext
+from .machine import MatchInfo, ModelDeadlock, ProcContext
 from .predict import predict
 from .timing import TimingModel
 
@@ -78,12 +79,51 @@ def static_profile(
     (ties broken by receive count) -- for regular codes this is the
     process whose chain dominates completion time.
 
-    Receives are fed a placeholder match so data-dependent programs can be
-    walked; for *irregular* programs whose control flow truly depends on
-    match outcomes the walk is best-effort (it stops a process at the
-    first data-dependent error or after *max_ops* operations) -- such
-    programs should be studied with the Monte Carlo machine instead.
+    Structurally static programs are profiled from their compiled
+    schedule (:func:`repro.pevpm.compile.compiled_program_for`): the
+    trace already resolved every operation -- with *real* match
+    information, not placeholders -- and is cached per (model, params,
+    nprocs), so repeated queries (and queries at sizes a Monte Carlo
+    evaluation already compiled) cost a summation over op records
+    instead of a generator walk.
+
+    For programs the tracer cannot lower -- divergent (wildcard-racing)
+    or deadlocking models -- receives are fed a placeholder match so
+    data-dependent programs can be walked; for *irregular* programs
+    whose control flow truly depends on match outcomes the walk is
+    best-effort (it stops a process at the first data-dependent error
+    or after *max_ops* operations) -- such programs should be studied
+    with the Monte Carlo machine instead.
     """
+    try:
+        compiled = compiled_program_for(model, nprocs, params)
+    except (ModelDeadlock, RuntimeError):
+        compiled = None
+    if compiled is not None and not compiled.divergent:
+        best = (0.0, 0, 0)
+        total_messages = 0
+        for ops in compiled.ops:
+            serial = 0.0
+            sends = 0
+            recvs = 0
+            for op in ops:
+                kind = op[0]
+                if kind == "serial":
+                    serial += op[1]
+                elif kind == "send":
+                    sends += 1
+                else:
+                    recvs += 1
+            total_messages += sends
+            if (serial, recvs) > (best[0], best[1]):
+                best = (serial, recvs, sends)
+        return StaticProfile(
+            nprocs=nprocs,
+            serial_critical=best[0],
+            recvs_critical=best[1],
+            sends_critical=best[2],
+            total_messages=total_messages,
+        )
     program = _as_program(model, params)
     best = (0.0, 0, 0)
     total_messages = 0

@@ -198,6 +198,13 @@ class DistributionTiming(_DbGapMixin, TimingModel):
     *fixed_contention* pins the benchmark configuration regardless of the
     scoreboard (used for the '2x1 distribution' ablation); ``None`` means
     use the live contention level.
+
+    Every draw -- the scalar buffered path and the vectorised batch
+    methods alike -- goes through ``DistributionDB.sample_times``, which
+    resolves each (op, size, contention, intra) cell to a cached
+    inverse-CDF lookup table (:meth:`~repro.mpibench.results.DistributionDB.make_sampler`)
+    bound once per cell: a draw is one uniform batch plus one or two
+    table gathers, bit-identical to the uncached arithmetic.
     """
 
     #: initial draws pre-sampled per (op, size, contention) key; PEVPM

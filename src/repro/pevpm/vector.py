@@ -69,14 +69,18 @@ class _BatchProc:
     the run-dependent clocks as ``(r,)`` vectors."""
 
     __slots__ = (
-        "ctx", "gen", "done", "blocked_src", "blocked_label", "resume_value",
-        "n_yields", "matches", "vtime", "compute", "send_t", "wait",
-        "block_start", "sends", "recvs",
+        "ctx", "gen", "ops", "ip", "done", "blocked_src", "blocked_label",
+        "resume_value", "n_yields", "matches", "vtime", "compute", "send_t",
+        "wait", "block_start", "sends", "recvs",
     )
 
-    def __init__(self, ctx: ProcContext, gen, r: int):
+    def __init__(self, ctx: ProcContext, gen, r: int, ops=None):
         self.ctx = ctx
         self.gen = gen
+        #: compiled schedule + instruction pointer; when set, the sweep
+        #: walks these ops instead of resuming the generator
+        self.ops = ops
+        self.ip = 0
         self.done = False
         self.blocked_src: int | None = None
         self.blocked_label = ""
@@ -172,6 +176,22 @@ class BatchedVirtualMachine:
         self, program: Callable[[ProcContext], Generator]
     ) -> list[MachineResult]:
         """Evaluate the batch; returns run-ordered results."""
+        # Compiled programs run through the cursor sweep (bit-identical
+        # op stream, no generator machinery); divergent ones fall back to
+        # their generator form so sub-batch splitting works unchanged.
+        from .compile import CompiledProgram  # function-level: avoids cycle
+
+        schedule = None
+        if isinstance(program, CompiledProgram):
+            if program.nprocs != self.nprocs:
+                raise ValueError(
+                    f"program compiled for {program.nprocs} processes, "
+                    f"machine has {self.nprocs}"
+                )
+            if program.divergent:
+                program = program.fallback
+            else:
+                schedule = program.schedule(self.ppn)
         self.timing.reset()
         self.splits = 0
         self.singleton_subbatches = 0
@@ -182,7 +202,12 @@ class BatchedVirtualMachine:
         root.runnable = list(range(self.nprocs))
         for p in range(self.nprocs):
             ctx = ProcContext(p, self.nprocs, self.params)
-            root.procs.append(_BatchProc(ctx, program(ctx), self.runs))
+            if schedule is None:
+                root.procs.append(_BatchProc(ctx, program(ctx), self.runs))
+            else:
+                root.procs.append(
+                    _BatchProc(ctx, None, self.runs, ops=schedule[p])
+                )
 
         # Depth-first over congruent sub-batches: children are pushed in
         # reverse winner order so the lowest-message-id branch runs next.
@@ -232,12 +257,16 @@ class BatchedVirtualMachine:
                 # the scalar order whenever the runs agree.  The NIC
                 # occupancy chaining depends on this order, so matching
                 # the scalar convention keeps the engines statistically
-                # aligned.
+                # aligned.  Computed as the block-time *sum* (same order:
+                # every proc divides by the same run count), via
+                # np.add.reduce to skip ndarray.mean's Python wrapper --
+                # this sort key is a few percent of total engine time.
                 sb.blocked = [
                     p.ctx.procnum
                     for p in sorted(
                         (p for p in alive if p.blocked_src is not None),
-                        key=lambda p: (float(p.block_start.mean()), p.ctx.procnum),
+                        key=lambda p: (float(np.add.reduce(p.block_start)),
+                                       p.ctx.procnum),
                     )
                 ]
                 sb.match_idx = 0
@@ -268,6 +297,9 @@ class BatchedVirtualMachine:
     def _sweep(self, sb: _SubBatch, pn: int) -> None:
         """Advance process *pn* to its next decision point, vectorised."""
         proc = sb.procs[pn]
+        if proc.ops is not None:
+            self._sweep_compiled(sb, proc, pn)
+            return
         gen = proc.gen
         scoreboard = sb.scoreboard
         timing = self.timing
@@ -316,6 +348,55 @@ class BatchedVirtualMachine:
                 return
             else:
                 raise ValueError(f"unknown model operation {op!r}")
+
+    def _sweep_compiled(self, sb: _SubBatch, proc: _BatchProc, pn: int) -> None:
+        """The cursor form of :meth:`_sweep`: walk the compiled schedule.
+        Op-for-op identical to the generator sweep (same draws, same
+        order), minus generator resume and tuple re-construction."""
+        ops = proc.ops
+        n = len(ops)
+        ip = proc.ip
+        scoreboard = sb.scoreboard
+        timing = self.timing
+        rng = self.rng
+        r = sb.size
+        prof = self.profiler
+        vtime = proc.vtime
+        while ip < n:
+            op = ops[ip]
+            ip += 1
+            kind = op[0]
+            if kind == "serial":
+                seconds = op[1]
+                vtime = vtime + seconds
+                proc.compute += seconds
+            elif kind == "send":
+                _k, dst, size, _label, payload, intra = op
+                depart = vtime
+                if prof is None:
+                    cost = timing.local_send_times(
+                        size, scoreboard.contention, rng, r, intra=intra
+                    )
+                else:
+                    t0 = _perf_counter()
+                    cost = timing.local_send_times(
+                        size, scoreboard.contention, rng, r, intra=intra
+                    )
+                    prof.add("sample", _perf_counter() - t0)
+                vtime = depart + cost
+                proc.send_t += cost
+                proc.sends += 1
+                scoreboard.add(pn, dst, size, depart, intra=intra, payload=payload)
+            else:  # recv: the decision point
+                proc.blocked_src = op[1]
+                proc.blocked_label = op[2]
+                proc.vtime = vtime
+                proc.block_start = vtime
+                proc.ip = ip
+                return
+        proc.vtime = vtime
+        proc.ip = ip
+        proc.done = True
 
     def _match(self, sb: _SubBatch, program) -> list[_SubBatch] | None:
         """Process the match phase from ``sb.match_idx``; returns child
@@ -475,6 +556,8 @@ class BatchedVirtualMachine:
         """
         ctx = proc.ctx
         clone = _BatchProc(ctx, None, 0)
+        clone.ops = proc.ops
+        clone.ip = proc.ip
         clone.done = proc.done
         clone.blocked_src = proc.blocked_src
         clone.blocked_label = proc.blocked_label
@@ -488,7 +571,9 @@ class BatchedVirtualMachine:
         clone.block_start = proc.block_start[mask]
         clone.sends = proc.sends
         clone.recvs = proc.recvs
-        if proc.done:
+        if proc.done or proc.ops is not None:
+            # Compiled procs fork by copying the cursor -- the schedule
+            # is immutable shared state, so no replay is needed.
             return clone
         gen = program(ctx)
         feed = iter(clone.matches)

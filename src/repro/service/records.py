@@ -106,6 +106,7 @@ class PredictRequest:
     nic_serialisation: str = "tx"
     vector_runs: bool = True
     vector_batch: int = VECTOR_BATCH
+    compiled: bool = True  #: static-schedule compilation (bit-identical)
     deadline_s: float | None = None  #: per-request deadline override
 
     @classmethod
@@ -114,7 +115,7 @@ class PredictRequest:
         known = {
             "model", "nprocs", "model_params", "ppn", "runs", "seed",
             "timing_mode", "timing_source", "nic_serialisation",
-            "vector_runs", "deadline_s",
+            "vector_runs", "compiled", "deadline_s",
         }
         unknown = set(doc) - known
         _require(not unknown, f"unknown request fields: {sorted(unknown)}")
@@ -152,6 +153,7 @@ class PredictRequest:
             timing_source=source,
             nic_serialisation=nic,
             vector_runs=bool(doc.get("vector_runs", True)),
+            compiled=bool(doc.get("compiled", True)),
             deadline_s=None if deadline is None else float(deadline),
         )
 
@@ -169,6 +171,7 @@ class PredictRequest:
             "nic_serialisation": self.nic_serialisation,
             "vector_runs": self.vector_runs,
             "vector_batch": self.vector_batch if self.vector_runs else None,
+            "compiled": self.compiled,
         }
 
     def key(self, db_fingerprint: str) -> str:
@@ -199,6 +202,7 @@ def prediction_record(
     seed: int | None = None,
     vector_runs: bool | None = None,
     vector_batch: int | None = None,
+    compiled: bool | None = None,
     nic_serialisation: str | None = None,
     workers: int | None = None,
     extra: dict | None = None,
@@ -228,6 +232,8 @@ def prediction_record(
         record["engine"]["vector_runs"] = bool(vector_runs)
         if vector_runs:
             record["engine"]["vector_batch"] = vector_batch or VECTOR_BATCH
+    if compiled is not None:
+        record["engine"]["compiled"] = bool(compiled)
     if nic_serialisation is not None:
         record["engine"]["nic_serialisation"] = nic_serialisation
     if workers is not None:

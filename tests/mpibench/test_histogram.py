@@ -280,3 +280,72 @@ class TestVectorSampleEdgeCases:
         qs = np.linspace(0.0, 1.0, 11)
         vec = h.quantiles(qs)
         assert vec == pytest.approx([h.quantile(float(q)) for q in qs])
+
+
+class TestInverseCdfTable:
+    """The compiled icdf() table and its edge cases.
+
+    Contract: quantiles(), the cached icdf() closure, and the scalar
+    quantile() loop agree bitwise; an empty retained-sample array is
+    treated as no samples; single-bin and zero-length draws behave in
+    every mode; the compiled table never rides through pickle.
+    """
+
+    def test_icdf_is_cached_and_bitwise_equal(self):
+        h = _h(list(np.random.default_rng(3).lognormal(size=300)), bins=30)
+        qs = np.linspace(0.0, 1.0, 257)
+        f = h.icdf()
+        assert h.icdf() is f
+        assert np.array_equal(f(qs), h.quantiles(qs))
+        assert [float(v) for v in f(qs)] == [h.quantile(float(q)) for q in qs]
+
+    def test_binned_icdf_matches_quantile(self):
+        h = _h(list(np.random.default_rng(4).gamma(2.0, 3.0, size=200)),
+               bins=16, keep_samples=False)
+        assert h.samples is None
+        qs = np.linspace(0.0, 1.0, 33)
+        assert [float(v) for v in h.icdf()(qs)] == [
+            h.quantile(float(q)) for q in qs
+        ]
+
+    def test_empty_samples_array_treated_as_absent(self):
+        # A document persisted with "samples": [] must not poison the
+        # sample-backed quantile path with an empty sorted array.
+        h = Histogram(np.array([0.0, 2.0]), np.array([4.0]),
+                      samples=np.array([]))
+        assert h.samples is None
+        qs = np.array([0.0, 0.25, 1.0])
+        expected = np.array([0.0, 0.5, 2.0])
+        assert np.array_equal(h.quantiles(qs), expected)
+        assert np.array_equal(h.icdf()(qs), expected)
+        assert h.quantile(0.25) == 0.5
+        d = Histogram.from_dict({"edges": [0.0, 2.0], "counts": [4.0],
+                                 "samples": []})
+        assert d.samples is None
+
+    def test_single_bin_histogram_all_modes_agree(self):
+        h = _h([3.0, 3.0, 3.0], bins=10)
+        assert h.nbins == 1
+        qs = np.array([0.0, 0.5, 1.0])
+        assert np.array_equal(h.quantiles(qs), h.icdf()(qs))
+        assert np.all(np.isfinite(h.quantiles(qs)))
+        scalar = h.sample(np.random.default_rng(2))
+        vector = h.sample(np.random.default_rng(2), 1)
+        assert scalar == float(vector[0])
+
+    def test_zero_length_draws(self):
+        h = _h(list(np.random.default_rng(5).normal(10.0, 1.0, size=50)))
+        empty = np.empty(0)
+        assert h.quantiles(empty).shape == (0,)
+        assert h.icdf()(empty).shape == (0,)
+        assert h.sample(np.random.default_rng(0), 0).shape == (0,)
+
+    def test_pickle_drops_compiled_table_and_rebuilds(self):
+        import pickle
+
+        h = _h(list(np.random.default_rng(6).exponential(size=120)), bins=20)
+        qs = np.linspace(0.0, 1.0, 65)
+        before = h.quantiles(qs)  # populates the cached closure
+        clone = pickle.loads(pickle.dumps(h))
+        assert clone._icdf is None
+        assert np.array_equal(clone.quantiles(qs), before)
