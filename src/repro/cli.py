@@ -136,6 +136,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8100)
     p_serve.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="server processes to run (N > 1: supervised sharded tier "
+             "with consistent-hash routing and a shared disk cache)",
+    )
+    p_serve.add_argument(
+        "--reuseport", action="store_true",
+        help="with --shards: bind every shard to the public port via "
+             "SO_REUSEPORT and let the kernel spread connections, "
+             "instead of running the front router",
+    )
+    p_serve.add_argument(
         "--db", metavar="FILE",
         help="serve from a saved DistributionDB (default: run a quick "
              "benchmark campaign at start-up)",
@@ -265,6 +276,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_load.add_argument("--host", default="127.0.0.1")
     p_load.add_argument("--port", type=int, default=8100)
+    p_load.add_argument(
+        "--endpoints", nargs="+", metavar="HOST:PORT",
+        help="shard addresses for client-side consistent-hash routing "
+             "(endpoint order must match shard ids; overrides "
+             "--host/--port)",
+    )
     p_load.add_argument(
         "--concurrency", type=int, nargs="+", default=[1, 8],
         help="closed-loop client counts to sweep",
@@ -460,6 +477,37 @@ def cmd_serve(args) -> int:
         )
         configs = [(1, 2), (2, 1), (8, 1), (16, 1), (32, 1)]
         db = bench.sweep_isend(configs, sizes=[0, 512, 1024, 2048])
+    if args.shards > 1 or args.reuseport:
+        from .service.supervisor import Supervisor
+
+        if args.chaos or args.log_json:
+            print(
+                "repro serve: --chaos and --log-json are per-process "
+                "features; run them without --shards/--reuseport",
+                file=sys.stderr,
+            )
+            return 2
+        supervisor = Supervisor(
+            args.db if args.db else db,
+            args.shards,
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            reuse_port=args.reuseport,
+            drain_grace=args.drain_grace,
+            workers=args.workers,
+            lru_size=args.lru_size,
+            max_batch=args.max_batch,
+            max_wait=args.max_wait_ms / 1e3,
+            queue_limit=args.queue_limit,
+            deadline_s=args.deadline_s,
+            batching=not args.no_batch,
+            dedup=not args.no_dedup,
+            caching=not args.no_cache,
+            tracing=not args.no_trace,
+            trace_buffer=args.trace_buffer,
+        )
+        return supervisor.run()
     injector = FaultInjector(seed=args.chaos_seed) if args.chaos else None
     # Tracing is on by default for the served configuration (the CI
     # smoke scrapes /trace and the stage histograms); --no-trace keeps
@@ -626,9 +674,23 @@ def cmd_loadgen(args) -> int:
             "seed": sequence % args.distinct_seeds,
         }
 
+    endpoints = None
+    if args.endpoints:
+        endpoints = []
+        for text in args.endpoints:
+            host, _, port = text.rpartition(":")
+            if not host or not port.isdigit():
+                print(
+                    f"repro loadgen: --endpoints entries must look like "
+                    f"HOST:PORT, got {text!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            endpoints.append((host, int(port)))
     # Fail fast (and warm the campaign-dependent code paths) before
     # unleashing the client threads.
-    ServiceClient(args.host, args.port).healthz()
+    for host, port in endpoints or [(args.host, args.port)]:
+        ServiceClient(host, port).healthz()
     retry = None
     if args.retries > 0:
         retry = RetryPolicy(retries=args.retries, base=args.retry_base)
@@ -636,7 +698,7 @@ def cmd_loadgen(args) -> int:
     for concurrency in args.concurrency:
         gen = LoadGenerator(
             args.host, args.port, request_factory, concurrency=concurrency,
-            retry=retry,
+            retry=retry, endpoints=endpoints,
         )
         result = gen.run(duration=args.duration)
         summaries.append(result.summary())

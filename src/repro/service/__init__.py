@@ -23,7 +23,11 @@ the request funnel a production serving layer needs:
   observability layer of :mod:`repro.obs` feeds the stage histograms
   and the queue-depth / batch-occupancy gauges);
 * :mod:`.client`  -- blocking client and a closed-loop load generator;
-* :mod:`.records` -- request schema and the shared prediction record.
+* :mod:`.records` -- request schema and the shared prediction record;
+* :mod:`.sharding`, :mod:`.router`, :mod:`.supervisor` -- the sharded
+  serving tier: consistent-hash routing over content-addressed request
+  keys, a front router with failover, and multi-process supervision
+  (``repro serve --shards N``) sharing one on-disk cache plane.
 
 The contract throughout: every served ``/predict`` response carries the
 seed and engine flags that produced it, and its ``times`` are
@@ -44,17 +48,28 @@ from .dedup import LeaderCancelled, SingleFlight
 from .faults import FAULT_KINDS, FaultInjector, FaultPlan, FaultSpec
 from .jobs import BreakerOpen, CircuitBreaker, JobQueue, JobSlot, QueueFull
 from .metrics import ServiceMetrics
-from .records import MODELS, PredictRequest, RequestError, prediction_record
+from .records import (
+    MODELS,
+    PredictRequest,
+    RequestError,
+    prediction_record,
+    routing_key_for,
+)
+from .router import Backend, RouterThread, ShardRouter
 from .server import PredictionService, ServiceServer
 from .server import ServiceThread
+from .sharding import HashRing
+from .supervisor import Supervisor
 
 __all__ = [
+    "Backend",
     "BreakerOpen",
     "CircuitBreaker",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "HashRing",
     "JobQueue",
     "JobSlot",
     "LeaderCancelled",
@@ -67,12 +82,16 @@ __all__ = [
     "QueueFull",
     "RequestError",
     "RetryPolicy",
+    "RouterThread",
     "ServiceClient",
     "ServiceError",
     "ServiceMetrics",
     "ServiceServer",
     "ServiceThread",
+    "ShardRouter",
     "SingleFlight",
+    "Supervisor",
     "TieredCache",
     "prediction_record",
+    "routing_key_for",
 ]

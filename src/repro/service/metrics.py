@@ -101,9 +101,24 @@ def _label_str(labels) -> str:
 
 
 class ServiceMetrics:
-    """Counters plus bounded latency reservoirs for one service."""
+    """Counters plus bounded latency reservoirs for one service.
 
-    def __init__(self, reservoir: int = 8192):
+    *constant_labels* (e.g. ``{"shard_id": "3"}``) are stamped onto
+    **every** rendered series -- counters, gauges, stage histograms and
+    latency summaries -- so a router-level aggregation of N shards'
+    expositions stays a valid scrape with no colliding series.  They
+    are a rendering concern only: recording and querying use the
+    per-call labels unchanged, so nothing inside one process needs to
+    know which shard it is.
+    """
+
+    def __init__(
+        self,
+        reservoir: int = 8192,
+        constant_labels: dict[str, str] | None = None,
+    ):
+        #: sorted (key, value) items merged into every rendered series
+        self._const: tuple = tuple(sorted((constant_labels or {}).items()))
         #: (name, labels-tuple) -> value
         self._counters: dict[tuple[str, tuple], float] = {}
         #: endpoint -> bounded deque of latency samples (seconds)
@@ -255,6 +270,12 @@ class ServiceMetrics:
         }
 
     # -- exposition ----------------------------------------------------------------
+    def _stamped(self, labels: tuple) -> tuple:
+        """Per-call labels merged with the constant labels, sorted."""
+        if not self._const:
+            return labels
+        return tuple(sorted({**dict(self._const), **dict(labels)}.items()))
+
     def render_prometheus(self) -> str:
         """The Prometheus text format (v0.0.4) for ``/metrics``."""
         lines: list[str] = []
@@ -265,12 +286,12 @@ class ServiceMetrics:
             if name not in seen_names:
                 seen_names.add(name)
                 lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name}{_label_str(labels)} {value:g}")
+            lines.append(f"{name}{_label_str(self._stamped(labels))} {value:g}")
         for (name, labels), value in self._gauge_items():
             if name not in seen_names:
                 seen_names.add(name)
                 lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name}{_label_str(labels)} {value:g}")
+            lines.append(f"{name}{_label_str(self._stamped(labels))} {value:g}")
         with self._lock:
             stage_rows = sorted(
                 (k, list(v)) for k, v in self._stages.items()
@@ -278,18 +299,19 @@ class ServiceMetrics:
         if stage_rows:
             lines.append("# TYPE repro_stage_seconds histogram")
         for stage, row in stage_rows:
-            st = escape_label_value(stage)
+            base = self._stamped((("stage", stage),))
+            lbl = _label_str(base)[1:-1]  # inner 'k="v",...' text
             for bound, count in zip(STAGE_BUCKETS, row):
                 lines.append(
-                    f'repro_stage_seconds_bucket{{stage="{st}",le="{bound:g}"}} '
+                    f'repro_stage_seconds_bucket{{{lbl},le="{bound:g}"}} '
                     f"{count:g}"
                 )
             lines.append(
-                f'repro_stage_seconds_bucket{{stage="{st}",le="+Inf"}} '
+                f'repro_stage_seconds_bucket{{{lbl},le="+Inf"}} '
                 f"{row[-2]:g}"
             )
-            lines.append(f'repro_stage_seconds_count{{stage="{st}"}} {row[-2]:g}')
-            lines.append(f'repro_stage_seconds_sum{{stage="{st}"}} {row[-1]:.6g}')
+            lines.append(f"repro_stage_seconds_count{{{lbl}}} {row[-2]:g}")
+            lines.append(f"repro_stage_seconds_sum{{{lbl}}} {row[-1]:.6g}")
         for endpoint in sorted(self._latencies):
             buf = self._latencies[endpoint]
             hist = self.latency_histogram(endpoint)
@@ -299,12 +321,13 @@ class ServiceMetrics:
             if name not in seen_names:
                 seen_names.add(name)
                 lines.append(f"# TYPE {name} summary")
-            ep = escape_label_value(endpoint)
+            base = self._stamped((("endpoint", endpoint),))
+            lbl = _label_str(base)[1:-1]
             for q in QUANTILES:
                 lines.append(
-                    f'{name}{{endpoint="{ep}",quantile="{q:g}"}} '
+                    f'{name}{{{lbl},quantile="{q:g}"}} '
                     f"{hist.quantile(q):.6g}"
                 )
-            lines.append(f'{name}_count{{endpoint="{ep}"}} {len(buf)}')
-            lines.append(f'{name}_sum{{endpoint="{ep}"}} {sum(buf):.6g}')
+            lines.append(f"{name}_count{{{lbl}}} {len(buf)}")
+            lines.append(f"{name}_sum{{{lbl}}} {sum(buf):.6g}")
         return "\n".join(lines) + "\n"

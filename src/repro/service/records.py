@@ -31,6 +31,7 @@ __all__ = [
     "PredictRequest",
     "RequestError",
     "prediction_record",
+    "routing_key_for",
 ]
 
 
@@ -190,10 +191,40 @@ class PredictRequest:
         ).encode()
         return hashlib.sha256(blob).hexdigest()
 
+    def routing_key(self) -> str:
+        """Shard-routing identity: the canonical request *without* the
+        database fingerprint.
+
+        The front router (and the sharding-aware load generator) must
+        map a request to its owner shard before any shard is consulted,
+        so the routing key cannot depend on the fingerprint only shards
+        know.  All shards of one deployment serve one database, so two
+        requests sharing a routing key share a cache/singleflight key
+        too -- routing on it preserves cluster-wide cache affinity and
+        dedup.  (Distinct databases merely spread the same canonical
+        request across deployments' rings identically, which is
+        harmless: the full :meth:`key` still disambiguates the tiers.)
+        """
+        blob = json.dumps(self.canonical(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
     def build_model(self, spec) -> tuple[object, dict | None]:
         """Instantiate (model, vm params) for the simulated *spec*."""
         _, builder = MODELS[self.model]
         return builder(spec, self.model_params)
+
+
+def routing_key_for(body: object) -> str | None:
+    """Best-effort routing key for a raw ``/predict`` body.
+
+    Returns ``None`` when *body* does not validate -- the caller routes
+    it anywhere and lets the owning shard produce the 400, keeping
+    request validation in exactly one place (the shard).
+    """
+    try:
+        return PredictRequest.from_dict(body).routing_key()
+    except RequestError:
+        return None
 
 
 def prediction_record(

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 import time as _time
 from urllib.parse import parse_qsl, urlsplit
@@ -53,7 +54,12 @@ from .jobs import BreakerOpen, CircuitBreaker, JobQueue, QueueFull
 from .metrics import ServiceMetrics
 from .records import MODELS, PredictRequest, RequestError, prediction_record
 
-__all__ = ["PredictionService", "ServiceServer"]
+__all__ = [
+    "PredictionService",
+    "ServiceServer",
+    "read_http_request",
+    "render_http_response",
+]
 
 _STATUS_TEXT = {
     200: "OK",
@@ -63,9 +69,57 @@ _STATUS_TEXT = {
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
+
+
+async def read_http_request(reader):
+    """Read one HTTP/1.1 request from an asyncio stream.
+
+    Returns ``(method, target, headers, body)`` with lower-cased header
+    names, or ``None`` on a cleanly closed connection.  Shared between
+    the shard server and the front router so both ends of a forwarded
+    request parse identically.
+    """
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    try:
+        method, target, _version = request_line.decode("latin-1").split()
+    except ValueError:
+        raise ConnectionError("malformed request line")
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or 0)
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, headers, body
+
+
+def render_http_response(
+    status: int,
+    payload: bytes,
+    content_type: str,
+    extra_headers: dict | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialise one HTTP/1.1 response (Content-Length framed)."""
+    lines = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + payload
 
 
 class PredictionService:
@@ -93,6 +147,7 @@ class PredictionService:
         tracer: Tracer | None = None,
         log_json: bool = False,
         log_stream=None,
+        shard_id: int | None = None,
     ):
         self.db = db
         self.spec = spec if spec is not None else perseus()
@@ -100,7 +155,15 @@ class PredictionService:
         self.deadline_s = deadline_s
         self.caching = caching
         self.dedup_enabled = dedup
-        self.metrics = ServiceMetrics()
+        #: identity within a sharded deployment (``None`` standalone):
+        #: stamped onto every Prometheus series so a router-level
+        #: aggregation of N shards stays a valid, collision-free scrape
+        self.shard_id = shard_id
+        self.metrics = ServiceMetrics(
+            constant_labels=(
+                None if shard_id is None else {"shard_id": str(shard_id)}
+            )
+        )
         #: ``None`` (the default) keeps every tracing call site on its
         #: guarded no-op path -- the pre-observability hot path.
         self.tracer = tracer
@@ -577,6 +640,8 @@ class PredictionService:
     def healthz(self) -> dict:
         doc = {
             "status": "ok",
+            "pid": os.getpid(),
+            "shard_id": self.shard_id,
             "cluster": self.db.cluster,
             "models": sorted(MODELS),
             "db_fingerprint": self.db_fingerprint,
@@ -601,34 +666,31 @@ class PredictionService:
 
 
 class ServiceServer:
-    """HTTP front-end binding a :class:`PredictionService` to a socket."""
+    """HTTP front-end binding a :class:`PredictionService` to a socket.
 
-    def __init__(self, service: PredictionService, host: str = "127.0.0.1", port: int = 0):
+    With ``reuse_port=True`` the listener sets ``SO_REUSEPORT`` before
+    binding, so N shard processes can share one (host, port) and let the
+    kernel spread connections -- the router-less deployment topology
+    (no cache affinity, but zero added hops; see DESIGN.md section 7).
+    """
+
+    def __init__(
+        self,
+        service: PredictionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        reuse_port: bool = False,
+    ):
         self.service = service
         self.host = host
         self.port = port
+        self.reuse_port = reuse_port
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
 
     # -- HTTP plumbing ---------------------------------------------------------
     async def _read_request(self, reader):
-        request_line = await reader.readline()
-        if not request_line:
-            return None
-        try:
-            method, target, _version = request_line.decode("latin-1").split()
-        except ValueError:
-            raise ConnectionError("malformed request line")
-        headers: dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or 0)
-        body = await reader.readexactly(length) if length else b""
-        return method.upper(), target, headers, body
+        return await read_http_request(reader)
 
     @staticmethod
     def _response(
@@ -638,16 +700,9 @@ class ServiceServer:
         extra_headers: dict | None = None,
         keep_alive: bool = True,
     ) -> bytes:
-        lines = [
-            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
-            f"Content-Type: {content_type}",
-            f"Content-Length: {len(payload)}",
-            f"Connection: {'keep-alive' if keep_alive else 'close'}",
-        ]
-        for name, value in (extra_headers or {}).items():
-            lines.append(f"{name}: {value}")
-        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
-        return head + payload
+        return render_http_response(
+            status, payload, content_type, extra_headers, keep_alive
+        )
 
     async def _route(
         self, method: str, target: str, body: bytes,
@@ -774,8 +829,9 @@ class ServiceServer:
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> tuple[str, int]:
+        kwargs = {"reuse_port": True} if self.reuse_port else {}
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection, self.host, self.port, **kwargs
         )
         self.port = self._server.sockets[0].getsockname()[1]
         return self.host, self.port
