@@ -18,11 +18,15 @@ prediction throughput.  Three measurement families, selectable with
 
 Each row records the git commit, a ``dirty`` flag (measured on an
 uncommitted tree -- kept for local trend-spotting, **excluded** from
-every check), and for sharded rows the host's usable CPU count::
+every check), the registry plane the measurement ran over
+(``"memory"`` for an in-process store, ``"shared-dir"`` for the
+on-disk plane every multi-shard deployment shares), and for sharded
+rows the host's usable CPU count::
 
     [{"commit": "...", "dirty": false, "date": "...", "workload": "...",
-      "mode": "naive"|"full"|"sharded", "concurrency": 8,
-      "shards": 4, "host_cpus": 4, "throughput_rps": ..., ...}, ...]
+      "mode": "naive"|"full"|"sharded", "registry": "memory"|"shared-dir",
+      "concurrency": 8, "shards": 4, "host_cpus": 4,
+      "throughput_rps": ..., ...}, ...]
 
 ``--check`` is the CI gate: the history must parse, and the newest
 clean same-commit sharded pair (1-shard and 4-shard rows) must show
@@ -158,24 +162,27 @@ def measure(db, spec, naive: bool) -> dict[int, dict]:
     return summaries
 
 
-def measure_sharded(db, shards: int) -> dict:
+def measure_sharded(db, shards: int) -> tuple[dict, str]:
     """Closed-loop throughput of an N-shard deployment, direct-to-shard.
 
     Router-less topology: the load generator routes each request on its
     routing key over the shard ring, exactly as the front router would,
     so the number isolates process scale-out from the router hop.
+    Returns the load summary plus the registry-plane tag the deployment
+    ran over (multi-shard supervisors always share an on-disk plane).
     """
     supervisor = Supervisor(db, shards, router=False, tracing=False,
                             drain_grace=3.0)
     try:
         supervisor.start()
+        registry = "shared-dir" if supervisor.registry_dir else "memory"
         endpoints = [supervisor.shard_address(i) for i in range(shards)]
         gen = LoadGenerator(
             request_factory=_shard_request,
             concurrency=SHARD_CONCURRENCY,
             endpoints=endpoints,
         )
-        return gen.run(duration=SHARD_DURATION).summary()
+        return gen.run(duration=SHARD_DURATION).summary(), registry
     finally:
         supervisor.stop()
 
@@ -315,6 +322,7 @@ def main() -> int:
                     "date": date,
                     "workload": workload,
                     "mode": mode,
+                    "registry": "memory",  # in-process store, no plane
                     "concurrency": concurrency,
                     "requests": summary["requests"],
                     "errors": summary["errors"],
@@ -335,7 +343,7 @@ def main() -> int:
         )
         rps: dict[int, float] = {}
         for shards in SHARD_COUNTS:
-            summary = measure_sharded(db, shards)
+            summary, registry = measure_sharded(db, shards)
             rps[shards] = summary["throughput_rps"]
             entry = {
                 "commit": commit,
@@ -343,6 +351,7 @@ def main() -> int:
                 "date": date,
                 "workload": shard_workload,
                 "mode": "sharded",
+                "registry": registry,
                 "shards": shards,
                 "host_cpus": cpus,
                 "topology": "direct",

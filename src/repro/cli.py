@@ -15,6 +15,8 @@ Subcommands:
   fault-injection endpoint;
 * ``repro loadgen``   -- drive a running service with closed-loop load
   (``--retries`` adds client-side backoff);
+* ``repro registry``  -- manage the service's distribution registry
+  (list / upload / promote / delete versioned cluster databases);
 * ``repro chaos``     -- arm deterministic faults on a ``--chaos``
   server (kill a pool worker, corrupt/delay the disk cache, stall the
   evaluator) and inspect what fired;
@@ -220,6 +222,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-json", action="store_true",
         help="emit one structured JSON log line per served /predict",
     )
+    p_serve.add_argument(
+        "--registry-dir", metavar="DIR",
+        help="on-disk distribution registry root (default: in-memory "
+             "standalone; a shared temp dir with --shards)",
+    )
+    p_serve.add_argument(
+        "--seed-registry", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="register the built-in cluster fleet (gigabit + degraded "
+             "perseus) at start-up (--no-seed-registry skips the fits)",
+    )
+    p_serve.add_argument(
+        "--seed-reps", type=int, default=24,
+        help="benchmark repetitions for the built-in registry fits",
+    )
+    p_serve.add_argument(
+        "--tenant-rate", type=float, default=0.0, metavar="RPS",
+        help="per-tenant request rate limit (token bucket; 0 disables)",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="fetch traces from a running service as waterfalls"
@@ -270,6 +291,64 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--length", type=int, default=4, help="plan: number of faults"
     )
+
+    p_reg = sub.add_parser(
+        "registry", help="manage a running service's distribution registry"
+    )
+    reg_sub = p_reg.add_subparsers(dest="registry_command", required=True)
+
+    def _reg_common(p):
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=8100)
+        p.add_argument(
+            "--tenant", default=None,
+            help="tenant namespace (X-Repro-Tenant; default: public)",
+        )
+        p.add_argument(
+            "--json", action="store_true",
+            help="print the raw response document",
+        )
+
+    p_reg_ls = reg_sub.add_parser("ls", help="list the registry fleet")
+    _reg_common(p_reg_ls)
+
+    p_reg_add = reg_sub.add_parser(
+        "add", help="upload a database (a saved JSON file or a fitted topology)"
+    )
+    _reg_common(p_reg_add)
+    p_reg_add.add_argument(
+        "--db", metavar="FILE",
+        help="a saved DistributionDB JSON to upload verbatim",
+    )
+    p_reg_add.add_argument(
+        "--topology", metavar="NAME",
+        help="a simnet topology to simulate and fit server-side "
+             "(perseus, gigabit, perseus-degraded, ideal)",
+    )
+    p_reg_add.add_argument(
+        "--nodes", type=int, default=None, help="topology node count"
+    )
+    p_reg_add.add_argument(
+        "--reps", type=int, default=24, help="topology fit repetitions"
+    )
+    p_reg_add.add_argument(
+        "--seed", type=int, default=7, help="topology fit seed"
+    )
+    p_reg_add.add_argument(
+        "--alias", default=None,
+        help="also point this alias at the uploaded database",
+    )
+
+    p_reg_promote = reg_sub.add_parser(
+        "promote", help="hot-swap an alias to a database (zero restart)"
+    )
+    _reg_common(p_reg_promote)
+    p_reg_promote.add_argument("ref", help="target alias or fingerprint")
+    p_reg_promote.add_argument("alias", help="alias to (re)point")
+
+    p_reg_rm = reg_sub.add_parser("rm", help="delete a database")
+    _reg_common(p_reg_rm)
+    p_reg_rm.add_argument("ref", help="alias or fingerprint to delete")
 
     p_load = sub.add_parser(
         "loadgen", help="closed-loop load against a running service"
@@ -478,6 +557,10 @@ def cmd_serve(args) -> int:
         configs = [(1, 2), (2, 1), (8, 1), (16, 1), (32, 1)]
         db = bench.sweep_isend(configs, sizes=[0, 512, 1024, 2048])
     if args.shards > 1 or args.reuseport:
+        import tempfile
+
+        from .registry import RegistryStore
+        from .registry.seeds import seed_builtin
         from .service.supervisor import Supervisor
 
         if args.chaos or args.log_json:
@@ -487,6 +570,20 @@ def cmd_serve(args) -> int:
                 file=sys.stderr,
             )
             return 2
+        # Seed the shared registry plane once, in the parent, before any
+        # shard opens it -- every shard then lists the same fleet.
+        registry_dir = args.registry_dir or tempfile.mkdtemp(
+            prefix="repro-registry-"
+        )
+        if args.seed_registry:
+            print(
+                f"seeding built-in registry fleet (reps={args.seed_reps})...",
+                flush=True,
+            )
+            seeded = seed_builtin(
+                RegistryStore(registry_dir), reps=args.seed_reps
+            )
+            print(f"registry fleet: {json.dumps(sorted(seeded))}", flush=True)
         supervisor = Supervisor(
             args.db if args.db else db,
             args.shards,
@@ -506,8 +603,15 @@ def cmd_serve(args) -> int:
             caching=not args.no_cache,
             tracing=not args.no_trace,
             trace_buffer=args.trace_buffer,
+            registry_dir=registry_dir,
+            tenant_rate=args.tenant_rate,
         )
         return supervisor.run()
+    registry = None
+    if args.registry_dir:
+        from .registry import RegistryStore
+
+        registry = RegistryStore(args.registry_dir)
     injector = FaultInjector(seed=args.chaos_seed) if args.chaos else None
     # Tracing is on by default for the served configuration (the CI
     # smoke scrapes /trace and the stage histograms); --no-trace keeps
@@ -531,7 +635,18 @@ def cmd_serve(args) -> int:
         fault_injector=injector,
         tracer=tracer,
         log_json=args.log_json,
+        registry=registry,
+        tenant_rate=args.tenant_rate,
     )
+    if args.seed_registry:
+        from .registry.seeds import seed_builtin
+
+        print(
+            f"seeding built-in registry fleet (reps={args.seed_reps})...",
+            flush=True,
+        )
+        seeded = seed_builtin(service.registry, reps=args.seed_reps)
+        print(f"registry fleet: {json.dumps(sorted(seeded))}", flush=True)
     server = ServiceServer(service, host=args.host, port=args.port)
 
     async def _serve() -> None:
@@ -660,6 +775,82 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_registry(args) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(
+        args.host, args.port, timeout=120.0, tenant=args.tenant
+    )
+    try:
+        if args.registry_command == "ls":
+            doc = client.registry_list()
+            if args.json:
+                print(json.dumps(doc, indent=2))
+                return 0
+            aliases = doc.get("aliases", {})
+            by_fpr: dict[str, list[str]] = {}
+            for alias, fpr in aliases.items():
+                by_fpr.setdefault(fpr, []).append(alias)
+            rows = [
+                [
+                    entry.get("fingerprint", "")[:12],
+                    entry.get("cluster", "?"),
+                    entry.get("tenant", "?"),
+                    str(entry.get("results", "?")),
+                    str(entry.get("bytes", "?")),
+                    ",".join(sorted(entry.get("aliases", []))) or "-",
+                ]
+                for entry in doc.get("dbs", [])
+            ]
+            print(
+                format_table(
+                    ["fingerprint", "cluster", "tenant", "results", "bytes",
+                     "aliases"],
+                    rows,
+                    title="distribution registry",
+                )
+            )
+            return 0
+        if args.registry_command == "add":
+            if bool(args.db) == bool(args.topology):
+                print(
+                    "repro registry add: give exactly one of --db FILE "
+                    "or --topology NAME",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.db:
+                with open(args.db) as fh:
+                    results = json.load(fh)
+                doc = client.registry_add(results=results, alias=args.alias)
+            else:
+                topology = {
+                    "spec": args.topology,
+                    "reps": args.reps,
+                    "seed": args.seed,
+                }
+                if args.nodes is not None:
+                    topology["n_nodes"] = args.nodes
+                doc = client.registry_add(topology=topology, alias=args.alias)
+        elif args.registry_command == "promote":
+            doc = client.registry_promote(args.ref, args.alias)
+        else:  # rm
+            doc = client.registry_delete(args.ref)
+    except ServiceError as exc:
+        print(f"repro registry: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"repro registry: cannot reach {args.host}:{args.port} ({exc})",
+            file=sys.stderr,
+        )
+        return 1
+    finally:
+        client.close()
+    print(json.dumps(doc, indent=2))
+    return 0
+
+
 def cmd_loadgen(args) -> int:
     from .service.client import LoadGenerator, RetryPolicy, ServiceClient
 
@@ -734,6 +925,7 @@ def main(argv: list[str] | None = None) -> int:
         "pdf": cmd_pdf,
         "predict": cmd_predict,
         "serve": cmd_serve,
+        "registry": cmd_registry,
         "loadgen": cmd_loadgen,
         "chaos": cmd_chaos,
         "trace": cmd_trace,

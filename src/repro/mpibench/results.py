@@ -134,6 +134,9 @@ class DistributionDB:
 
     def __init__(self, cluster: str = ""):
         self.cluster = cluster
+        #: set by :meth:`freeze`: the DB is registered somewhere that
+        #: caches by its fingerprint, so further mutation must fail
+        self._frozen = False
         #: op -> {(nodes, ppn) -> BenchmarkResult}
         self._results: dict[str, dict[tuple[int, int], BenchmarkResult]] = {}
         # Lookup caches (PEVPM samples millions of times per study):
@@ -152,6 +155,11 @@ class DistributionDB:
 
     # -- population --------------------------------------------------------------
     def add(self, result: BenchmarkResult) -> None:
+        if self._frozen:
+            raise RuntimeError(
+                "DistributionDB is frozen (registered under its content "
+                "fingerprint); build a new DB instead of mutating this one"
+            )
         if not result.histograms:
             raise ValueError("refusing to add an empty BenchmarkResult")
         if self.cluster and result.cluster != self.cluster:
@@ -384,6 +392,24 @@ class DistributionDB:
         return self._stat_time("min", op, size, contention, intra)
 
     # -- identity ---------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> "DistributionDB":
+        """Make this DB immutable: any further :meth:`add` raises.
+
+        Anything that caches or addresses a DB by its
+        :meth:`fingerprint` -- the distribution registry, the served
+        request keys -- relies on the content behind that fingerprint
+        never changing.  ``add()`` clears the fingerprint cache, so a
+        mutated DB would silently serve different times under a key
+        minted for the old content; freezing turns that hazard into an
+        immediate error.  Idempotent; returns ``self`` for chaining.
+        """
+        self._frozen = True
+        return self
+
     def fingerprint(self) -> str:
         """Stable content hash of the distributions this DB serves.
 
@@ -421,9 +447,10 @@ class DistributionDB:
         return state
 
     # -- persistence -------------------------------------------------------------------
-    def save(self, path: str | Path, include_samples: bool = True) -> None:
-        """Write the whole DB as JSON."""
-        doc = {
+    def to_doc(self, include_samples: bool = True) -> dict:
+        """The whole DB as one JSON-able document (what :meth:`save`
+        writes and the registry's content-addressed store keeps)."""
+        return {
             "cluster": self.cluster,
             "results": [
                 r.to_dict(include_samples=include_samples)
@@ -431,15 +458,35 @@ class DistributionDB:
                 for r in per_op.values()
             ],
         }
-        Path(path).write_text(json.dumps(doc))
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "DistributionDB":
+        """Rebuild a DB from a :meth:`to_doc` document.
+
+        Raises ``ValueError``/``KeyError``/``TypeError`` on a malformed
+        document -- the registry's upload path maps those to HTTP 400.
+        """
+        if not isinstance(doc, dict):
+            raise ValueError("distribution document must be a JSON object")
+        results = doc.get("results")
+        if not isinstance(results, list) or not results:
+            raise ValueError(
+                "distribution document needs a non-empty 'results' list"
+            )
+        db = cls(cluster=doc.get("cluster", ""))
+        for rd in results:
+            db.add(BenchmarkResult.from_dict(rd))
+        return db
+
+    def save(self, path: str | Path, include_samples: bool = True) -> None:
+        """Write the whole DB as JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_doc(include_samples=include_samples))
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "DistributionDB":
-        doc = json.loads(Path(path).read_text())
-        db = cls(cluster=doc.get("cluster", ""))
-        for rd in doc["results"]:
-            db.add(BenchmarkResult.from_dict(rd))
-        return db
+        return cls.from_doc(json.loads(Path(path).read_text()))
 
     def __len__(self) -> int:
         return sum(len(v) for v in self._results.values())

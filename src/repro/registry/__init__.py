@@ -1,0 +1,43 @@
+"""Multi-tenant distribution registry: versioned cluster databases.
+
+The prediction service of :mod:`repro.service` originally served
+exactly one :class:`~repro.mpibench.results.DistributionDB` loaded at
+startup -- one modelled cluster per deployment.  This package turns
+that data plane into a *registry*: a content-addressed, versioned
+store of distribution databases that the service reads through, so one
+deployment serves a fleet of modelled clusters and a new (or
+re-fitted) database goes live with an alias flip instead of a restart.
+
+* :mod:`.store`   -- the content-addressed store (CAS keyed by
+  ``DistributionDB.fingerprint()``), the human-readable
+  alias -> fingerprint index (``perseus@v3``), and an LRU of
+  deserialised databases;
+* :mod:`.tenants` -- per-tenant namespaces: upload quotas (database
+  count / bytes) and a token-bucket request rate riding the service's
+  admission layer, keyed by the ``X-Repro-Tenant`` header;
+* :mod:`.seeds`   -- the built-in fleet (a gigabit-class topology and
+  a degraded, contention-heavy Fast Ethernet variant), each simulated
+  with MPIBench and fitted through the :mod:`~repro.mpibench.distfit`
+  pipeline, registered at service startup.
+"""
+
+from .store import NotOwner, RegistryError, RegistryStore, UnknownRef
+from .tenants import (
+    QuotaExceeded,
+    TenantManager,
+    TenantQuota,
+    TenantThrottled,
+    clean_tenant,
+)
+
+__all__ = [
+    "NotOwner",
+    "QuotaExceeded",
+    "RegistryError",
+    "RegistryStore",
+    "TenantManager",
+    "TenantQuota",
+    "TenantThrottled",
+    "UnknownRef",
+    "clean_tenant",
+]

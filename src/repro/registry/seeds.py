@@ -1,0 +1,194 @@
+"""Built-in registry fleet: simulated + fitted cluster databases.
+
+Beyond the injected startup database (Perseus, the paper's Section 3
+machine), the registry ships with two more modelled fabrics so a fresh
+deployment lists a fleet out of the box:
+
+* ``gigabit``          -- the :func:`~repro.simnet.topology.gigabit_cluster`
+  follow-on commodity machine (1 Gbit/s links, mild contention);
+* ``perseus-degraded`` -- Perseus under heavy cross-traffic: an order
+  of magnitude more switch queueing, wider contention jitter, and a
+  lossier TCP operating point, the regime where the paper's
+  distribution tails dominate mean-based models.
+
+Each seed is produced by the same pipeline a user upload of a topology
+spec goes through: ``MPIBench.sweep_isend`` on the ``simnet``
+simulator, then per-(op, config, size) parametric fits via
+:mod:`~repro.mpibench.distfit` attached to the result metadata before
+the database is frozen and registered.
+"""
+
+from __future__ import annotations
+
+from ..mpibench.distfit import fit_samples
+from ..mpibench.results import DistributionDB
+from ..mpibench.runner import BenchSettings, MPIBench
+from ..simnet.topology import (
+    ClusterSpec,
+    TcpModel,
+    gigabit_cluster,
+    ideal_cluster,
+    perseus,
+)
+from .store import RegistryError, RegistryStore
+
+__all__ = [
+    "SPEC_FACTORIES",
+    "attach_fits",
+    "fit_topology_db",
+    "perseus_degraded",
+    "seed_builtin",
+    "spec_for_cluster",
+]
+
+#: default sweep for seeded / server-fitted databases: enough configs
+#: for nearest-config lookup at small and medium scale, kept light so
+#: startup seeding stays in the low seconds
+DEFAULT_CONFIGS = [(1, 2), (2, 1), (8, 1)]
+DEFAULT_SIZES = [0, 1024, 4096]
+
+
+def perseus_degraded(n_nodes: int = 64) -> ClusterSpec:
+    """Perseus with a saturated fabric: the contended operating point
+    of the paper's Figure 4 discussion, as its own registry entry."""
+    return perseus(n_nodes).with_(
+        name="perseus-degraded",
+        congestion_delay_mean=12e-6,
+        jitter_contention_sigma=0.6,
+        tcp=TcpModel(
+            loss_backlog_threshold=1.2e-3,
+            loss_backlog_scale=10e-3,
+            loss_max_probability=0.3,
+        ),
+    )
+
+
+#: cluster name -> topology factory, for server-side fitting of an
+#: uploaded ``{"topology": {"spec": ...}}`` request and for mapping a
+#: registry db's ``cluster`` back to a ClusterSpec for model building
+SPEC_FACTORIES = {
+    "perseus": perseus,
+    "gigabit": gigabit_cluster,
+    "perseus-degraded": perseus_degraded,
+    "ideal": ideal_cluster,
+}
+
+
+def spec_for_cluster(name: str, default: ClusterSpec | None = None) -> ClusterSpec:
+    """Topology spec for a registry database's ``cluster`` name."""
+    factory = SPEC_FACTORIES.get(name)
+    if factory is None:
+        if default is not None:
+            return default
+        raise RegistryError(
+            f"unknown cluster topology {name!r} "
+            f"(known: {sorted(SPEC_FACTORIES)})"
+        )
+    return factory()
+
+
+def attach_fits(db: DistributionDB) -> int:
+    """Fit gamma/lognormal families to every histogram's raw samples
+    and stash the winning fit in the result metadata (the distfit
+    artifact Hunold & Carpen-Amarie treat as first-class).  Returns the
+    number of fits attached; histograms without enough samples are
+    skipped rather than failing the whole database."""
+    fitted = 0
+    for op in db.ops():
+        for nodes, ppn in db.configs(op):
+            result = db.result(op, nodes, ppn)
+            fits = {}
+            for size, hist in result.histograms.items():
+                samples = getattr(hist, "samples", None)
+                if samples is None or len(samples) < 8:
+                    continue
+                try:
+                    fits[str(size)] = fit_samples(samples).to_dict()
+                except ValueError:
+                    continue
+            if fits:
+                result.metadata["distfit"] = fits
+                fitted += len(fits)
+    return fitted
+
+
+def fit_topology_db(
+    spec_or_name: ClusterSpec | str,
+    *,
+    n_nodes: int | None = None,
+    configs: list[tuple[int, int]] | None = None,
+    sizes: list[int] | None = None,
+    reps: int = 24,
+    seed: int = 7,
+) -> DistributionDB:
+    """Simulate a topology with MPIBench and fit its distributions --
+    the server-side path behind ``POST /distributions`` with a
+    ``topology`` body, and the seeding path below."""
+    if isinstance(spec_or_name, str):
+        factory = SPEC_FACTORIES.get(spec_or_name)
+        if factory is None:
+            raise RegistryError(
+                f"unknown cluster topology {spec_or_name!r} "
+                f"(known: {sorted(SPEC_FACTORIES)})"
+            )
+        spec = factory(n_nodes) if n_nodes else factory()
+    else:
+        spec = spec_or_name
+    configs = configs or DEFAULT_CONFIGS
+    sizes = sizes if sizes is not None else DEFAULT_SIZES
+    ppn_cap = getattr(spec, "processors_per_node", 1)
+    configs = [
+        (nodes, ppn)
+        for nodes, ppn in configs
+        if nodes <= spec.n_nodes and ppn <= ppn_cap
+    ]
+    if not configs:
+        raise RegistryError(
+            f"no benchmark config fits on {spec.n_nodes} node(s) "
+            f"with {ppn_cap} processor(s) each"
+        )
+    settings = BenchSettings(reps=reps, warmup=max(2, reps // 10))
+    db = MPIBench(spec, seed=seed, settings=settings).sweep_isend(
+        configs, sizes
+    )
+    attach_fits(db)
+    return db
+
+
+#: alias -> cluster name registered by :func:`seed_builtin`
+BUILTIN_SEEDS = [
+    ("gigabit@v1", "gigabit"),
+    ("perseus-degraded@v1", "perseus-degraded"),
+]
+
+
+def seed_builtin(
+    store: RegistryStore,
+    *,
+    reps: int = 24,
+    seed: int = 7,
+    tenant: str = "builtin",
+) -> dict[str, str]:
+    """Fit and register the built-in fleet; idempotent across restarts
+    (an alias that already resolves is left untouched, so seeding never
+    reverts a promotion).  Returns alias -> fingerprint for what this
+    call verified or created."""
+    out: dict[str, str] = {}
+    for alias, cluster in BUILTIN_SEEDS:
+        bare = alias.split("@", 1)[0]
+        try:
+            out[alias] = store.resolve(alias)
+            continue
+        except (KeyError, ValueError):
+            pass
+        db = fit_topology_db(cluster, reps=reps, seed=seed)
+        store.put(db, tenant=tenant, source="seed")
+        fingerprint = store.set_alias(alias, db.fingerprint(), tenant=tenant)
+        # the bare name tracks the latest seeded version unless an
+        # operator has already promoted something else onto it
+        try:
+            store.resolve(bare)
+        except (KeyError, ValueError):
+            store.set_alias(bare, fingerprint, tenant=tenant)
+        out[alias] = fingerprint
+    return out

@@ -109,10 +109,14 @@ class ServiceClient:
         retry: RetryPolicy | None = None,
         metrics: ServiceMetrics | None = None,
         trace: bool = False,
+        tenant: str | None = None,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: sent as ``X-Repro-Tenant`` on every request (None: the
+        #: server's shared "public" namespace)
+        self.tenant = tenant
         #: no retries unless asked: tests of the raw backpressure paths
         #: (and raw load measurement) must see every 429/504 verbatim
         self.retry = retry if retry is not None else RetryPolicy(retries=0)
@@ -183,6 +187,8 @@ class ServiceClient:
         """
         payload = None if body is None else json.dumps(body)
         headers = {} if payload is None else {"Content-Type": "application/json"}
+        if self.tenant is not None:
+            headers["X-Repro-Tenant"] = self.tenant
         if self.trace_requests and path == "/predict":
             # Client-minted trace ID (OS entropy, like the server's own):
             # one ID covers the whole logical request across retries, so
@@ -269,6 +275,54 @@ class ServiceClient:
         return self._checked(
             "GET", "/distributions" + (f"?{qs}" if qs else "")
         )
+
+    # -- registry endpoints ------------------------------------------------------
+    def registry_list(self) -> dict:
+        """The fleet listing (``GET /distributions`` -> ``"registry"``)."""
+        return self.distributions().get("registry", {})
+
+    def registry_get(self, ref: str, **query) -> dict:
+        """``GET /distributions/{ref}``: meta + aliases (plus a
+        distribution description when ``size=`` is given)."""
+        qs = "&".join(f"{k}={v}" for k, v in query.items())
+        return self._checked(
+            "GET", f"/distributions/{ref}" + (f"?{qs}" if qs else "")
+        )
+
+    def registry_add(
+        self,
+        results: dict | None = None,
+        topology: dict | None = None,
+        alias: str | None = None,
+    ) -> dict:
+        """``POST /distributions``: upload a measured results document,
+        or a ``simnet`` topology spec fitted server-side."""
+        body: dict = {}
+        if results is not None:
+            body["results"] = results
+        if topology is not None:
+            body["topology"] = topology
+        if alias is not None:
+            body["alias"] = alias
+        return self._checked("POST", "/distributions", body)
+
+    def registry_promote(self, ref: str, alias: str) -> dict:
+        """``PUT /distributions/{ref}/alias``: hot-swap *alias* to *ref*."""
+        status, _headers, doc = self._request(
+            "PUT", f"/distributions/{ref}/alias", {"alias": alias}
+        )
+        if status != 200:
+            raise ServiceError(status, doc)
+        return doc
+
+    def registry_delete(self, ref: str) -> dict:
+        """``DELETE /distributions/{ref}``."""
+        status, _headers, doc = self._request(
+            "DELETE", f"/distributions/{ref}", idempotent=False
+        )
+        if status != 200:
+            raise ServiceError(status, doc)
+        return doc
 
     def trace(self, trace_id: str | None = None, limit: int = 20):
         """``GET /trace``: one trace document by ID, or (with no ID) the

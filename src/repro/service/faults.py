@@ -12,6 +12,7 @@ inject:
   :class:`~concurrent.futures.ProcessPoolExecutor` mid-evaluation
   (exercises the ``BrokenProcessPool`` rebuild/re-dispatch path);
 * ``corrupt_cache``    -- overwrite an on-disk prediction-cache entry
+  (or, when the service has an on-disk registry, a registry CAS entry)
   with truncated garbage (exercises quarantine-on-read);
 * ``delay_cache``      -- stall the next disk-cache read;
 * ``stall_evaluator``  -- put the evaluator thread to sleep before the
@@ -133,10 +134,20 @@ class FaultInjector:
     (stalls, pool kills) or the event-loop thread (cache reads).
     """
 
-    def __init__(self, seed: int = 0, cache_root: str | Path | None = None):
+    def __init__(
+        self,
+        seed: int = 0,
+        cache_root: str | Path | None = None,
+        registry_root: str | Path | None = None,
+    ):
         self._lock = threading.Lock()
         self._rng = random.Random(seed)
         self.cache_root = Path(cache_root) if cache_root is not None else None
+        #: on-disk registry root (set by the service when it has one);
+        #: makes ``corrupt_cache`` also consider registry CAS entries
+        self.registry_root = (
+            Path(registry_root) if registry_root is not None else None
+        )
         self._armed: dict[str, list[FaultSpec]] = {k: [] for k in FAULT_KINDS}
         #: site -> events seen so far
         self.events: dict[str, int] = {
@@ -183,16 +194,27 @@ class FaultInjector:
 
     # -- direct injection --------------------------------------------------------
     def corrupt_now(self, key: str | None = None) -> Path | None:
-        """Overwrite a stored prediction-cache entry with truncated
-        garbage; returns the poisoned path (None when nothing to hit)."""
+        """Overwrite a stored prediction-cache entry -- or a registry
+        CAS entry, when an on-disk registry exists -- with truncated
+        garbage; returns the poisoned path (None when nothing to hit).
+
+        With *key* the target is that specific prediction-cache entry;
+        keyless corruption draws seeded from every eligible file, so a
+        chaos plan exercises both stores' quarantine paths.
+        """
+        candidates: list[Path] = []
         root = self.cache_root
-        if root is None or not root.is_dir():
-            return None
         if key is not None:
-            candidates = [root / f"predict-{key}.json"]
-            candidates = [p for p in candidates if p.exists()]
+            if root is not None:
+                candidates = [root / f"predict-{key}.json"]
+                candidates = [p for p in candidates if p.exists()]
         else:
-            candidates = sorted(root.glob("predict-*.json"))
+            if root is not None and root.is_dir():
+                candidates.extend(sorted(root.glob("predict-*.json")))
+            if self.registry_root is not None:
+                cas = self.registry_root / "cas"
+                if cas.is_dir():
+                    candidates.extend(sorted(cas.glob("db-*.json")))
         if not candidates:
             return None
         path = candidates[self._rng.randrange(len(candidates))]
@@ -258,5 +280,8 @@ class FaultInjector:
                 "events": dict(self.events),
                 "cache_root": (
                     str(self.cache_root) if self.cache_root else None
+                ),
+                "registry_root": (
+                    str(self.registry_root) if self.registry_root else None
                 ),
             }

@@ -53,13 +53,14 @@ class JobSlot:
     admission at the 429 limit).
     """
 
-    def __init__(self, queue: "JobQueue", trace=None):
+    def __init__(self, queue: "JobQueue", trace=None, tenant: str | None = None):
         self._queue = queue
         self._trace = trace
+        self._tenant = tenant
         self._held = False
 
     def __enter__(self) -> "JobSlot":
-        self._queue.acquire(self._trace)
+        self._queue.acquire(self._trace, tenant=self._tenant)
         self._held = True
         return self
 
@@ -80,11 +81,16 @@ class JobQueue:
         limit: int,
         metrics: ServiceMetrics,
         retry_after: float = 1.0,
+        limiter: Callable[[str | None], None] | None = None,
     ):
         if limit < 1:
             raise ValueError("queue limit must be >= 1")
         self.limit = limit
         self.retry_after = retry_after
+        #: optional per-tenant gate, called with the tenant name before
+        #: the global capacity check; raises to shed (e.g. the
+        #: registry's ``TenantManager.admit`` token bucket)
+        self.limiter = limiter
         self._inflight = 0
         self._peak = 0
         self._metrics = metrics
@@ -97,14 +103,30 @@ class JobQueue:
     def peak(self) -> int:
         return self._peak
 
-    def acquire(self, trace=None) -> None:
+    def acquire(self, trace=None, tenant: str | None = None) -> None:
         """Claim a slot or shed the request.
 
-        With *trace*, the admission decision is recorded as an
-        ``admission`` annotation carrying the queue depth at the moment
-        of the decision; either way the live depth is published as the
-        ``repro_queue_depth`` gauge.
+        The per-tenant *limiter* (when configured) runs first, so a
+        throttled tenant cannot crowd other tenants out of the global
+        queue -- its requests are shed before they count against
+        capacity.  With *trace*, the admission decision is recorded as
+        an ``admission`` annotation carrying the queue depth at the
+        moment of the decision; either way the live depth is published
+        as the ``repro_queue_depth`` gauge.
         """
+        if self.limiter is not None:
+            try:
+                self.limiter(tenant)
+            except Exception:
+                self._metrics.inc("repro_jobs_shed_total")
+                if trace is not None:
+                    trace.annotate(
+                        "admission",
+                        queue_depth=self._inflight,
+                        status="throttled",
+                        tenant=tenant,
+                    )
+                raise
         if self._inflight >= self.limit:
             self._metrics.inc("repro_jobs_shed_total")
             self._metrics.set_gauge("repro_queue_depth", self._inflight)
@@ -128,9 +150,9 @@ class JobQueue:
         self._inflight -= 1
         self._metrics.set_gauge("repro_queue_depth", self._inflight)
 
-    def admit(self, trace=None) -> JobSlot:
+    def admit(self, trace=None, tenant: str | None = None) -> JobSlot:
         """A fresh single-release slot guard (use ``with queue.admit():``)."""
-        return JobSlot(self, trace)
+        return JobSlot(self, trace, tenant)
 
     def __enter__(self) -> "JobQueue":
         self.acquire()

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
 from dataclasses import dataclass, field
 
 from ..apps.fft import fft_model
@@ -37,6 +38,12 @@ __all__ = [
 
 class RequestError(ValueError):
     """A malformed or unsupported request (HTTP 400)."""
+
+
+#: legal ``db`` refs: a registry alias (``perseus@v3``) or a full
+#: content fingerprint -- mirrors ``repro.registry.store.ALIAS_RE``
+#: without importing the registry package into the request schema
+_DB_REF_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._@-]{0,63}$")
 
 
 def _jacobi(spec, params: dict):
@@ -109,6 +116,9 @@ class PredictRequest:
     vector_batch: int = VECTOR_BATCH
     compiled: bool = True  #: static-schedule compilation (bit-identical)
     deadline_s: float | None = None  #: per-request deadline override
+    #: registry ref (alias or fingerprint) of the distribution database
+    #: to predict against; ``None`` means the service's startup default
+    db: str | None = None
 
     @classmethod
     def from_dict(cls, doc: object) -> "PredictRequest":
@@ -116,7 +126,7 @@ class PredictRequest:
         known = {
             "model", "nprocs", "model_params", "ppn", "runs", "seed",
             "timing_mode", "timing_source", "nic_serialisation",
-            "vector_runs", "compiled", "deadline_s",
+            "vector_runs", "compiled", "deadline_s", "db",
         }
         unknown = set(doc) - known
         _require(not unknown, f"unknown request fields: {sorted(unknown)}")
@@ -143,6 +153,12 @@ class PredictRequest:
                 isinstance(deadline, (int, float)) and deadline > 0,
                 "deadline_s must be a positive number",
             )
+        db_ref = doc.get("db")
+        if db_ref is not None:
+            _require(
+                isinstance(db_ref, str) and bool(_DB_REF_RE.match(db_ref)),
+                "db must be a registry alias or fingerprint",
+            )
         return cls(
             model=model,
             nprocs=_as_int(doc.get("nprocs"), "nprocs", 1),
@@ -156,6 +172,7 @@ class PredictRequest:
             vector_runs=bool(doc.get("vector_runs", True)),
             compiled=bool(doc.get("compiled", True)),
             deadline_s=None if deadline is None else float(deadline),
+            db=db_ref,
         )
 
     def canonical(self) -> dict:
@@ -192,20 +209,29 @@ class PredictRequest:
         return hashlib.sha256(blob).hexdigest()
 
     def routing_key(self) -> str:
-        """Shard-routing identity: the canonical request *without* the
-        database fingerprint.
+        """Shard-routing identity: the canonical request plus the *ref*
+        of the database it targets (never the resolved fingerprint).
 
         The front router (and the sharding-aware load generator) must
         map a request to its owner shard before any shard is consulted,
         so the routing key cannot depend on the fingerprint only shards
-        know.  All shards of one deployment serve one database, so two
-        requests sharing a routing key share a cache/singleflight key
-        too -- routing on it preserves cluster-wide cache affinity and
-        dedup.  (Distinct databases merely spread the same canonical
-        request across deployments' rings identically, which is
-        harmless: the full :meth:`key` still disambiguates the tiers.)
+        can resolve.  Ref-less requests hash the canonical form alone
+        (all shards serve the startup database, so a shared routing key
+        implies a shared cache/singleflight key -- unchanged from the
+        single-db service).  Requests naming a ``db`` ref fold the ref
+        in, so tenant traffic against different databases spreads
+        across the ring instead of piling one shard with every tenant's
+        copy of a popular request.  Hashing the *ref* -- not its
+        current resolution -- keeps routing stable across alias
+        promotions: an in-flight hot-swap moves no keys between shards,
+        and the full :meth:`key` (which embeds the resolved
+        fingerprint) still separates old- and new-version results in
+        every cache tier.
         """
-        blob = json.dumps(self.canonical(), sort_keys=True).encode()
+        doc = self.canonical()
+        if self.db is not None:
+            doc = {"db_ref": self.db, "request": doc}
+        blob = json.dumps(doc, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
 
     def build_model(self, spec) -> tuple[object, dict | None]:

@@ -52,7 +52,9 @@ __all__ = ["Backend", "RouterThread", "ShardRouter"]
 FAILOVER_STATUSES = (503,)
 
 #: headers copied from the client request onto the forwarded request
-_FORWARD_HEADERS = ("content-type", "x-repro-trace", "x-repro-attempt")
+_FORWARD_HEADERS = (
+    "content-type", "x-repro-trace", "x-repro-attempt", "x-repro-tenant",
+)
 
 
 class Backend:

@@ -4,9 +4,16 @@ A stdlib-only HTTP/1.1 server (hand-rolled request parsing over
 ``asyncio.start_server`` streams -- no ``http.server``) exposing the
 PEVPM engine and the MPIBench distribution database:
 
-* ``POST /predict``       -- serve a PEVPM prediction (JSON in/out);
-* ``GET  /distributions`` -- query the distribution database
-  (:meth:`~repro.mpibench.results.DistributionDB.describe`);
+* ``POST /predict``       -- serve a PEVPM prediction (JSON in/out),
+  optionally against a named registry database (``"db": "gigabit@v1"``);
+* ``GET  /distributions`` -- query the default distribution database
+  (:meth:`~repro.mpibench.results.DistributionDB.describe`) and list
+  the registry fleet;
+* ``POST /distributions`` -- upload a measured results document or a
+  ``simnet`` topology spec fitted server-side (:mod:`repro.registry`);
+* ``GET/DELETE /distributions/{ref}`` and
+  ``PUT /distributions/{ref}/alias`` -- inspect, remove, and hot-swap
+  promote registry databases, per-tenant via ``X-Repro-Tenant``;
 * ``GET  /healthz``       -- liveness + configuration summary;
 * ``GET  /metrics``       -- Prometheus text exposition;
 * ``GET  /trace``         -- recent request traces as JSON (only when
@@ -45,6 +52,16 @@ from ..pevpm.parallel import (
 )
 from ..pevpm.predict import build_prediction, prediction_doc, prediction_from_doc
 from ..pevpm.timing import timing_from_db
+from ..registry import (
+    RegistryError,
+    RegistryStore,
+    TenantManager,
+    TenantQuota,
+    TenantThrottled,
+    UnknownRef,
+    clean_tenant,
+)
+from ..registry.store import NotOwner
 from ..simnet import perseus
 from .batcher import MicroBatcher
 from .cache import TieredCache
@@ -64,6 +81,7 @@ __all__ = [
 _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     422: "Unprocessable Entity",
@@ -148,6 +166,9 @@ class PredictionService:
         log_json: bool = False,
         log_stream=None,
         shard_id: int | None = None,
+        registry: RegistryStore | None = None,
+        tenants: TenantManager | None = None,
+        tenant_rate: float = 0.0,
     ):
         self.db = db
         self.spec = spec if spec is not None else perseus()
@@ -187,7 +208,45 @@ class PredictionService:
             faults=fault_injector,
         )
         self.dedup = SingleFlight(self.metrics)
-        self.jobs = JobQueue(queue_limit, self.metrics, retry_after=retry_after)
+        # The registry is the data plane the service reads through: the
+        # injected startup db is entry zero (registered under its
+        # content fingerprint and frozen -- post-registration mutation
+        # would silently desync every cache key derived from it).  With
+        # no explicit store the registry is in-memory, preserving the
+        # original single-database behaviour with the fleet API on top.
+        self.registry = registry if registry is not None else RegistryStore()
+        self.db_fingerprint = db.fingerprint()
+        self.registry.put(db, tenant="builtin", source="startup")
+        try:
+            self.registry.resolve("default")
+        except (KeyError, ValueError):
+            # only seed the alias when absent: a restart must not
+            # silently revert an operator's "default" promotion
+            self.registry.set_alias(
+                "default", self.db_fingerprint, tenant="builtin"
+            )
+        self.tenants = (
+            tenants
+            if tenants is not None
+            else TenantManager(self.registry, TenantQuota(rate=tenant_rate))
+        )
+        self.jobs = JobQueue(
+            queue_limit,
+            self.metrics,
+            retry_after=retry_after,
+            limiter=self.tenants.admit,
+        )
+        self.metrics.register_gauge(
+            "repro_registry_dbs", lambda: len(self.registry)
+        )
+        self.metrics.register_gauge(
+            "repro_registry_bytes", lambda: self.registry.stats()["bytes"]
+        )
+        if (
+            fault_injector is not None
+            and getattr(fault_injector, "registry_root", None) is None
+        ):
+            fault_injector.registry_root = self.registry.root
         self.breaker = CircuitBreaker(
             threshold=breaker_threshold,
             cooldown=breaker_cooldown,
@@ -202,28 +261,58 @@ class PredictionService:
             max_wait=max_wait,
             enabled=batching,
         )
-        self.db_fingerprint = db.fingerprint()
         # Evaluator-thread caches: model trees and timing instances are
         # deterministic per key and reused across requests (both engines
         # call ``timing.reset()`` at run start, so reuse cannot change
-        # the draws of any individual evaluation).
+        # the draws of any individual evaluation).  Keys carry the
+        # cluster / db fingerprint so registry-routed requests never
+        # share a model or timing with the wrong database.
         self._models: dict[str, tuple[object, dict | None]] = {}
         self._timings: dict[tuple, object] = {}
+        self._specs: dict[str, object] = {}
 
     # -- engine side (evaluator thread) -----------------------------------------
+    def _spec_for(self, cluster: str):
+        """Topology spec for a registry database's cluster name.
+
+        The startup database keeps the injected spec exactly (so the
+        pre-registry service is byte-for-byte unchanged); other
+        clusters map through the registry's topology factories, falling
+        back to the injected spec for measured uploads whose cluster
+        the simulator does not know.
+        """
+        if cluster == self.spec.name:
+            return self.spec
+        spec = self._specs.get(cluster)
+        if spec is None:
+            from ..registry.seeds import spec_for_cluster
+
+            spec = self._specs[cluster] = spec_for_cluster(
+                cluster, default=self.spec
+            )
+        return spec
+
     def _group_for(self, req: PredictRequest) -> RunGroup:
+        db = getattr(req, "_registry_db", None) or self.db
+        fingerprint = (
+            getattr(req, "_registry_fpr", None) or self.db_fingerprint
+        )
+        spec = self._spec_for(db.cluster)
         model_key = json.dumps(
-            [req.model, sorted(req.model_params.items())], sort_keys=True
+            [req.model, db.cluster, sorted(req.model_params.items())],
+            sort_keys=True,
         )
         built = self._models.get(model_key)
         if built is None:
-            built = self._models[model_key] = req.build_model(self.spec)
+            built = self._models[model_key] = req.build_model(spec)
         model, vm_params = built
-        timing_key = (req.timing_mode, req.timing_source, req.nprocs)
+        timing_key = (
+            fingerprint, req.timing_mode, req.timing_source, req.nprocs,
+        )
         timing = self._timings.get(timing_key)
         if timing is None:
             timing = self._timings[timing_key] = timing_from_db(
-                self.db,
+                db,
                 mode=req.timing_mode,
                 source=req.timing_source,
                 nprocs=req.nprocs,
@@ -310,20 +399,25 @@ class PredictionService:
         self.metrics.inc("repro_pool_rebuilds_total")
 
     # -- request funnel (event-loop thread) -----------------------------------
-    async def _engine_submit(self, req: PredictRequest, trace=None) -> dict:
+    async def _engine_submit(
+        self, req: PredictRequest, trace=None, tenant: str | None = None
+    ) -> dict:
         """Admit one request to the engine, with breaker accounting.
 
         The breaker watches engine *health*: infrastructure failures
         (evaluator crash, unrecoverable pool loss) count against it;
         request-shaped outcomes (deadlocking models, bad requests,
-        shedding, cancellation) do not.
+        shedding, throttling, cancellation) do not.
         """
         if not self.breaker.allow():
             raise BreakerOpen(self.breaker.retry_after)
         try:
-            with self.jobs.admit(trace):
+            with self.jobs.admit(trace, tenant=tenant):
                 doc = await self.batcher.submit(req, trace)
-        except (QueueFull, ModelDeadlock, RequestError, asyncio.CancelledError):
+        except (
+            QueueFull, TenantThrottled, ModelDeadlock, RequestError,
+            asyncio.CancelledError,
+        ):
             # Non-counting outcome: if this request was the half-open
             # probe, free the probe slot so the next request can probe
             # (otherwise the breaker wedges open until restart).
@@ -336,7 +430,8 @@ class PredictionService:
         return doc
 
     async def _predict(
-        self, req: PredictRequest, key: str, trace=None
+        self, req: PredictRequest, key: str, trace=None,
+        tenant: str | None = None,
     ) -> tuple[dict, str]:
         """Resolve one validated request to (document, served-from)."""
         if self.caching:
@@ -344,7 +439,7 @@ class PredictionService:
             if doc is not None:
                 return doc, "cache"
         if not self.dedup_enabled:
-            doc = await self._engine_submit(req, trace)
+            doc = await self._engine_submit(req, trace, tenant)
             if self.caching:
                 self.cache.put(key, doc)
             return doc, "engine"
@@ -357,7 +452,7 @@ class PredictionService:
                     doc, _ = await fut
             return doc, "singleflight"
         try:
-            doc = await self._engine_submit(req, trace)
+            doc = await self._engine_submit(req, trace, tenant)
             if self.caching:
                 self.cache.put(key, doc)
             self.dedup.resolve(key, (doc, "engine"))
@@ -387,7 +482,9 @@ class PredictionService:
             )
         t_trace = None if trace is None else trace.now()
         t0 = _time.perf_counter()
-        status, extra, doc, source = await self._predict_outcome(body, trace)
+        status, extra, doc, source = await self._predict_outcome(
+            body, trace, headers.get("x-repro-tenant")
+        )
         if trace is not None:
             extra = dict(extra)
             extra["X-Repro-Trace"] = trace.trace_id
@@ -467,7 +564,7 @@ class PredictionService:
         )
 
     async def _predict_outcome(
-        self, body: object, trace=None
+        self, body: object, trace=None, tenant_header: str | None = None
     ) -> tuple[int, dict, dict, str | None]:
         """The ``/predict`` decision: (status, headers, doc, served-from)."""
         if self.draining:
@@ -481,16 +578,37 @@ class PredictionService:
                 None,
             )
         try:
+            tenant = clean_tenant(tenant_header)
+        except RegistryError as exc:
+            self.metrics.inc("repro_bad_requests_total")
+            return 400, {}, {"error": str(exc)}, None
+        self.metrics.inc("repro_tenant_requests_total", tenant=tenant)
+        try:
             req = PredictRequest.from_dict(body)
         except RequestError as exc:
             self.metrics.inc("repro_bad_requests_total")
             return 400, {}, {"error": str(exc)}, None
-        key = req.key(self.db_fingerprint)
+        try:
+            fingerprint, db = self._resolve_request_db(req)
+        except UnknownRef as exc:
+            self.metrics.inc("repro_registry_misses_total")
+            return 404, {}, {"error": str(exc)}, None
+        except RegistryError as exc:
+            self.metrics.inc("repro_bad_requests_total")
+            return 400, {}, {"error": str(exc)}, None
+        # Pin the resolved database onto the request: the evaluator
+        # thread reads it from here, so an alias promotion between
+        # admission and evaluation cannot swap databases under an
+        # in-flight request -- its response stays bit-identical to the
+        # fingerprint its key (and record) names.
+        req._registry_db = db
+        req._registry_fpr = fingerprint
+        key = req.key(fingerprint)
         deadline = req.deadline_s if req.deadline_s is not None else self.deadline_s
         # Shield the resolution task: a caller hitting its deadline must
         # not cancel a shared evaluation; the late result still lands in
         # the cache for the next attempt.
-        task = asyncio.ensure_future(self._predict(req, key, trace))
+        task = asyncio.ensure_future(self._predict(req, key, trace, tenant))
         try:
             doc, source = await asyncio.wait_for(
                 asyncio.shield(task), timeout=deadline
@@ -517,6 +635,15 @@ class PredictionService:
                     "inflight_limit": exc.limit,
                     "retry_after_s": exc.retry_after,
                 },
+                None,
+            )
+        except TenantThrottled as exc:
+            self.metrics.inc("repro_tenant_throttled_total", tenant=tenant)
+            retry_after = max(exc.retry_after, 0.001)
+            return (
+                429,
+                {"Retry-After": f"{retry_after:.3g}"},
+                {"error": str(exc), "retry_after_s": retry_after},
                 None,
             )
         except BreakerOpen as exc:
@@ -572,11 +699,26 @@ class PredictionService:
                 "timing_mode": req.timing_mode,
                 "timing_source": req.timing_source,
                 "served_from": source,
-                "db_fingerprint": self.db_fingerprint,
+                "db_fingerprint": fingerprint,
                 "request_key": key,
             },
         )
+        if req.db is not None:
+            record["db_ref"] = req.db
         return 200, {}, record, source
+
+    def _resolve_request_db(self, req: PredictRequest):
+        """(fingerprint, DistributionDB) for one request's ``db`` ref.
+
+        Ref-less requests get the injected startup database without
+        touching the registry -- the original single-db hot path.
+        """
+        if req.db is None:
+            return self.db_fingerprint, self.db
+        fingerprint = self.registry.resolve(req.db)
+        if fingerprint == self.db_fingerprint:
+            return fingerprint, self.db
+        return fingerprint, self.registry.get(fingerprint)
 
     def handle_distributions(self, query: dict) -> tuple[int, dict, dict]:
         if "size" not in query:
@@ -588,6 +730,13 @@ class PredictionService:
                     op: [f"{n}x{p}" for n, p in self.db.configs(op)] for op in ops
                 },
                 "db_fingerprint": self.db_fingerprint,
+                "registry": {
+                    "dbs": self.registry.entries(),
+                    "aliases": {
+                        alias: entry.get("fingerprint")
+                        for alias, entry in self.registry.aliases().items()
+                    },
+                },
             }
         try:
             doc = self.db.describe(
@@ -599,6 +748,155 @@ class PredictionService:
         except (KeyError, ValueError) as exc:
             return 400, {}, {"error": str(exc)}
         return 200, {}, doc
+
+    # -- registry surface --------------------------------------------------------
+    async def handle_registry_upload(
+        self, body: object, tenant: str
+    ) -> tuple[int, dict, dict]:
+        """``POST /distributions``: register a database for *tenant*.
+
+        Two payload shapes: ``{"results": <DistributionDB document>}``
+        uploads measured results verbatim; ``{"topology": {"spec": ...,
+        "n_nodes": ..., "reps": ..., "seed": ...}}`` simulates the named
+        ``simnet`` topology with MPIBench and fits its distributions
+        server-side (off the event loop -- fitting takes seconds).  An
+        optional ``"alias"`` points a name at the new fingerprint in the
+        same call.  Storage quota is checked before any byte is written.
+        """
+        if not isinstance(body, dict):
+            return 400, {}, {"error": "body must be a JSON object"}
+        from ..registry import QuotaExceeded
+        from ..registry.seeds import fit_topology_db
+
+        alias = body.get("alias")
+        try:
+            if "results" in body:
+                db = DistributionDB.from_doc(body["results"])
+                source = "upload"
+            elif "topology" in body:
+                topo = body["topology"]
+                if not isinstance(topo, dict):
+                    raise RegistryError("topology must be a JSON object")
+                n_nodes = topo.get("n_nodes")
+                db = await asyncio.to_thread(
+                    fit_topology_db,
+                    topo.get("spec", "perseus"),
+                    n_nodes=None if n_nodes is None else int(n_nodes),
+                    reps=int(topo.get("reps", 24)),
+                    seed=int(topo.get("seed", 7)),
+                )
+                source = f"topology:{topo.get('spec', 'perseus')}"
+            else:
+                raise RegistryError(
+                    "body needs 'results' (a measured DistributionDB "
+                    "document) or 'topology' (a simnet spec to fit)"
+                )
+            meta = self.registry.put(
+                db,
+                tenant=tenant,
+                source=source,
+                check=lambda nbytes: self.tenants.check_upload(
+                    tenant, nbytes
+                ),
+            )
+            doc = dict(meta)
+            if alias is not None:
+                self.registry.set_alias(
+                    str(alias), doc["fingerprint"], tenant=tenant
+                )
+                doc["alias"] = str(alias)
+        except QuotaExceeded as exc:
+            self.metrics.inc("repro_registry_quota_rejections_total")
+            return (
+                429,
+                {"Retry-After": f"{exc.retry_after:g}"},
+                {"error": str(exc), "retry_after_s": exc.retry_after},
+            )
+        except (RegistryError, ValueError, TypeError) as exc:
+            return 400, {}, {"error": str(exc)}
+        self.metrics.inc("repro_registry_uploads_total", tenant=tenant)
+        return 200, {}, doc
+
+    def handle_registry_get(
+        self, ref: str, query: dict
+    ) -> tuple[int, dict, dict]:
+        """``GET /distributions/{ref}``: meta + aliases; with ``size=``
+        (plus the usual ``op``/``contention``/``intra``), a distribution
+        description against *that* database."""
+        try:
+            fingerprint = self.registry.resolve(ref)
+        except UnknownRef as exc:
+            return 404, {}, {"error": str(exc)}
+        except RegistryError as exc:
+            return 400, {}, {"error": str(exc)}
+        doc = dict(self.registry.meta(fingerprint) or {"fingerprint": fingerprint})
+        doc["aliases"] = sorted(
+            alias
+            for alias, entry in self.registry.aliases().items()
+            if entry.get("fingerprint") == fingerprint
+        )
+        if "size" in query:
+            try:
+                db = self.registry.get(fingerprint)
+                doc["distribution"] = db.describe(
+                    query.get("op", "isend"),
+                    int(query["size"]),
+                    int(query.get("contention", 2)),
+                    intra=query.get("intra", "0") not in ("0", "false", ""),
+                )
+            except UnknownRef as exc:
+                return 404, {}, {"error": str(exc)}
+            except (KeyError, ValueError) as exc:
+                return 400, {}, {"error": str(exc)}
+        return 200, {}, doc
+
+    def handle_registry_delete(
+        self, ref: str, tenant: str
+    ) -> tuple[int, dict, dict]:
+        """``DELETE /distributions/{ref}``: remove a tenant's database
+        (and any aliases pointing at it)."""
+        try:
+            fingerprint = self.registry.delete(ref, tenant=tenant)
+        except UnknownRef as exc:
+            return 404, {}, {"error": str(exc)}
+        except NotOwner as exc:
+            return 403, {}, {"error": str(exc)}
+        except RegistryError as exc:
+            return 400, {}, {"error": str(exc)}
+        self.metrics.inc("repro_registry_deletes_total", tenant=tenant)
+        return 200, {}, {"deleted": fingerprint}
+
+    def handle_registry_alias(
+        self, ref: str, body: object, tenant: str
+    ) -> tuple[int, dict, dict]:
+        """``PUT /distributions/{ref}/alias``: hot-swap promotion.
+
+        Atomically points ``body["alias"]`` at *ref*'s fingerprint; the
+        next request resolving the alias serves the new database, with
+        zero restart and no effect on requests already pinned to the old
+        fingerprint.
+        """
+        if not isinstance(body, dict) or not isinstance(
+            body.get("alias"), str
+        ):
+            return 400, {}, {"error": "body must be {\"alias\": <name>}"}
+        alias = body["alias"]
+        try:
+            previous = self.registry.resolve(alias)
+        except (KeyError, ValueError):
+            previous = None
+        try:
+            fingerprint = self.registry.set_alias(alias, ref, tenant=tenant)
+        except UnknownRef as exc:
+            return 404, {}, {"error": str(exc)}
+        except RegistryError as exc:
+            return 400, {}, {"error": str(exc)}
+        self.metrics.inc("repro_registry_promotions_total", tenant=tenant)
+        return 200, {}, {
+            "alias": alias,
+            "fingerprint": fingerprint,
+            "previous": previous,
+        }
 
     def handle_chaos(self, body: object) -> tuple[int, dict, dict]:
         """``/chaos`` control endpoint (only routed when chaos mode is on).
@@ -654,6 +952,7 @@ class PredictionService:
             "breaker": self.breaker.state,
             "draining": self.draining,
             "tracing": self.tracer is not None and self.tracer.enabled,
+            "registry": self.registry.stats(),
         }
         if self.faults is not None:
             doc["chaos"] = self.faults.snapshot()
@@ -738,17 +1037,54 @@ class ServiceServer:
                     "application/json",
                 )
             return 200, {}, {"traces": tracer.traces(limit)}, "application/json"
-        if path == "/distributions" and method in ("GET", "POST"):
-            if method == "POST" and body:
+        if path == "/distributions" or path.startswith("/distributions/"):
+            try:
+                tenant = clean_tenant(
+                    (headers or {}).get("x-repro-tenant")
+                )
+            except RegistryError as exc:
+                return 400, {}, {"error": str(exc)}, "application/json"
+            parts = [p for p in path.split("/") if p][1:]
+            if not parts:
+                if method == "POST" and body:
+                    try:
+                        posted = json.loads(body)
+                    except ValueError:
+                        return 400, {}, {"error": "body is not valid JSON"}, "application/json"
+                    if not isinstance(posted, dict):
+                        return 400, {}, {"error": "body must be a JSON object"}, "application/json"
+                    if "results" in posted or "topology" in posted:
+                        status, extra, doc = await svc.handle_registry_upload(
+                            posted, tenant
+                        )
+                        return status, extra, doc, "application/json"
+                    # legacy describe-by-POST: body keys merge into the query
+                    query = {**query, **{k: str(v) for k, v in posted.items()}}
+                elif method not in ("GET", "POST"):
+                    return 405, {}, {"error": "use GET or POST"}, "application/json"
+                status, extra, doc = svc.handle_distributions(query)
+                return status, extra, doc, "application/json"
+            if len(parts) == 1:
+                ref = parts[0]
+                if method == "GET":
+                    status, extra, doc = svc.handle_registry_get(ref, query)
+                elif method == "DELETE":
+                    status, extra, doc = svc.handle_registry_delete(ref, tenant)
+                else:
+                    return 405, {}, {"error": "use GET or DELETE"}, "application/json"
+                return status, extra, doc, "application/json"
+            if len(parts) == 2 and parts[1] == "alias":
+                if method != "PUT":
+                    return 405, {}, {"error": "use PUT"}, "application/json"
                 try:
-                    posted = json.loads(body)
+                    posted = json.loads(body) if body else {}
                 except ValueError:
                     return 400, {}, {"error": "body is not valid JSON"}, "application/json"
-                if not isinstance(posted, dict):
-                    return 400, {}, {"error": "body must be a JSON object"}, "application/json"
-                query = {**query, **{k: str(v) for k, v in posted.items()}}
-            status, headers, doc = svc.handle_distributions(query)
-            return status, headers, doc, "application/json"
+                status, extra, doc = svc.handle_registry_alias(
+                    parts[0], posted, tenant
+                )
+                return status, extra, doc, "application/json"
+            return 404, {}, {"error": f"no such endpoint {path!r}"}, "application/json"
         if path == "/predict":
             if method != "POST":
                 return 405, {}, {"error": "use POST"}, "application/json"

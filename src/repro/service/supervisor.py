@@ -72,11 +72,21 @@ def _shard_main(cfg: dict) -> None:  # pragma: no cover - runs in the child
 
     from ..mpibench import DistributionDB
     from ..obs import Tracer
+    from ..registry import RegistryStore
     from ..simnet import perseus
     from .server import PredictionService, ServiceServer
 
     db = DistributionDB.load(cfg["db_path"])
     tracer = Tracer(capacity=cfg["trace_buffer"]) if cfg["tracing"] else None
+    # All shards of one deployment open the same registry directory:
+    # writes are atomic per file, so a database uploaded (or an alias
+    # promoted) through any shard is immediately visible to every
+    # other -- the shared registry plane, same idea as the cache plane.
+    registry = (
+        RegistryStore(cfg["registry_dir"])
+        if cfg.get("registry_dir")
+        else None
+    )
     service = PredictionService(
         db,
         spec=perseus(),
@@ -92,6 +102,8 @@ def _shard_main(cfg: dict) -> None:  # pragma: no cover - runs in the child
         caching=cfg["caching"],
         tracer=tracer,
         shard_id=cfg["shard_id"],
+        registry=registry,
+        tenant_rate=cfg.get("tenant_rate", 0.0),
     )
     server = ServiceServer(
         service,
@@ -150,6 +162,8 @@ class Supervisor:
         caching: bool = True,
         tracing: bool = True,
         trace_buffer: int = 256,
+        registry_dir=None,
+        tenant_rate: float = 0.0,
     ):
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -180,6 +194,13 @@ class Supervisor:
         }
         self.cache_dir = cache_dir
         self._tmp_cache = cache_dir is None and n_shards > 1
+        #: one registry directory shared by every shard.  Multi-shard
+        #: deployments always get one (temporary if unconfigured) --
+        #: per-shard in-memory registries would let an upload land on
+        #: one shard and 404 on its siblings.
+        self.registry_dir = registry_dir
+        self.tenant_rate = tenant_rate
+        self._tmp_registry = registry_dir is None and n_shards > 1
         self._tmp_db: str | None = None
         self.shard_ports: list[int] = []
         self.procs: dict[int, multiprocessing.process.BaseProcess] = {}
@@ -209,6 +230,11 @@ class Supervisor:
             "cache_dir": self.cache_dir,
             "reuse_port": self.reuse_port,
             "drain_grace": self.drain_grace,
+            "registry_dir": (
+                None if self.registry_dir is None
+                else os.fspath(self.registry_dir)
+            ),
+            "tenant_rate": self.tenant_rate,
             **self._opts,
         }
 
@@ -267,6 +293,8 @@ class Supervisor:
             self._db_path = self._tmp_db
         if self._tmp_cache:
             self.cache_dir = tempfile.mkdtemp(prefix="repro-shard-cache-")
+        if self._tmp_registry:
+            self.registry_dir = tempfile.mkdtemp(prefix="repro-registry-")
         if self.reuse_port:
             # All shards share the public port; pick one if unbound.
             if self.port == 0:
@@ -420,6 +448,9 @@ class Supervisor:
         if self._tmp_cache and self.cache_dir is not None:
             shutil.rmtree(self.cache_dir, ignore_errors=True)
             self.cache_dir = None
+        if self._tmp_registry and self.registry_dir is not None:
+            shutil.rmtree(self.registry_dir, ignore_errors=True)
+            self.registry_dir = None
 
     # -- CLI entry -------------------------------------------------------------
     def run(self) -> int:  # pragma: no cover - CLI foreground loop

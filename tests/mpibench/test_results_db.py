@@ -79,6 +79,35 @@ class TestDbPopulation:
         assert len(db) == 4
 
 
+class TestFreeze:
+    def test_freeze_makes_add_raise(self, db):
+        assert not db.frozen
+        db.freeze()
+        assert db.frozen
+        with pytest.raises(RuntimeError, match="frozen"):
+            db.add(_result(nodes=64))
+        # Nothing slipped in.
+        assert len(db) == 4
+
+    def test_freeze_is_idempotent_and_chains(self, db):
+        assert db.freeze() is db
+        db.freeze()
+        assert db.frozen
+
+    def test_frozen_db_still_serves_lookups(self, db):
+        fingerprint = db.fingerprint()
+        db.freeze()
+        assert db.result("isend", 8, 1).nprocs == 8
+        assert db.fingerprint() == fingerprint
+
+    def test_doc_roundtrip_preserves_content_not_frozen_flag(self, db):
+        db.freeze()
+        copy = DistributionDB.from_doc(db.to_doc(include_samples=True))
+        assert copy.fingerprint() == db.fingerprint()
+        # The flag is runtime state, not content.
+        assert not copy.frozen
+
+
 class TestLookup:
     def test_nearest_config_log_space(self, db):
         assert db.nearest_config("isend", 2) == (2, 1)

@@ -1,0 +1,99 @@
+"""Unit tests for tenant namespaces: quotas, rate limiting, names."""
+
+import pytest
+
+from repro.registry import (
+    QuotaExceeded,
+    RegistryError,
+    RegistryStore,
+    TenantManager,
+    TenantQuota,
+    TenantThrottled,
+    clean_tenant,
+)
+
+from .test_store import make_db
+
+
+class TestCleanTenant:
+    def test_default_namespace(self):
+        assert clean_tenant(None) == "public"
+        assert clean_tenant("") == "public"
+        assert clean_tenant("   ") == "public"
+
+    def test_valid_names_pass_through(self):
+        assert clean_tenant("alice") == "alice"
+        assert clean_tenant("team-a@prod.eu") == "team-a@prod.eu"
+
+    def test_malformed_names_rejected(self):
+        for bad in ("has space", "a/b", "-leading", "x" * 65):
+            with pytest.raises(RegistryError):
+                clean_tenant(bad)
+
+
+class TestUploadQuota:
+    def test_db_count_limit(self):
+        store = RegistryStore()
+        manager = TenantManager(store, TenantQuota(max_dbs=1, retry_after=2.5))
+        store.put(make_db(), tenant="alice")
+        with pytest.raises(QuotaExceeded) as info:
+            manager.check_upload("alice", 100)
+        assert info.value.retry_after == 2.5
+        # Another tenant is unaffected.
+        manager.check_upload("bob", 100)
+
+    def test_byte_limit(self):
+        store = RegistryStore()
+        meta = store.put(make_db(), tenant="alice")
+        manager = TenantManager(
+            store, TenantQuota(max_bytes=meta["bytes"] + 10)
+        )
+        manager.check_upload("alice", 10)
+        with pytest.raises(QuotaExceeded):
+            manager.check_upload("alice", 11)
+
+    def test_usage_report(self):
+        store = RegistryStore()
+        meta = store.put(make_db(), tenant="alice")
+        manager = TenantManager(store)
+        usage = manager.usage("alice")
+        assert usage["dbs"] == 1
+        assert usage["bytes"] == meta["bytes"]
+        assert manager.usage("bob")["dbs"] == 0
+
+
+class TestRateLimit:
+    def test_disabled_by_default(self):
+        manager = TenantManager(RegistryStore())
+        for _ in range(100):
+            manager.admit("alice")
+        assert manager.throttled == 0
+
+    def test_token_bucket_exhaustion_and_refill(self):
+        now = [0.0]
+        manager = TenantManager(
+            RegistryStore(),
+            TenantQuota(rate=2.0, burst=2),
+            clock=lambda: now[0],
+        )
+        manager.admit("alice")
+        manager.admit("alice")
+        with pytest.raises(TenantThrottled) as info:
+            manager.admit("alice")
+        # Empty bucket at 2 tokens/s: one token is 0.5 s away.
+        assert info.value.retry_after == pytest.approx(0.5)
+        assert manager.throttled == 1
+        now[0] += 0.5
+        manager.admit("alice")  # refilled
+
+    def test_buckets_are_per_tenant(self):
+        now = [0.0]
+        manager = TenantManager(
+            RegistryStore(),
+            TenantQuota(rate=1.0, burst=1),
+            clock=lambda: now[0],
+        )
+        manager.admit("alice")
+        with pytest.raises(TenantThrottled):
+            manager.admit("alice")
+        manager.admit("bob")  # bob's bucket is untouched

@@ -147,6 +147,30 @@ def test_routing_key_is_canonical_and_db_free():
     assert other.routing_key() != sparse.routing_key()
 
 
+def test_routing_key_shards_by_db_ref():
+    # Tenant traffic for different registry dbs must shard separately:
+    # the ref (not its resolution) enters the routing key, so routing
+    # stays stable across alias promotions.
+    plain = PredictRequest.from_dict({"model": "fft", "nprocs": 4})
+    on_prod = PredictRequest.from_dict(
+        {"model": "fft", "nprocs": 4, "db": "prod"}
+    )
+    on_v2 = PredictRequest.from_dict(
+        {"model": "fft", "nprocs": 4, "db": "perseus@v2"}
+    )
+    keys = {plain.routing_key(), on_prod.routing_key(), on_v2.routing_key()}
+    assert len(keys) == 3
+    # Same ref -> same key (affinity holds for the tenant's traffic).
+    again = PredictRequest.from_dict(
+        {"model": "fft", "nprocs": 4, "db": "prod"}
+    )
+    assert again.routing_key() == on_prod.routing_key()
+    # And routing_key_for sees the ref too.
+    assert routing_key_for(
+        {"model": "fft", "nprocs": 4, "db": "prod"}
+    ) == on_prod.routing_key()
+
+
 def test_routing_key_for_handles_garbage():
     assert routing_key_for({"model": "jacobi", "nprocs": 2}) is not None
     assert routing_key_for({"model": "nope", "nprocs": 2}) is None
