@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""End-to-end smoke for precision-targeted (``target_rse``) serving.
+
+Run from the repository root (``PYTHONPATH=src python
+scripts/precision_smoke.py``).  Spins up the real HTTP service on a
+background thread, then asserts the adaptive contract the CI job guards:
+
+* a loose-target request converges and spends **fewer** runs than the
+  fixed ``runs=16`` baseline;
+* a tight target spends more runs than a loose one (the stopping rule
+  actually responds to the target) and stops at ``max_runs`` reporting
+  non-convergence when the target is unreachable;
+* the adaptive result is cached under its achieved run count, so a
+  fixed-``runs`` request for the same content is served from cache with
+  bit-identical times;
+* ``runs`` + ``target_rse`` together are rejected with a 400;
+* the ``/metrics`` scrape carries the ``repro_prediction_runs``
+  histogram with both mode labels.
+
+Exits non-zero on the first violated expectation.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.mpibench import BenchSettings, MPIBench  # noqa: E402
+from repro.service import PredictionService, ServiceClient, ServiceThread  # noqa: E402
+from repro.simnet import perseus  # noqa: E402
+
+SPEC = perseus(16)
+BASE = {
+    "model": "jacobi",
+    "model_params": {"iterations": 20},
+    "nprocs": 4,
+    "seed": 7,
+}
+
+
+def request(**overrides) -> dict:
+    body = dict(BASE)
+    body.update(overrides)
+    return body
+
+
+def main() -> int:
+    bench = MPIBench(SPEC, seed=3, settings=BenchSettings(reps=20, warmup=3))
+    db = bench.sweep_isend([(1, 2), (2, 1), (8, 1)], sizes=[0, 512, 1024, 2048])
+
+    with tempfile.TemporaryDirectory(prefix="precision-smoke-") as cache_dir:
+        service = PredictionService(db, spec=SPEC, cache_dir=cache_dir)
+        with ServiceThread(service) as thread:
+            host, port = thread.address
+            client = ServiceClient(host, port)
+            try:
+                fixed = client.predict(**request(runs=16))
+                assert fixed["runs"] == 16, fixed
+
+                loose = client.predict(**request(target_rse=0.05))
+                p = loose["precision"]
+                assert p["converged"] is True, p
+                assert p["achieved_rse"] <= 0.05, p
+                assert loose["runs"] < 16, (
+                    f"loose target spent {loose['runs']} runs, "
+                    "expected fewer than the fixed 16"
+                )
+                print(
+                    f"loose target (5% rse): {loose['runs']} runs vs fixed 16 "
+                    f"({16 - loose['runs']} saved), achieved "
+                    f"rse={p['achieved_rse']:.2e}"
+                )
+
+                tight = client.predict(
+                    **request(target_rse=1e-9, max_runs=8)
+                )
+                assert tight["runs"] == 8, tight
+                assert tight["precision"]["converged"] is False, tight
+                assert loose["runs"] < tight["runs"] or loose["runs"] < 8
+                print(
+                    "unreachable target stopped at the max_runs cap "
+                    "reporting converged=false"
+                )
+
+                # The achieved result serves a later fixed-runs request.
+                replay = client.predict(
+                    **request(
+                        runs=loose["runs"],
+                        vector_batch=loose["engine"]["vector_batch"],
+                    )
+                )
+                assert replay["served_from"] == "cache", replay["served_from"]
+                assert replay["times"] == loose["times"], "cache not bit-identical"
+                print(
+                    f"fixed runs={loose['runs']} request served from cache, "
+                    "bit-identical to the adaptive result"
+                )
+
+                status, _, doc = client.predict_raw(
+                    request(runs=4, target_rse=0.05)
+                )
+                assert status == 400, (status, doc)
+                print(f"runs+target_rse rejected: {doc['error']!r}")
+
+                text = client.metrics_text()
+                for needle in (
+                    'repro_prediction_runs_bucket{mode="adaptive"',
+                    'repro_prediction_runs_bucket{mode="fixed"',
+                    'repro_prediction_runs_count{mode="adaptive"} 2',
+                ):
+                    assert needle in text, f"missing metric series: {needle}"
+                print("prediction-runs histogram present for both modes")
+            finally:
+                client.close()
+
+    print("precision smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,9 +13,11 @@ the performance trajectory is visible across PRs::
 
 Each invocation appends one row per engine variant: the per-run machine
 (compiled schedules), the batched vectorised machine interpreting
-generators, and the batched machine on compiled schedules -- the
-production configuration.  ``--only batched-compiled`` measures just the
-last (what CI appends).
+generators, the batched machine on compiled schedules -- the production
+configuration -- and an adaptive row recording how many runs the
+sequential stopping rule spends to reach 1% RSE on the same workload.
+``--only batched-compiled`` measures just the ratchet variant (what CI
+appends).
 
 A measurement taken with uncommitted changes is tagged ``dirty`` and a
 warning goes to stderr; dirty rows are kept for local trend-spotting but
@@ -68,11 +70,18 @@ RUNS_BATCHED = 64
 #: the clean batched+compiled reference row.
 DEFAULT_FLOOR = 200.0
 
-#: (name, vector_runs, compiled, runs, workers) measurement variants.
+#: Precision target for the adaptive row: runs-to-1%-RSE on the
+#: reference workload -- how much of the fixed spend the sequential
+#: stopping rule actually needs.
+ADAPTIVE_RSE = 0.01
+
+#: (name, vector_runs, compiled, runs, workers, target_rse) variants;
+#: ``target_rse`` is None for the fixed-runs measurements.
 VARIANTS = {
-    "per-run": ("per-run", False, True, RUNS_PER_RUN, None),
-    "batched-interpreted": ("batched", True, False, RUNS_BATCHED, 1),
-    "batched-compiled": ("batched", True, True, RUNS_BATCHED, 1),
+    "per-run": ("per-run", False, True, RUNS_PER_RUN, None, None),
+    "batched-interpreted": ("batched", True, False, RUNS_BATCHED, 1, None),
+    "batched-compiled": ("batched", True, True, RUNS_BATCHED, 1, None),
+    "adaptive": ("adaptive", False, True, None, 1, ADAPTIVE_RSE),
 }
 
 
@@ -104,7 +113,7 @@ def _git_state() -> tuple[str, bool]:
 
 
 def measure(variant: str, db: DistributionDB) -> dict:
-    engine, vector_runs, compiled, runs, workers = VARIANTS[variant]
+    engine, vector_runs, compiled, runs, workers, target_rse = VARIANTS[variant]
     spec = perseus(64)
     params = {
         "iterations": ITERATIONS,
@@ -112,28 +121,39 @@ def measure(variant: str, db: DistributionDB) -> dict:
         "serial_time": spec.jacobi_serial_time,
     }
     timing = timing_from_db(db, mode="distribution")
+    kwargs = (
+        {"target_rse": target_rse} if target_rse is not None else {"runs": runs}
+    )
     t0 = time.perf_counter()
     pred = predict(
-        parse_jacobi(), NPROCS, timing, runs=runs, seed=1, params=params,
+        parse_jacobi(), NPROCS, timing, seed=1, params=params,
         workers=workers,
         vector_runs=vector_runs,
         compiled=compiled,
+        **kwargs,
     )
     wall = time.perf_counter() - t0
     commit, dirty = _git_state()
-    return {
+    entry = {
         "commit": commit,
         "dirty": dirty,
         "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
         "workload": WORKLOAD,
         "engine": engine,
         "compiled": compiled,
-        "runs": runs,
+        "runs": pred.runs,
         "wall_seconds": round(wall, 4),
         "mean_run_wall": round(pred.mean_run_wall, 4),
         "simulated_per_wall": round(pred.simulated_per_wall, 2),
         "mean_time": pred.mean_time,
     }
+    if target_rse is not None:
+        # The adaptive row answers "how many runs does 1% RSE cost?" --
+        # spend, convergence, and the precision actually achieved.
+        entry["target_rse"] = target_rse
+        entry["converged"] = bool(pred.precision["converged"])
+        entry["achieved_rse"] = pred.precision["achieved_rse"]
+    return entry
 
 
 def ratchet_row(history: list) -> dict | None:
@@ -202,7 +222,7 @@ def main() -> int:
     parser.add_argument(
         "--only", choices=sorted(VARIANTS), metavar="VARIANT",
         help="measure a single variant "
-             f"({', '.join(sorted(VARIANTS))}) instead of all three",
+             f"({', '.join(sorted(VARIANTS))}) instead of all of them",
     )
     args = parser.parse_args()
 

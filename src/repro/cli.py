@@ -80,6 +80,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--sizes", type=int, nargs="+", default=DEFAULT_SIZES)
     p_bench.add_argument("--reps", type=int, default=60)
+    p_bench.add_argument(
+        "--target-rse", type=float, default=None, metavar="FRAC",
+        help="auto-reps: after the first --reps repetitions keep doubling "
+             "until every (op, size) mean has a 95%% CI half-width within "
+             "this fraction of the mean (e.g. 0.01), or --max-reps is hit",
+    )
+    p_bench.add_argument(
+        "--max-reps", type=int, default=1600, metavar="N",
+        help="auto-reps spend cap per message size (default 1600)",
+    )
     p_bench.add_argument("--seed", type=int, default=1)
     p_bench.add_argument("--save", metavar="FILE", help="save DB as JSON")
     p_bench.add_argument(
@@ -99,6 +109,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument("--ppn", type=int, default=1)
     p_pred.add_argument("--iterations", type=int, default=200)
     p_pred.add_argument("--runs", type=int, default=5)
+    p_pred.add_argument(
+        "--target-rse", type=float, default=None, metavar="FRAC",
+        help="adaptive mode: ignore --runs and keep doubling Monte Carlo "
+             "runs until each mode's mean has a 95%% CI half-width within "
+             "this fraction of the mean (e.g. 0.01)",
+    )
+    p_pred.add_argument(
+        "--min-runs", type=int, default=4, metavar="N",
+        help="adaptive mode: first total evaluated (default 4)",
+    )
+    p_pred.add_argument(
+        "--max-runs", type=int, default=256, metavar="N",
+        help="adaptive mode: hard run cap (default 256)",
+    )
     p_pred.add_argument("--seed", type=int, default=1)
     p_pred.add_argument(
         "--measure", action="store_true",
@@ -373,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--nprocs", type=int, default=8)
     p_load.add_argument("--runs", type=int, default=16)
     p_load.add_argument(
+        "--target-rse", type=float, default=None, metavar="FRAC",
+        help="send adaptive precision-targeted requests (the service "
+             "decides the run count; replaces --runs in the body)",
+    )
+    p_load.add_argument(
         "--model-params", metavar="JSON", default=None,
         help='model parameters, e.g. \'{"iterations": 20}\'',
     )
@@ -415,8 +444,27 @@ def cmd_info(args) -> int:
 def cmd_bench(args) -> int:
     configs = args.configs or [(2, 1), (8, 1), (32, 1)]
     spec = perseus()
-    bench = MPIBench(spec, seed=args.seed, settings=BenchSettings(reps=args.reps))
+    bench = MPIBench(
+        spec,
+        seed=args.seed,
+        settings=BenchSettings(
+            reps=args.reps,
+            target_rse=args.target_rse,
+            max_reps=max(args.max_reps, args.reps),
+        ),
+    )
     db = bench.sweep_isend(configs, sizes=args.sizes)
+    if args.target_rse is not None:
+        for nodes, ppn in configs:
+            meta = db.result("isend", nodes, ppn).metadata.get("auto_reps")
+            if meta:
+                state = "converged" if meta["converged"] else "hit cap"
+                print(
+                    f"auto-reps {nodes}x{ppn}: {meta['reps']} reps over "
+                    f"{meta['rounds']} round(s), {state} "
+                    f"(target RSE {meta['target_rse']:g})"
+                )
+        print()
     print(average_times_table(db, "isend", args.sizes, configs))
     if args.save:
         db.save(args.save)
@@ -461,7 +509,8 @@ def cmd_predict(args) -> int:
             parse_jacobi(), args.nprocs, db, runs=args.runs, seed=args.seed,
             params=params, ppn=args.ppn, workers=args.workers,
             cache_dir=args.cache_dir, vector_runs=args.vector_runs,
-            compiled=args.compiled,
+            compiled=args.compiled, target_rse=args.target_rse,
+            min_runs=args.min_runs, max_runs=args.max_runs,
         )
         measured = None
         if args.measure:
@@ -483,7 +532,10 @@ def cmd_predict(args) -> int:
                 "model_params": {"iterations": args.iterations, "xsize": 256},
                 "nprocs": args.nprocs,
                 "ppn": args.ppn,
-                "runs": args.runs,
+                # Adaptive mode decides the run count per timing mode;
+                # each prediction record carries its achieved total.
+                "runs": None if args.target_rse is not None else args.runs,
+                "target_rse": args.target_rse,
                 "seed": args.seed,
             },
             "serial_time": serial,
@@ -506,25 +558,38 @@ def cmd_predict(args) -> int:
         print(json.dumps(doc, indent=2))
         return 0
     rows = []
+    adaptive = args.target_rse is not None
     if measured is not None:
         rows.append(["measured (simulated run)", format_time(measured),
-                     f"{serial / measured:.2f}", "-"])
+                     f"{serial / measured:.2f}", "-"]
+                    + (["-"] if adaptive else []))
     for name, pred in preds.items():
         err = (
             f"{(pred.mean_time - measured) / measured * 100:+.1f}%"
             if measured
             else "-"
         )
-        rows.append([name, format_time(pred.mean_time),
-                     f"{pred.speedup(serial):.2f}", err])
+        row = [name, format_time(pred.mean_time),
+               f"{pred.speedup(serial):.2f}", err]
+        if adaptive:
+            info = pred.precision or {}
+            mark = "" if info.get("converged", True) else " (cap)"
+            row.append(f"{pred.runs}{mark}")
+        rows.append(row)
+    headers = ["timing source", "predicted time", "speedup", "error"]
+    if adaptive:
+        headers.append("runs")
     print(
         format_table(
-            ["timing source", "predicted time", "speedup", "error"],
+            headers,
             rows,
             title=f"Jacobi {args.iterations} iters on {args.nprocs} procs "
                   f"(ppn={args.ppn})",
         )
     )
+    if adaptive:
+        print(f"\nadaptive: target RSE {args.target_rse:g}, "
+              f"min {args.min_runs} / max {args.max_runs} runs per mode")
     if args.vector_runs and args.runs >= 2:
         from .pevpm import render_run_spread
 
@@ -857,13 +922,19 @@ def cmd_loadgen(args) -> int:
     model_params = json.loads(args.model_params) if args.model_params else {}
 
     def request_factory(sequence: int) -> dict:
-        return {
+        body = {
             "model": args.model,
             "model_params": model_params,
             "nprocs": args.nprocs,
-            "runs": args.runs,
             "seed": sequence % args.distinct_seeds,
         }
+        # runs and target_rse are mutually exclusive in the request
+        # schema: adaptive bodies carry the precision target only.
+        if args.target_rse is not None:
+            body["target_rse"] = args.target_rse
+        else:
+            body["runs"] = args.runs
+        return body
 
     endpoints = None
     if args.endpoints:

@@ -8,7 +8,13 @@ PEVPM performance model samples from.
 """
 
 from .clocksync import SYNC_TAG, ClockCorrection, sync_clocks
-from .compare import ConfigComparison, compare_configs, compare_databases, export_series
+from .compare import (
+    ConfigComparison,
+    compare_configs,
+    compare_databases,
+    export_series,
+    prediction_vs_measurement,
+)
 from .distfit import ParametricFit, fit_histogram, fit_samples
 from .drivers import (
     barrier_driver,
@@ -43,5 +49,6 @@ __all__ = [
     "isend_driver",
     "pairwise_partner",
     "pingpong_driver",
+    "prediction_vs_measurement",
     "sync_clocks",
 ]

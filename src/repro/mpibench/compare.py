@@ -17,9 +17,16 @@ from pathlib import Path
 
 import numpy as np
 
+from ..stats.compare import ks_pvalue, verdict_for
 from .results import DistributionDB
 
-__all__ = ["ConfigComparison", "compare_configs", "compare_databases", "export_series"]
+__all__ = [
+    "ConfigComparison",
+    "compare_configs",
+    "compare_databases",
+    "export_series",
+    "prediction_vs_measurement",
+]
 
 
 @dataclass(frozen=True)
@@ -33,6 +40,13 @@ class ConfigComparison:
     p99_a: float
     p99_b: float
     ks: float = 0.0  #: Kolmogorov-Smirnov distance between the distributions
+    #: asymptotic two-sample KS p-value at the two campaigns' sample
+    #: sizes: how plausibly the observed ``ks`` gap is sampling noise
+    ks_pvalue: float = 1.0
+    #: "match" | "shifted" | "different" | "" (empty: not judged --
+    #: raw samples unavailable on one side, so only the binned KS
+    #: distance could be computed)
+    verdict: str = ""
 
     @property
     def mean_ratio(self) -> float:
@@ -70,6 +84,16 @@ def compare_configs(
     out = []
     for size in common:
         ha, hb = ra.histograms[size], rb.histograms[size]
+        ks = ha.ks_distance(hb)
+        verdict = ""
+        if ha.samples is not None and hb.samples is not None:
+            # Raw samples on both sides: judge the diff properly (exact
+            # KS on the samples, CI overlap on the means) instead of
+            # reporting a bare binned distance.
+            v = verdict_for(ha.samples, hb.samples)
+            ks, pvalue, verdict = v.ks_stat, v.ks_pvalue, v.verdict
+        else:
+            pvalue = ks_pvalue(ks, ha.n, hb.n)
         out.append(
             ConfigComparison(
                 op=op,
@@ -78,10 +102,31 @@ def compare_configs(
                 mean_b=hb.mean,
                 p99_a=ha.quantile(0.99),
                 p99_b=hb.quantile(0.99),
-                ks=ha.ks_distance(hb),
+                ks=ks,
+                ks_pvalue=pvalue,
+                verdict=verdict,
             )
         )
     return out
+
+
+def prediction_vs_measurement(
+    predicted_times,
+    measured_times,
+    level: float = 0.95,
+    alpha: float = 0.05,
+):
+    """Judge a PEVPM prediction against a measurement (or simulation).
+
+    The paper validates predictions by comparing means; *MPI
+    Benchmarking Revisited* points out a mean alone cannot certify
+    agreement.  This folds both views into one
+    :class:`~repro.stats.ComparisonVerdict`: ``match`` (KS cannot
+    reject shape equality and the mean CIs overlap), ``shifted`` (shapes
+    agree but the means separate -- the systematic offset the paper
+    attributes to histogram granularity), or ``different``.
+    """
+    return verdict_for(predicted_times, measured_times, level=level, alpha=alpha)
 
 
 def compare_databases(

@@ -143,7 +143,28 @@ class Histogram:
 
     @property
     def std(self) -> float:
+        """**Population** standard deviation (ddof=0): the spread of the
+        recorded sample set itself -- exact from raw samples when
+        retained, the binned estimate otherwise.  For inference about
+        the underlying distribution use :attr:`sample_std`; the two were
+        previously conflated (``summary_stats`` and the parametric
+        fitter both read this attribute, each assuming a different
+        estimator), so both are now explicit."""
         return self._std
+
+    @property
+    def sample_std(self) -> float:
+        """**Sample** standard deviation (ddof=1): the unbiased-variance
+        estimator of the underlying spread, the form every CI and
+        stopping rule is defined against.  Exact from raw samples when
+        retained; otherwise the binned population estimate scaled by
+        ``sqrt(n/(n-1))``.  0.0 when a single sample makes it
+        inestimable."""
+        if self.n <= 1:
+            return 0.0
+        if self._samples is not None and len(self._samples) > 1:
+            return float(np.std(self._samples, ddof=1))
+        return self._std * math.sqrt(self.n / (self.n - 1))
 
     @property
     def min(self) -> float:
@@ -162,16 +183,35 @@ class Histogram:
     def nbins(self) -> int:
         return len(self.counts)
 
+    def _total(self) -> float:
+        """Total mass, guarded: a histogram whose counts were zeroed
+        after construction (in-place mutation, a hand-rolled
+        ``__setstate__`` payload) used to surface as a cryptic
+        divide-by-zero ``RuntimeWarning`` and NaN curves downstream;
+        fail loudly at the query instead."""
+        total = float(self._cum[-1]) if len(self._cum) else 0.0
+        if total <= 0:
+            raise ValueError(
+                "histogram has zero total mass -- its counts were emptied "
+                "after construction; pdf/cdf/ks_distance are undefined"
+            )
+        return total
+
     def pdf(self) -> tuple[np.ndarray, np.ndarray]:
-        """(bin centres, probability density) -- the curves of Figures 3-4."""
+        """(bin centres, probability density) -- the curves of Figures 3-4.
+
+        Raises :class:`ValueError` on a zero-mass histogram instead of
+        dividing by zero.
+        """
+        total = self._total()
         widths = np.diff(self.edges)
         centres = 0.5 * (self.edges[:-1] + self.edges[1:])
-        density = self.counts / (self.counts.sum() * widths)
+        density = self.counts / (total * widths)
         return centres, density
 
     def cdf(self) -> tuple[np.ndarray, np.ndarray]:
-        """(edges[1:], cumulative probability)."""
-        return self.edges[1:], self._cum / self._cum[-1]
+        """(edges[1:], cumulative probability).  Raises on zero mass."""
+        return self.edges[1:], self._cum / self._total()
 
     def quantile(self, q: float) -> float:
         """Inverse CDF with linear interpolation inside bins (or, when raw
@@ -203,7 +243,10 @@ class Histogram:
         """Kolmogorov-Smirnov distance between two distributions: the
         largest CDF gap over the union of their supports.  Used by the
         campaign-comparison tooling to say not just how much slower a
-        configuration is but how differently it *behaves*."""
+        configuration is but how differently it *behaves*.  Raises on a
+        zero-mass histogram (either side)."""
+        self._total()
+        other._total()
         lo = min(self.min, other.min)
         hi = max(self.max, other.max)
         if hi <= lo:

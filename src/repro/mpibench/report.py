@@ -137,7 +137,13 @@ def tail_report(result: BenchmarkResult, rto: float = 0.2) -> str:
 
 
 def summary_stats(result: BenchmarkResult) -> dict[int, dict[str, float]]:
-    """Machine-readable per-size summary, used by EXPERIMENTS.md."""
+    """Machine-readable per-size summary, used by EXPERIMENTS.md.
+
+    ``std`` is the population spread of the recorded samples (ddof=0);
+    ``sample_std`` the unbiased-variance estimator (ddof=1) that CIs
+    and stopping rules use -- reported separately so neither consumer
+    silently gets the other's estimator.
+    """
     out = {}
     for size in result.sizes:
         h = result.histograms[size]
@@ -146,6 +152,7 @@ def summary_stats(result: BenchmarkResult) -> dict[int, dict[str, float]]:
             "min": h.min,
             "max": h.max,
             "std": h.std,
+            "sample_std": h.sample_std,
             "p50": h.quantile(0.5),
             "p99": h.quantile(0.99),
             "n": h.n,

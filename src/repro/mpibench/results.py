@@ -377,6 +377,7 @@ class DistributionDB:
             "bins": hist.nbins,
             "mean": hist.mean,
             "std": hist.std,
+            "sample_std": hist.sample_std,
             "min": hist.min,
             "max": hist.max,
             "quantiles": {f"{q:g}": hist.quantile(q) for q in quantiles},

@@ -12,8 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..simnet.topology import ClusterSpec
 from ..smpi.runtime import run_program
+from ..stats import achieved_rse
 from . import drivers
 from .histogram import Histogram
 from .results import BenchmarkResult, DistributionDB
@@ -36,6 +39,13 @@ class BenchSettings:
     sync_rounds: int = 8  #: ping-pongs per rank during clock sync
     drift_gap: float = 0.25  #: idle gap between the two sync passes (s)
     keep_samples: bool = True  #: retain raw samples inside histograms
+    #: auto-reps: after the initial *reps* repetitions, keep doubling
+    #: until every (op, size) sample set's mean has a 95% CI half-width
+    #: within this fraction of |mean| -- the benchmark-side twin of the
+    #: prediction engine's stopping rule.  ``None`` (default) keeps the
+    #: exact historical single-pass behaviour.
+    target_rse: float | None = None
+    max_reps: int = 1600  #: auto-reps spend cap (total reps per size)
 
     def validate(self) -> None:
         if self.reps < 1:
@@ -44,6 +54,10 @@ class BenchSettings:
             raise ValueError("warmup must be >= 0")
         if self.bins < 1:
             raise ValueError("bins must be >= 1")
+        if self.target_rse is not None and not self.target_rse > 0:
+            raise ValueError("target_rse must be positive")
+        if self.max_reps < self.reps:
+            raise ValueError("max_reps must be >= reps")
 
 
 class MPIBench:
@@ -66,54 +80,133 @@ class MPIBench:
         self.settings.validate()
 
     # -- single-configuration runs ---------------------------------------------------
-    def _pool(self, per_rank: list[dict[int, list[float]]]) -> dict[int, Histogram]:
-        """Pool per-rank sample lists into one histogram per size."""
-        pooled: dict[int, list[float]] = {}
-        for rank_samples in per_rank:
-            for size, values in rank_samples.items():
-                pooled.setdefault(size, []).extend(values)
-        return {
-            size: Histogram.from_samples(
-                values, bins=self.settings.bins,
-                keep_samples=self.settings.keep_samples,
-            )
-            for size, values in pooled.items()
-            if values
-        }
+    def _round_seed(self, round_ordinal: int) -> int:
+        """Seed of one auto-reps refinement round.
 
-    def _run(self, driver_args, driver, nodes: int, ppn: int) -> dict[str, BenchmarkResult]:
+        Round 0 is ``self.seed`` exactly, so an auto-reps campaign's
+        first pass is byte-identical to a plain single-pass run of the
+        same settings; later rounds derive independent seeds from the
+        root via the ``SeedSequence`` spawn-key scheme (the same
+        convention the prediction engine's ``chunk_seed`` uses), so the
+        pooled sample set is a pure function of (seed, round count).
+        """
+        if round_ordinal == 0:
+            return self.seed
+        child = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(round_ordinal,)
+        )
+        return int(child.generate_state(1)[0])
+
+    def _collect(self, driver_args, driver, nodes: int, ppn: int, seed: int):
+        """One simulated benchmark job: (per-rank returns, elapsed)."""
+        result = run_program(
+            self.spec,
+            driver,
+            nprocs=nodes * ppn,
+            ppn=ppn,
+            seed=seed,
+            args=driver_args,
+        )
+        return result.returns, result.elapsed
+
+    @staticmethod
+    def _accumulate(pooled: dict, returns) -> None:
+        """Fold one job's per-rank ``{op: {size: samples}}`` returns into
+        the cross-round raw-sample pool."""
+        for rank_out in returns:
+            for op, per_size in rank_out.items():
+                sizes = pooled.setdefault(op, {})
+                for size, values in per_size.items():
+                    sizes.setdefault(size, []).extend(values)
+
+    def _converged(self, pooled: dict, target: float) -> bool:
+        """Whether every (op, size) sample set meets the RSE target."""
+        return all(
+            achieved_rse(values) <= target
+            for per_size in pooled.values()
+            for values in per_size.values()
+            if values
+        )
+
+    def _run(
+        self,
+        driver_args,
+        driver,
+        nodes: int,
+        ppn: int,
+        reps_at: int | None = None,
+    ) -> dict[str, BenchmarkResult]:
+        """Run one benchmark configuration, with optional auto-reps.
+
+        *reps_at* is the index of the repetition count inside
+        *driver_args* (drivers differ); ``None`` disables auto-reps for
+        this driver even when the settings ask for it.  Auto-reps pools
+        **raw samples** across rounds before any histogram is built, so
+        granularity is identical to a single-pass run of the same total;
+        each round re-runs every message size (keeping per-size sample
+        counts uniform) with the round total doubling until every
+        (op, size) meets ``target_rse`` or ``max_reps`` is reached.
+        """
         if nodes > self.spec.n_nodes:
             raise ValueError(
                 f"{nodes} nodes requested; cluster {self.spec.name!r} has "
                 f"{self.spec.n_nodes}"
             )
-        nprocs = nodes * ppn
-        result = run_program(
-            self.spec,
-            driver,
-            nprocs=nprocs,
-            ppn=ppn,
-            seed=self.seed,
-            args=driver_args,
+        s = self.settings
+        adaptive = s.target_rse is not None and reps_at is not None
+        pooled: dict[str, dict[int, list[float]]] = {}
+        returns, elapsed = self._collect(
+            driver_args, driver, nodes, ppn, self._round_seed(0)
         )
-        # Drivers return {op: {size: samples}} per rank.
-        ops = sorted({op for rank_out in result.returns for op in rank_out})
+        self._accumulate(pooled, returns)
+        total = s.reps
+        rounds = 1
+        converged = True
+        if adaptive:
+            converged = self._converged(pooled, s.target_rse)
+            while not converged and total < s.max_reps:
+                add = min(total, s.max_reps - total)  # doubling schedule
+                args = list(driver_args)
+                args[reps_at] = add
+                returns, extra = self._collect(
+                    tuple(args), driver, nodes, ppn, self._round_seed(rounds)
+                )
+                self._accumulate(pooled, returns)
+                elapsed += extra
+                total += add
+                rounds += 1
+                converged = self._converged(pooled, s.target_rse)
         out: dict[str, BenchmarkResult] = {}
-        for op in ops:
-            histograms = self._pool([rank_out.get(op, {}) for rank_out in result.returns])
+        for op in sorted(pooled):
+            metadata = {
+                "elapsed_simulated_s": elapsed,
+                "warmup": s.warmup,
+                "bins": s.bins,
+            }
+            if adaptive:
+                metadata["auto_reps"] = {
+                    "target_rse": s.target_rse,
+                    "max_reps": s.max_reps,
+                    "reps": total,
+                    "rounds": rounds,
+                    "converged": converged,
+                }
+            histograms = {
+                size: Histogram.from_samples(
+                    values, bins=s.bins, keep_samples=s.keep_samples,
+                )
+                for size, values in pooled[op].items()
+                if values
+            }
             out[op] = BenchmarkResult(
                 op=op,
                 nodes=nodes,
                 ppn=ppn,
                 cluster=self.spec.name,
                 histograms=histograms,
-                reps=self.settings.reps,
+                reps=total,
                 seed=self.seed,
-                metadata={
-                    "elapsed_simulated_s": result.elapsed,
-                    "warmup": self.settings.warmup,
-                    "bins": self.settings.bins,
-                },
+                metadata=metadata,
             )
         return out
 
@@ -129,9 +222,11 @@ class MPIBench:
         s = self.settings
         args = (list(sizes), s.reps, s.warmup, s.sync_rounds, s.drift_gap)
         if pattern == "pairs":
-            return self._run(args, drivers.isend_driver, nodes, ppn)
+            return self._run(args, drivers.isend_driver, nodes, ppn, reps_at=1)
         if pattern == "ring":
-            return self._run(args, drivers.ring_isend_driver, nodes, ppn)
+            return self._run(
+                args, drivers.ring_isend_driver, nodes, ppn, reps_at=1
+            )
         raise ValueError(f"unknown pattern {pattern!r}")
 
     def run_isend(self, nodes: int, ppn: int, sizes: list[int]) -> BenchmarkResult:
@@ -144,7 +239,9 @@ class MPIBench:
         benchmarks)."""
         s = self.settings
         args = (list(sizes), s.reps, s.warmup)
-        return self._run(args, drivers.pingpong_driver, nodes, ppn)["pingpong_half"]
+        return self._run(
+            args, drivers.pingpong_driver, nodes, ppn, reps_at=1
+        )["pingpong_half"]
 
     def run_bcast(
         self, nodes: int, ppn: int, sizes: list[int], root: int = 0
@@ -152,13 +249,17 @@ class MPIBench:
         """Benchmark MPI_Bcast completion times at every rank."""
         s = self.settings
         args = (list(sizes), s.reps, root, s.warmup, s.sync_rounds, s.drift_gap)
-        return self._run(args, drivers.bcast_driver, nodes, ppn)["bcast"]
+        return self._run(
+            args, drivers.bcast_driver, nodes, ppn, reps_at=1
+        )["bcast"]
 
     def run_barrier(self, nodes: int, ppn: int) -> BenchmarkResult:
         """Benchmark MPI_Barrier times."""
         s = self.settings
         args = (s.reps, s.warmup, s.sync_rounds, s.drift_gap)
-        return self._run(args, drivers.barrier_driver, nodes, ppn)["barrier"]
+        return self._run(
+            args, drivers.barrier_driver, nodes, ppn, reps_at=0
+        )["barrier"]
 
     # -- sweeps ------------------------------------------------------------------------
     def sweep_isend(

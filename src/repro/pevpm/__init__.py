@@ -48,10 +48,13 @@ from .parallel import (
 from .vector import BatchedVirtualMachine
 from . import patterns
 from .parser import ParseError, parse_annotations
+from ..stats import PrecisionTarget
 from .predict import (
+    AdaptiveResult,
     Prediction,
     build_prediction,
     compare_timing_modes,
+    evaluate_with_precision,
     predict,
     predict_speedups,
     prediction_doc,
@@ -74,6 +77,7 @@ from .trace import LossReport, TraceEvent, TraceRecorder
 
 __all__ = [
     "ANY_SOURCE",
+    "AdaptiveResult",
     "AverageTiming",
     "BatchedVirtualMachine",
     "Block",
@@ -91,6 +95,7 @@ __all__ = [
     "ModelError",
     "ParametricTiming",
     "ParseError",
+    "PrecisionTarget",
     "Prediction",
     "PredictionCache",
     "ProcContext",
@@ -122,6 +127,7 @@ __all__ = [
     "compiled_program_for",
     "evaluate",
     "evaluate_groups",
+    "evaluate_with_precision",
     "resolve_workers",
     "run_seeds",
     "extract_symbolic_model",

@@ -61,6 +61,7 @@ __all__ = [
     "chunk_seed",
     "install_fault_injector",
     "run_seeds",
+    "group_run_seeds",
     "resolve_workers",
     "evaluate_groups",
 ]
@@ -151,6 +152,14 @@ class RunGroup:
     #: its generator.  Part of the cache key: a compiled evaluation is
     #: recorded as such.
     compiled: bool = True
+    #: absolute index of this group's first run in its seed stream:
+    #: scalar run *i* draws child stream ``run_offset + i`` and batch
+    #: chunks are seeded at absolute starts, so a group covering runs
+    #: ``[offset, offset+runs)`` is bit-identical to the same slice of a
+    #: larger one-shot group (provided chunk boundaries line up) -- the
+    #: property adaptive (precision-targeted) evaluation extends runs
+    #: through.  0, the default, is the ordinary whole-evaluation group.
+    run_offset: int = 0
 
 
 def _vectorised(group: RunGroup) -> bool:
@@ -176,6 +185,16 @@ def chunk_seed(root: np.random.SeedSequence, start: int) -> np.random.SeedSequen
     return np.random.SeedSequence(
         entropy=root.entropy, spawn_key=root.spawn_key + (start,)
     )
+
+
+def group_run_seeds(group: "RunGroup") -> list[np.random.SeedSequence]:
+    """Per-run child streams of one group at **absolute** run indices.
+
+    Scalar run *i* of a group draws child ``run_offset + i`` -- the same
+    stream run ``run_offset + i`` of a zero-offset group would draw, so
+    evaluating runs in offset slices (the adaptive extension scheme)
+    reproduces a one-shot evaluation bit for bit."""
+    return [chunk_seed(group.seed, group.run_offset + i) for i in range(group.runs)]
 
 
 @dataclass
@@ -248,7 +267,7 @@ def _execute_batch(
     vm = BatchedVirtualMachine(
         group.nprocs,
         group.timing,
-        seed=chunk_seed(group.seed, start),
+        seed=chunk_seed(group.seed, group.run_offset + start),
         runs=size,
         params=group.params,
         nic_serialisation=group.nic_serialisation,
@@ -340,7 +359,7 @@ def _evaluate_serial(groups: list[RunGroup]) -> list[list[RunOutcome]]:
             for start, size in _vector_chunks(group):
                 outcomes.extend(_execute_batch(group, program, start, size))
         else:
-            children = run_seeds(group.seed, group.runs)
+            children = group_run_seeds(group)
             for run, child in enumerate(children):
                 trace = group.trace_last and run == group.runs - 1
                 outcomes.append(_execute_run(group, program, child, trace))
@@ -363,7 +382,7 @@ def _work_units(groups: list[RunGroup]) -> list[tuple]:
             for start, size in _vector_chunks(group):
                 units.append(("batch", gi, start, size))
             continue
-        children = run_seeds(group.seed, group.runs)
+        children = group_run_seeds(group)
         for run, child in enumerate(children):
             trace = group.trace_last and run == group.runs - 1
             units.append(("run", gi, run, child, trace))
@@ -564,6 +583,8 @@ class PredictionCache:
         vector_runs: bool = False,
         vector_batch: int = VECTOR_BATCH,
         compiled: bool = True,
+        precision: dict | None = None,
+        run_offset: int = 0,
     ) -> str:
         """Content fingerprint of one ``predict`` call.
 
@@ -574,30 +595,40 @@ class PredictionCache:
         and interpreted evaluations are bit-identical by contract, but a
         distinct key keeps any violation of that contract observable
         instead of silently papered over by the cache.
+
+        *precision* (the JSON-able form of a
+        :class:`~repro.stats.PrecisionTarget`) keys an **adaptive**
+        evaluation: the run count is decided by the stopping rule, so
+        the target replaces ``runs`` in the fingerprint (``runs`` is
+        nulled).  Fixed-``runs`` keys are byte-identical to the
+        pre-adaptive scheme -- existing caches stay warm.
         """
         try:
             model_blob = pickle.dumps((model, params), protocol=4)
         except Exception:
             model_blob = repr((model, params)).encode()
+        ident = {
+            "v": self.VERSION,
+            "nprocs": nprocs,
+            "timing": timing_fingerprint,
+            "seed": seed_token(seed),
+            "runs": runs,
+            "nic": nic_serialisation,
+            "ppn": ppn,
+            "vector": bool(vector_runs),
+            "vbatch": vector_batch if vector_runs else None,
+            "compiled": bool(compiled),
+        }
+        if precision is not None:
+            ident["runs"] = None
+            ident["precision"] = dict(sorted(precision.items()))
+        if run_offset:
+            # Offset slices (adaptive increments) are distinct content;
+            # zero offsets omit the field so pre-offset keys are stable.
+            ident["offset"] = run_offset
         h = hashlib.sha256()
         h.update(model_blob)
-        h.update(
-            json.dumps(
-                {
-                    "v": self.VERSION,
-                    "nprocs": nprocs,
-                    "timing": timing_fingerprint,
-                    "seed": seed_token(seed),
-                    "runs": runs,
-                    "nic": nic_serialisation,
-                    "ppn": ppn,
-                    "vector": bool(vector_runs),
-                    "vbatch": vector_batch if vector_runs else None,
-                    "compiled": bool(compiled),
-                },
-                sort_keys=True,
-            ).encode()
-        )
+        h.update(json.dumps(ident, sort_keys=True).encode())
         return h.hexdigest()
 
     def group_key(self, group: RunGroup) -> str:
@@ -616,6 +647,7 @@ class PredictionCache:
             vector_runs=group.vector_runs,
             vector_batch=group.vector_batch,
             compiled=group.compiled,
+            run_offset=group.run_offset,
         )
 
     def _path(self, key: str) -> Path:

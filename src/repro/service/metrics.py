@@ -42,6 +42,11 @@ QUANTILES = (0.5, 0.9, 0.99)
 #: everything from an LRU hit to a pathological engine evaluation
 STAGE_BUCKETS = tuple(1e-5 * 4 ** i for i in range(12))
 
+#: power-of-two ``le`` bounds for the Monte Carlo runs-spent histogram:
+#: the adaptive stopping rule's doubling schedule lands totals exactly
+#: on these, so each bucket is one possible stopping point
+RUNS_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
 
 def escape_label_value(value) -> str:
     """Escape a label value per the Prometheus text exposition format.
@@ -125,6 +130,9 @@ class ServiceMetrics:
         self._latencies: dict[str, deque] = {}
         #: stage -> [bucket cumulative counts..., +Inf count, sum]
         self._stages: dict[str, list[float]] = {}
+        #: mode ("adaptive" | "fixed") -> runs-spent histogram row,
+        #: same [buckets..., +Inf, sum] layout as the stage rows
+        self._runs: dict[str, list[float]] = {}
         #: (name, labels-tuple) -> stored gauge value
         self._gauges: dict[tuple[str, tuple], float] = {}
         #: (name, labels-tuple) -> callable sampled at render time
@@ -162,6 +170,22 @@ class ServiceMetrics:
                     row[i] += 1.0
             row[-2] += 1.0  # +Inf
             row[-1] += seconds  # sum
+
+    def observe_runs(self, runs: int, mode: str) -> None:
+        """Record the Monte Carlo run count of one engine-served
+        prediction (``repro_prediction_runs{mode=...}``) -- *mode* is
+        ``"adaptive"`` (stopping rule decided the spend) or ``"fixed"``
+        (the request pinned it), so the runs-saved story of adaptive
+        mode is readable straight off ``/metrics``."""
+        with self._lock:
+            row = self._runs.get(mode)
+            if row is None:
+                row = self._runs[mode] = [0.0] * (len(RUNS_BUCKETS) + 2)
+            for i, bound in enumerate(RUNS_BUCKETS):
+                if runs <= bound:
+                    row[i] += 1.0
+            row[-2] += 1.0  # +Inf
+            row[-1] += runs  # sum
 
     def set_gauge(self, name: str, value: float, **labels) -> None:
         """Store a gauge value (last write wins)."""
@@ -212,6 +236,18 @@ class ServiceMetrics:
             row = self._stages.get(stage)
             return 0 if row is None else int(row[-2])
 
+    def runs_count(self, mode: str) -> int:
+        """Predictions recorded in the runs-spent histogram for *mode*."""
+        with self._lock:
+            row = self._runs.get(mode)
+            return 0 if row is None else int(row[-2])
+
+    def runs_sum(self, mode: str) -> float:
+        """Total Monte Carlo runs spent across *mode*'s predictions."""
+        with self._lock:
+            row = self._runs.get(mode)
+            return 0.0 if row is None else row[-1]
+
     def latency_histogram(self, endpoint: str) -> Histogram | None:
         buf = self._latencies.get(endpoint)
         if not buf:
@@ -241,6 +277,7 @@ class ServiceMetrics:
         with self._lock:
             items = sorted(self._counters.items())
             stage_rows = {k: list(v) for k, v in self._stages.items()}
+            runs_rows = {k: list(v) for k, v in self._runs.items()}
         counters: dict[str, float] = {}
         for (name, labels), value in items:
             counters[name + _label_str(labels)] = value
@@ -262,11 +299,16 @@ class ServiceMetrics:
             stage: {"count": int(row[-2]), "sum": row[-1]}
             for stage, row in sorted(stage_rows.items())
         }
+        runs = {
+            mode: {"count": int(row[-2]), "sum": row[-1]}
+            for mode, row in sorted(runs_rows.items())
+        }
         return {
             "counters": counters,
             "gauges": gauges,
             "latency_seconds": latencies,
             "stage_seconds": stages,
+            "prediction_runs": runs,
         }
 
     # -- exposition ----------------------------------------------------------------
@@ -312,6 +354,24 @@ class ServiceMetrics:
             )
             lines.append(f"repro_stage_seconds_count{{{lbl}}} {row[-2]:g}")
             lines.append(f"repro_stage_seconds_sum{{{lbl}}} {row[-1]:.6g}")
+        with self._lock:
+            runs_rows = sorted((k, list(v)) for k, v in self._runs.items())
+        if runs_rows:
+            lines.append("# TYPE repro_prediction_runs histogram")
+        for mode, row in runs_rows:
+            base = self._stamped((("mode", mode),))
+            lbl = _label_str(base)[1:-1]
+            for bound, count in zip(RUNS_BUCKETS, row):
+                lines.append(
+                    f'repro_prediction_runs_bucket{{{lbl},le="{bound:g}"}} '
+                    f"{count:g}"
+                )
+            lines.append(
+                f'repro_prediction_runs_bucket{{{lbl},le="+Inf"}} '
+                f"{row[-2]:g}"
+            )
+            lines.append(f"repro_prediction_runs_count{{{lbl}}} {row[-2]:g}")
+            lines.append(f"repro_prediction_runs_sum{{{lbl}}} {row[-1]:g}")
         for endpoint in sorted(self._latencies):
             buf = self._latencies[endpoint]
             hist = self.latency_histogram(endpoint)

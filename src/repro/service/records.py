@@ -119,6 +119,13 @@ class PredictRequest:
     #: registry ref (alias or fingerprint) of the distribution database
     #: to predict against; ``None`` means the service's startup default
     db: str | None = None
+    #: adaptive mode: stop when the mean's CI half-width relative to
+    #: |mean| meets this target (mutually exclusive with an explicit
+    #: ``runs`` in the request body; ``runs`` is then decided by the
+    #: stopping rule and echoed back as the achieved total)
+    target_rse: float | None = None
+    min_runs: int = 4  #: adaptive: first total evaluated
+    max_runs: int = 256  #: adaptive: hard spend cap
 
     @classmethod
     def from_dict(cls, doc: object) -> "PredictRequest":
@@ -126,7 +133,8 @@ class PredictRequest:
         known = {
             "model", "nprocs", "model_params", "ppn", "runs", "seed",
             "timing_mode", "timing_source", "nic_serialisation",
-            "vector_runs", "compiled", "deadline_s", "db",
+            "vector_runs", "vector_batch", "compiled", "deadline_s", "db",
+            "target_rse", "min_runs", "max_runs",
         }
         unknown = set(doc) - known
         _require(not unknown, f"unknown request fields: {sorted(unknown)}")
@@ -159,6 +167,37 @@ class PredictRequest:
                 isinstance(db_ref, str) and bool(_DB_REF_RE.match(db_ref)),
                 "db must be a registry alias or fingerprint",
             )
+        target_rse = doc.get("target_rse")
+        if target_rse is not None:
+            _require(
+                isinstance(target_rse, (int, float))
+                and not isinstance(target_rse, bool)
+                and target_rse > 0,
+                "target_rse must be a positive number",
+            )
+            _require(
+                "runs" not in doc,
+                "give either runs or target_rse, not both "
+                "(adaptive mode decides the run count)",
+            )
+        else:
+            _require(
+                "min_runs" not in doc and "max_runs" not in doc,
+                "min_runs/max_runs only apply with target_rse",
+            )
+        min_runs = _as_int(doc.get("min_runs", 4), "min_runs", 2)
+        max_runs = _as_int(doc.get("max_runs", 256), "max_runs", 2)
+        _require(max_runs >= min_runs, "max_runs must be >= min_runs")
+        vector_runs = bool(doc.get("vector_runs", True))
+        if "vector_batch" in doc:
+            _require(vector_runs, "vector_batch only applies with vector_runs")
+            vector_batch = _as_int(doc.get("vector_batch"), "vector_batch", 1)
+        elif target_rse is not None:
+            # Adaptive chunks default to min_runs so a loose target can
+            # stop after its first chunk instead of a full default chunk.
+            vector_batch = min_runs
+        else:
+            vector_batch = VECTOR_BATCH
         return cls(
             model=model,
             nprocs=_as_int(doc.get("nprocs"), "nprocs", 1),
@@ -169,15 +208,42 @@ class PredictRequest:
             timing_mode=mode,
             timing_source=source,
             nic_serialisation=nic,
-            vector_runs=bool(doc.get("vector_runs", True)),
+            vector_runs=vector_runs,
+            vector_batch=vector_batch,
             compiled=bool(doc.get("compiled", True)),
             deadline_s=None if deadline is None else float(deadline),
             db=db_ref,
+            target_rse=None if target_rse is None else float(target_rse),
+            min_runs=min_runs,
+            max_runs=max_runs,
+        )
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether the run count is decided by the stopping rule."""
+        return self.target_rse is not None
+
+    def precision_target(self):
+        """The :class:`repro.stats.PrecisionTarget` of an adaptive
+        request (``None`` for fixed-``runs`` ones)."""
+        if self.target_rse is None:
+            return None
+        from ..stats import PrecisionTarget
+
+        return PrecisionTarget(
+            rse=self.target_rse, min_runs=self.min_runs, max_runs=self.max_runs
         )
 
     def canonical(self) -> dict:
-        """Every field that determines the numbers, defaults filled."""
-        return {
+        """Every field that determines the numbers, defaults filled.
+
+        Adaptive requests null ``runs`` and add a ``precision`` block
+        instead (the run count is the rule's *output*); fixed-``runs``
+        requests keep the exact historical shape, so their keys -- and
+        every cache entry written before adaptive mode existed -- are
+        unchanged.
+        """
+        doc = {
             "model": self.model,
             "model_params": dict(sorted(self.model_params.items())),
             "nprocs": self.nprocs,
@@ -191,6 +257,29 @@ class PredictRequest:
             "vector_batch": self.vector_batch if self.vector_runs else None,
             "compiled": self.compiled,
         }
+        if self.target_rse is not None:
+            doc["runs"] = None
+            doc["precision"] = self.precision_target().to_doc()
+        return doc
+
+    def fixed_canonical(self, achieved_runs: int) -> dict:
+        """The canonical form of the *equivalent fixed request* of an
+        adaptive one: same content, ``runs`` pinned to the stopping
+        rule's achieved total, no precision block.  Adaptive results are
+        bit-identical to this request's by construction, so caching them
+        under its key lets later ``runs=N`` requests hit."""
+        doc = self.canonical()
+        doc.pop("precision", None)
+        doc["runs"] = achieved_runs
+        return doc
+
+    def fixed_key(self, db_fingerprint: str, achieved_runs: int) -> str:
+        """Cache key of :meth:`fixed_canonical` (see there)."""
+        blob = json.dumps(
+            {"db": db_fingerprint, "request": self.fixed_canonical(achieved_runs)},
+            sort_keys=True,
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()
 
     def key(self, db_fingerprint: str) -> str:
         """Content-addressed identity of this request against one
@@ -283,6 +372,10 @@ def prediction_record(
         "cached": pred.cached,
         "engine": {},
     }
+    if pred.precision is not None:
+        # Adaptive provenance: the target, per-round RSE trail, and
+        # whether the stopping rule converged before the run cap.
+        record["precision"] = pred.precision
     if seed is not None:
         record["seed"] = seed
     if vector_runs is not None:

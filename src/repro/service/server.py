@@ -38,6 +38,7 @@ import json
 import os
 import threading
 import time as _time
+from dataclasses import replace
 from urllib.parse import parse_qsl, urlsplit
 
 from ..mpibench.results import DistributionDB
@@ -50,7 +51,13 @@ from ..pevpm.parallel import (
     as_seed_sequence,
     evaluate_groups,
 )
-from ..pevpm.predict import build_prediction, prediction_doc, prediction_from_doc
+from ..pevpm.predict import (
+    build_prediction,
+    evaluate_with_precision,
+    precision_doc,
+    prediction_doc,
+    prediction_from_doc,
+)
 from ..pevpm.timing import timing_from_db
 from ..registry import (
     RegistryError,
@@ -345,53 +352,99 @@ class PredictionService:
             doc["phases"] = phases
         return doc
 
+    def _finish_adaptive(self, group: RunGroup, target, result) -> dict:
+        """Document for one adaptive evaluation: the finished group is
+        the equivalent fixed request at the achieved total, plus the
+        ``precision`` provenance block (target, per-round RSE trail,
+        convergence)."""
+        t0 = _time.perf_counter()
+        finished = replace(group, runs=result.runs)
+        pred = build_prediction(finished, result.outcomes, result.wall)
+        doc = dict(prediction_doc(finished, pred), wall_time=result.wall)
+        doc["precision"] = precision_doc(target, result)
+        phases = merge_phases(result.outcomes)
+        if phases:
+            phases["serialize"] = _time.perf_counter() - t0
+            doc["phases"] = phases
+        return doc
+
     def _evaluate_requests(self, reqs: list[PredictRequest]) -> list:
         """Evaluate one micro-batch (runs on the evaluator thread).
 
-        All requests' groups go through **one** ``evaluate_groups``
-        call; a failure (e.g. a deadlocking model) falls back to
-        per-request evaluation so one poisoned request cannot fail its
-        batch-mates.  Returns one document or exception per request.
+        All requests' groups go through **one**
+        :func:`~repro.pevpm.predict.evaluate_with_precision` call:
+        fixed-``runs`` groups evaluate in its first round, and adaptive
+        groups' refinement increments coalesce -- every round is a
+        single ``evaluate_groups`` dispatch covering all still-active
+        requests, so concurrent adaptive refinements share the pool just
+        as fixed batch-mates do.  A failure (e.g. a deadlocking model)
+        falls back to per-request evaluation so one poisoned request
+        cannot fail its batch-mates.  Returns one document or exception
+        per request.
         """
         if self.faults is not None:
             self.faults.on_evaluate()
         results: list = [None] * len(reqs)
-        groups: list[RunGroup] = []
-        idx: list[int] = []
+        fixed_groups: list[RunGroup] = []
+        fixed_idx: list[int] = []
+        adaptive_pairs: list = []
+        adaptive_idx: list[int] = []
         for i, req in enumerate(reqs):
             try:
-                groups.append(self._group_for(req))
-                idx.append(i)
+                group = self._group_for(req)
+                target = req.precision_target()
             except Exception as exc:
                 results[i] = exc
-        if groups:
-            t0 = _time.perf_counter()
-            try:
-                per_group = evaluate_groups(
-                    groups, workers=self.workers, on_rebuild=self._pool_rebuilt
-                )
-            except Exception:
-                per_group = None
-            wall = _time.perf_counter() - t0
-            if per_group is None:
-                for i, group in zip(idx, groups):
-                    try:
-                        t1 = _time.perf_counter()
-                        outcomes = evaluate_groups(
-                            [group],
-                            workers=self.workers,
-                            on_rebuild=self._pool_rebuilt,
-                        )[0]
-                        results[i] = self._finish(
-                            group, outcomes, _time.perf_counter() - t1
-                        )
-                    except Exception as exc:
-                        results[i] = exc
+                continue
+            if target is not None:
+                adaptive_pairs.append((group, target))
+                adaptive_idx.append(i)
             else:
-                total = sum(o.wall for per in per_group for o in per) or 1.0
-                for i, group, outcomes in zip(idx, groups, per_group):
-                    own = sum(o.wall for o in outcomes)
-                    results[i] = self._finish(group, outcomes, wall * own / total)
+                fixed_groups.append(group)
+                fixed_idx.append(i)
+        if not fixed_groups and not adaptive_pairs:
+            return results
+        try:
+            fixed_out, fixed_walls, adaptive_results = evaluate_with_precision(
+                fixed_groups,
+                adaptive_pairs,
+                workers=self.workers,
+                on_rebuild=self._pool_rebuilt,
+            )
+        except Exception:
+            for i, group in zip(fixed_idx, fixed_groups):
+                try:
+                    t1 = _time.perf_counter()
+                    outcomes = evaluate_groups(
+                        [group],
+                        workers=self.workers,
+                        on_rebuild=self._pool_rebuilt,
+                    )[0]
+                    results[i] = self._finish(
+                        group, outcomes, _time.perf_counter() - t1
+                    )
+                except Exception as exc:
+                    results[i] = exc
+            for i, (group, target) in zip(adaptive_idx, adaptive_pairs):
+                try:
+                    _, _, singles = evaluate_with_precision(
+                        [],
+                        [(group, target)],
+                        workers=self.workers,
+                        on_rebuild=self._pool_rebuilt,
+                    )
+                    results[i] = self._finish_adaptive(group, target, singles[0])
+                except Exception as exc:
+                    results[i] = exc
+        else:
+            for i, group, outcomes, wall in zip(
+                fixed_idx, fixed_groups, fixed_out, fixed_walls
+            ):
+                results[i] = self._finish(group, outcomes, wall)
+            for i, (group, target), result in zip(
+                adaptive_idx, adaptive_pairs, adaptive_results
+            ):
+                results[i] = self._finish_adaptive(group, target, result)
         return results
 
     def _pool_rebuilt(self, ordinal: int) -> None:
@@ -441,7 +494,7 @@ class PredictionService:
         if not self.dedup_enabled:
             doc = await self._engine_submit(req, trace, tenant)
             if self.caching:
-                self.cache.put(key, doc)
+                self._cache_store(req, key, doc)
             return doc, "engine"
         leader, fut = self.dedup.claim(key, trace)
         if not leader:
@@ -454,12 +507,32 @@ class PredictionService:
         try:
             doc = await self._engine_submit(req, trace, tenant)
             if self.caching:
-                self.cache.put(key, doc)
+                self._cache_store(req, key, doc)
             self.dedup.resolve(key, (doc, "engine"))
             return doc, "engine"
         except BaseException as exc:
             self.dedup.reject(key, exc)
             raise
+
+    def _cache_store(self, req: PredictRequest, key: str, doc: dict) -> None:
+        """Persist one engine result in the cache tiers.
+
+        Adaptive results are additionally stored -- with the
+        ``precision`` provenance stripped -- under the key of the
+        *equivalent fixed request* at the achieved run count: adaptive
+        and fixed evaluations of the same content are bit-identical by
+        construction, so a later ``runs=N`` request is a cache hit
+        instead of a re-evaluation.
+        """
+        self.cache.put(key, doc)
+        if req.adaptive and isinstance(doc.get("times"), list):
+            fixed_doc = {k: v for k, v in doc.items() if k != "precision"}
+            fingerprint = (
+                getattr(req, "_registry_fpr", None) or self.db_fingerprint
+            )
+            self.cache.put(
+                req.fixed_key(fingerprint, len(doc["times"])), fixed_doc
+            )
 
     async def handle_predict(
         self, body: object, headers: dict | None = None
@@ -526,6 +599,29 @@ class PredictionService:
             trace.add_span(
                 f"engine.{phase}", at, at + seconds,
                 parent=engine, synthetic=True,
+            )
+            at += seconds
+
+    def _attach_adaptive_rounds(self, trace, doc) -> None:
+        """Subdivide the ``engine`` span of an adaptive evaluation into
+        one synthetic child per refinement round, carrying the round's
+        cumulative run total, added runs, and achieved RSE -- the
+        stopping rule's decision trail in the waterfall."""
+        precision = doc.get("precision") if isinstance(doc, dict) else None
+        rounds = (precision or {}).get("rounds")
+        engine = trace.find("engine")
+        if not rounds or engine is None:
+            return
+        at = engine.start
+        for ordinal, rnd in enumerate(rounds):
+            seconds = float(rnd.get("wall", 0.0))
+            if seconds <= 0.0:
+                continue
+            trace.add_span(
+                f"engine.round[{ordinal}]", at, at + seconds,
+                parent=engine, synthetic=True,
+                runs=rnd.get("runs"), added=rnd.get("added"),
+                rse=rnd.get("rse"),
             )
             at += seconds
 
@@ -681,9 +777,17 @@ class PredictionService:
             # buckets; attach them while it is still in scope (the
             # response record below deliberately omits them).
             self._attach_engine_phases(trace, doc)
+            self._attach_adaptive_rounds(trace, doc)
         pred = prediction_from_doc(doc)
         pred.cached = source != "engine"
         pred.wall_time = float(doc.get("wall_time", 0.0))
+        pred.precision = doc.get("precision")
+        if source == "engine":
+            # Spend accounting: how many MC runs each engine-served
+            # prediction cost, split by who decided the count.
+            self.metrics.observe_runs(
+                pred.runs, "adaptive" if req.adaptive else "fixed"
+            )
         record = prediction_record(
             pred,
             seed=req.seed,

@@ -1,0 +1,37 @@
+"""Statistical rigour for benchmarking and prediction.
+
+Hunold & Carpen-Amarie's *MPI Benchmarking Revisited* (PAPERS.md) argues
+that run counts and summary statistics must be chosen by experimental
+design, not guessed.  This package supplies the machinery both MPIBench
+and the PEVPM prediction engine use to do that:
+
+* :mod:`.ci` -- confidence intervals on the mean (normal theory) and on
+  quantiles (exact order statistics, seeded bootstrap), numpy-only;
+* :mod:`.stopping` -- :class:`~repro.stats.stopping.PrecisionTarget`,
+  the sequential stopping rule that runs Monte Carlo in increments
+  until the CI half-width meets a relative/absolute target, with a hard
+  cap and a deterministic seed-stream continuation scheme;
+* :mod:`.compare` -- nonparametric prediction-vs-measurement checks
+  (two-sample Kolmogorov-Smirnov statistic + asymptotic p-value,
+  CI-overlap verdicts).
+"""
+
+from .ci import ConfidenceInterval, mean_ci, norm_ppf, quantile_ci, bootstrap_quantile_ci
+from .compare import ComparisonVerdict, ci_overlap, ks_2samp, ks_pvalue, verdict_for
+from .stopping import PrecisionTarget, achieved_rse, next_total
+
+__all__ = [
+    "ConfidenceInterval",
+    "mean_ci",
+    "norm_ppf",
+    "quantile_ci",
+    "bootstrap_quantile_ci",
+    "ComparisonVerdict",
+    "ci_overlap",
+    "ks_2samp",
+    "ks_pvalue",
+    "verdict_for",
+    "PrecisionTarget",
+    "achieved_rse",
+    "next_total",
+]

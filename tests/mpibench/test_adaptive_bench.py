@@ -1,0 +1,139 @@
+"""Auto-reps benchmarking and the histogram statistics bugfixes."""
+
+import numpy as np
+import pytest
+
+from repro.mpibench import BenchSettings, Histogram, MPIBench
+from repro.simnet import perseus
+
+
+class TestZeroTotalGuards:
+    """Satellite 2: zero-mass histograms fail loudly, not with NaN curves."""
+
+    def _zeroed(self):
+        h = Histogram.from_samples([1.0, 2.0, 3.0], bins=3)
+        # Emptied after construction (in-place mutation / a hand-rolled
+        # __setstate__ payload) -- the case the guard exists for.
+        h.counts[:] = 0.0
+        h._cum[:] = 0.0
+        return h
+
+    def test_pdf_raises(self):
+        with pytest.raises(ValueError, match="zero total mass"):
+            self._zeroed().pdf()
+
+    def test_cdf_raises(self):
+        with pytest.raises(ValueError, match="zero total mass"):
+            self._zeroed().cdf()
+
+    def test_ks_distance_raises_either_side(self):
+        good = Histogram.from_samples([1.0, 2.0, 3.0], bins=3)
+        with pytest.raises(ValueError, match="zero total mass"):
+            self._zeroed().ks_distance(good)
+        with pytest.raises(ValueError, match="zero total mass"):
+            good.ks_distance(self._zeroed())
+
+    def test_intact_histogram_unaffected(self):
+        h = Histogram.from_samples([1.0, 2.0, 3.0], bins=3)
+        _, density = h.pdf()
+        assert np.all(np.isfinite(density))
+
+
+class TestSampleStd:
+    """Satellite 3: explicit population (std) vs sample (sample_std)."""
+
+    def test_exact_from_retained_samples(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        h = Histogram.from_samples(data, bins=5, keep_samples=True)
+        assert h.sample_std == pytest.approx(np.std(data, ddof=1))
+        assert h.std == pytest.approx(np.std(data, ddof=0))
+        assert h.sample_std > h.std
+
+    def test_binned_fallback_scales_population_estimate(self):
+        data = np.random.default_rng(0).gamma(3.0, 1.0, size=500)
+        h = Histogram.from_samples(data, bins=50, keep_samples=True)
+        binned = Histogram.from_dict(h.to_dict())  # drops samples
+        assert binned.samples is None
+        expected = binned.std * np.sqrt(binned.n / (binned.n - 1))
+        assert binned.sample_std == pytest.approx(expected)
+
+    def test_single_sample_inestimable(self):
+        h = Histogram.from_samples([7.0])
+        assert h.sample_std == 0.0
+
+
+class TestAutoReps:
+    """BenchSettings.target_rse: sequential stopping for the benchmark."""
+
+    CFG = dict(nodes=2, ppn=1, sizes=[256])
+
+    def test_loose_target_single_pass_identical_to_plain(self):
+        """Round 0 uses the root seed exactly, so a converged-at-once
+        campaign is byte-identical to a plain run of the same settings."""
+        plain = MPIBench(
+            perseus(4), seed=6, settings=BenchSettings(reps=20, warmup=2)
+        ).run_isend(**self.CFG)
+        adaptive = MPIBench(
+            perseus(4), seed=6,
+            settings=BenchSettings(reps=20, warmup=2, target_rse=0.8),
+        ).run_isend(**self.CFG)
+        hp, ha = plain.histograms[256], adaptive.histograms[256]
+        assert ha.n == hp.n
+        assert ha.mean == hp.mean
+        assert np.array_equal(ha.counts, hp.counts)
+        meta = adaptive.metadata["auto_reps"]
+        assert meta["rounds"] == 1 and meta["converged"]
+
+    def test_tight_target_adds_doubling_rounds(self):
+        bench = MPIBench(
+            perseus(4), seed=6,
+            settings=BenchSettings(
+                reps=10, warmup=2, target_rse=1e-3, max_reps=80
+            ),
+        )
+        result = bench.run_isend(**self.CFG)
+        meta = result.metadata["auto_reps"]
+        assert meta["rounds"] > 1
+        assert meta["reps"] > 10
+        assert meta["reps"] <= 80
+        # Raw samples pooled before binning: n tracks the spent reps.
+        assert result.histograms[256].n == meta["reps"] * 2  # 2 send ranks
+        assert result.reps == meta["reps"]
+
+    def test_cap_reports_nonconvergence(self):
+        bench = MPIBench(
+            perseus(4), seed=6,
+            settings=BenchSettings(
+                reps=10, warmup=2, target_rse=1e-9, max_reps=40
+            ),
+        )
+        meta = bench.run_isend(**self.CFG).metadata["auto_reps"]
+        assert meta["reps"] == 40
+        assert not meta["converged"]
+
+    def test_plain_run_has_no_auto_reps_metadata(self):
+        bench = MPIBench(
+            perseus(4), seed=6, settings=BenchSettings(reps=10, warmup=2)
+        )
+        assert "auto_reps" not in bench.run_isend(**self.CFG).metadata
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            BenchSettings(reps=10, target_rse=0.0).validate()
+        with pytest.raises(ValueError):
+            BenchSettings(reps=10, target_rse=-0.1).validate()
+        with pytest.raises(ValueError):
+            BenchSettings(reps=10, max_reps=5).validate()
+
+    def test_barrier_auto_reps(self):
+        """reps sits at a different driver-args index for barrier."""
+        bench = MPIBench(
+            perseus(4), seed=6,
+            settings=BenchSettings(
+                reps=10, warmup=2, target_rse=1e-3, max_reps=40
+            ),
+        )
+        result = bench.run_barrier(nodes=2, ppn=1)
+        meta = result.metadata.get("auto_reps")
+        assert meta is not None
+        assert meta["reps"] >= 10

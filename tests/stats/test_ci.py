@@ -1,0 +1,106 @@
+"""Confidence-interval layer: normal quantiles, mean CIs, quantile CIs."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.stats import ConfidenceInterval, mean_ci, norm_ppf, quantile_ci
+from repro.stats.ci import bootstrap_quantile_ci, z_for_level
+
+
+class TestNormPpf:
+    @pytest.mark.parametrize("p", [1e-9, 0.001, 0.02, 0.25, 0.5, 0.75, 0.975, 0.999, 1 - 1e-9])
+    def test_matches_scipy(self, p):
+        assert norm_ppf(p) == pytest.approx(sps.norm.ppf(p), rel=1e-8, abs=1e-8)
+
+    def test_symmetry(self):
+        for p in (0.01, 0.2, 0.45):
+            assert norm_ppf(p) == pytest.approx(-norm_ppf(1 - p), rel=1e-9)
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.1, 1.1])
+    def test_rejects_out_of_domain(self, p):
+        with pytest.raises(ValueError):
+            norm_ppf(p)
+
+    def test_z_for_level(self):
+        assert z_for_level(0.95) == pytest.approx(1.959964, abs=1e-5)
+        assert z_for_level(0.99) == pytest.approx(2.575829, abs=1e-5)
+
+
+class TestMeanCI:
+    def test_matches_hand_formula(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(10.0, 2.0, size=50)
+        ci = mean_ci(x, 0.95)
+        half = 1.959964 * np.std(x, ddof=1) / math.sqrt(50)
+        assert ci.estimate == pytest.approx(np.mean(x))
+        assert ci.half_width == pytest.approx(half, rel=1e-5)
+        assert ci.n == 50
+
+    def test_single_sample_degenerates_to_point(self):
+        ci = mean_ci([3.5])
+        assert (ci.estimate, ci.lo, ci.hi, ci.n) == (3.5, 3.5, 3.5, 1)
+        assert ci.half_width == 0.0
+
+    def test_empty_is_zero_point(self):
+        ci = mean_ci([])
+        assert (ci.estimate, ci.n) == (0.0, 0)
+
+    def test_coverage_about_nominal(self):
+        """~95% of 95% CIs on N(0,1) means contain 0."""
+        rng = np.random.default_rng(7)
+        hits = sum(
+            mean_ci(rng.normal(size=20), 0.95).contains(0.0)
+            for _ in range(400)
+        )
+        assert 0.90 <= hits / 400 <= 0.99
+
+    def test_overlaps(self):
+        a = ConfidenceInterval(1.0, 0.5, 1.5, 0.95, 10)
+        b = ConfidenceInterval(1.6, 1.4, 1.8, 0.95, 10)
+        c = ConfidenceInterval(3.0, 2.5, 3.5, 0.95, 10)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_relative_half_width_zero_mean(self):
+        degenerate = ConfidenceInterval(0.0, 0.0, 0.0, 0.95, 3)
+        assert degenerate.relative_half_width == 0.0
+        spread = ConfidenceInterval(0.0, -1.0, 1.0, 0.95, 3)
+        assert spread.relative_half_width == float("inf")
+
+
+class TestQuantileCI:
+    def test_brackets_true_quantile_mostly(self):
+        rng = np.random.default_rng(3)
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            x = rng.exponential(size=100)
+            ci = quantile_ci(x, 0.5, 0.95)
+            true_median = math.log(2.0)
+            hits += ci.lo <= true_median <= ci.hi
+        assert hits / trials >= 0.90
+
+    def test_interval_is_order_statistics(self):
+        x = np.arange(1.0, 101.0)
+        ci = quantile_ci(x, 0.9, 0.95)
+        assert ci.lo in x and ci.hi in x
+        assert ci.lo <= ci.estimate <= ci.hi
+
+    def test_small_n_clamps_to_extremes(self):
+        ci = quantile_ci([1.0, 2.0, 3.0], 0.99, 0.95)
+        assert ci.lo >= 1.0 and ci.hi <= 3.0
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            quantile_ci([1.0, 2.0], 0.0)
+
+    def test_bootstrap_deterministic(self):
+        x = np.random.default_rng(5).exponential(size=60)
+        a = bootstrap_quantile_ci(x, 0.9, seed=11)
+        b = bootstrap_quantile_ci(x, 0.9, seed=11)
+        assert (a.lo, a.hi) == (b.lo, b.hi)
+        c = bootstrap_quantile_ci(x, 0.9, seed=12)
+        assert (a.lo, a.hi) != (c.lo, c.hi)

@@ -1,0 +1,84 @@
+"""Nonparametric comparison: KS against scipy, verdict taxonomy."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.stats import ci_overlap, ks_2samp, ks_pvalue, verdict_for
+from repro.stats.compare import ks_statistic
+
+
+class TestKS:
+    def test_statistic_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=80)
+        b = rng.normal(0.5, size=70)
+        d, _ = ks_2samp(a, b)
+        ref = sps.ks_2samp(a, b)
+        assert d == pytest.approx(ref.statistic, abs=1e-12)
+
+    def test_pvalue_close_to_scipy_asymp(self):
+        rng = np.random.default_rng(4)
+        for loc in (0.0, 0.3, 1.0):
+            a = rng.normal(size=100)
+            b = rng.normal(loc, size=120)
+            d, p = ks_2samp(a, b)
+            ref = sps.ks_2samp(a, b, method="asymp")
+            # Stephens' correction differs slightly from scipy's plain
+            # asymptotic formula; agreement to a few percent is expected.
+            assert p == pytest.approx(ref.pvalue, abs=0.05)
+
+    def test_identical_samples(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        d, p = ks_2samp(x, x)
+        assert d == 0.0
+        assert p == 1.0
+
+    def test_disjoint_samples(self):
+        d, p = ks_2samp([1.0, 2.0, 3.0] * 10, [10.0, 11.0, 12.0] * 10)
+        assert d == 1.0
+        assert p < 0.001
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], [1.0])
+
+    def test_pvalue_domain_checks(self):
+        with pytest.raises(ValueError):
+            ks_pvalue(1.5, 10, 10)
+        with pytest.raises(ValueError):
+            ks_pvalue(0.5, 0, 10)
+        assert ks_pvalue(0.0, 10, 10) == 1.0
+
+
+class TestVerdict:
+    def test_match(self):
+        rng = np.random.default_rng(9)
+        a = rng.normal(1.0, 0.1, size=60)
+        b = rng.normal(1.0, 0.1, size=60)
+        v = verdict_for(a, b)
+        assert v.verdict == "match"
+        assert v.ci_overlap
+        assert v.ks_pvalue >= 0.05
+
+    def test_different(self):
+        rng = np.random.default_rng(9)
+        a = rng.normal(1.0, 0.1, size=100)
+        b = rng.exponential(1.0, size=100)
+        v = verdict_for(a, b)
+        assert v.verdict == "different"
+        assert v.ks_pvalue < 0.05
+
+    def test_shifted(self):
+        # Large same-shape samples whose means separate by a hair: with a
+        # tiny alpha KS cannot reject, but the (tight) mean CIs split.
+        rng = np.random.default_rng(12)
+        a = rng.normal(1.0, 0.05, size=400)
+        b = rng.normal(1.012, 0.05, size=400)
+        v = verdict_for(a, b, alpha=1e-6)
+        assert v.verdict == "shifted"
+        assert not v.ci_overlap
+
+    def test_ci_overlap_helper(self):
+        assert ci_overlap([1.0, 1.1, 0.9], [1.05, 0.95, 1.0])
+        assert not ci_overlap([1.0, 1.001, 0.999] * 20, [2.0, 2.001, 1.999] * 20)

@@ -1,0 +1,139 @@
+"""Sequential stopping rule: schedule, alignment, satisfaction, edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats import PrecisionTarget, achieved_rse, next_total
+
+
+class TestAchievedRse:
+    def test_known_value(self):
+        x = [1.0, 1.1, 0.9, 1.05, 0.95]
+        import math
+
+        half = 1.959964 * np.std(x, ddof=1) / math.sqrt(len(x))
+        assert achieved_rse(x) == pytest.approx(half / np.mean(x), rel=1e-5)
+
+    @pytest.mark.parametrize("times", [[], [1.0]])
+    def test_inestimable_is_inf(self, times):
+        assert achieved_rse(times) == float("inf")
+
+    def test_zero_mean_zero_spread(self):
+        assert achieved_rse([0.0, 0.0, 0.0]) == 0.0
+
+    def test_zero_mean_with_spread(self):
+        assert achieved_rse([-1.0, 1.0]) == float("inf")
+
+    def test_tighter_level_wider(self):
+        x = np.random.default_rng(2).exponential(size=30)
+        assert achieved_rse(x, level=0.99) > achieved_rse(x, level=0.90)
+
+
+class TestPrecisionTarget:
+    def test_requires_a_bound(self):
+        with pytest.raises(ValueError):
+            PrecisionTarget()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"rse": 0.0},
+            {"rse": -0.1},
+            {"abs_halfwidth": 0.0},
+            {"rse": 0.1, "level": 1.0},
+            {"rse": 0.1, "level": 0.0},
+            {"rse": 0.1, "min_runs": 1},
+            {"rse": 0.1, "min_runs": 8, "max_runs": 4},
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            PrecisionTarget(**kw)
+
+    def test_doc_roundtrip(self):
+        t = PrecisionTarget(rse=0.02, level=0.9, min_runs=8, max_runs=64)
+        assert PrecisionTarget.from_doc(t.to_doc()) == t
+        assert "abs_halfwidth" not in t.to_doc()
+        t2 = PrecisionTarget(abs_halfwidth=1e-6)
+        assert PrecisionTarget.from_doc(t2.to_doc()) == t2
+        assert "rse" not in t2.to_doc()
+
+    def test_satisfied_needs_min_runs(self):
+        t = PrecisionTarget(rse=10.0, min_runs=8)
+        tight = [1.0, 1.0001, 0.9999, 1.0]
+        assert not t.satisfied(tight)  # only 4 < min_runs=8
+        assert t.satisfied(tight * 2)
+
+    def test_satisfied_rse_bound(self):
+        noisy = list(np.random.default_rng(0).exponential(size=8))
+        assert PrecisionTarget(rse=100.0).satisfied(noisy)
+        assert not PrecisionTarget(rse=1e-6).satisfied(noisy)
+
+    def test_satisfied_abs_bound(self):
+        x = [1.0, 1.1, 0.9, 1.0]
+        assert PrecisionTarget(abs_halfwidth=10.0).satisfied(x)
+        assert not PrecisionTarget(abs_halfwidth=1e-9).satisfied(x)
+
+    def test_satisfied_both_bounds_must_hold(self):
+        x = [1.0, 1.1, 0.9, 1.0]
+        assert not PrecisionTarget(rse=100.0, abs_halfwidth=1e-9).satisfied(x)
+
+    def test_satisfied_zero_mean(self):
+        t = PrecisionTarget(rse=0.01, min_runs=2)
+        assert t.satisfied([0.0, 0.0])
+        assert not t.satisfied([-1.0, 1.0])
+
+
+class TestNextTotal:
+    def test_doubling_schedule(self):
+        t = PrecisionTarget(rse=0.01, min_runs=4, max_runs=256)
+        totals = []
+        done = 0
+        while done < t.max_runs:
+            done = next_total(done, t)
+            totals.append(done)
+        assert totals == [4, 8, 16, 32, 64, 128, 256]
+
+    def test_cap_is_sticky(self):
+        t = PrecisionTarget(rse=0.01, max_runs=16)
+        assert next_total(16, t) == 16
+
+    def test_cap_can_be_partial(self):
+        t = PrecisionTarget(rse=0.01, min_runs=4, max_runs=100)
+        assert next_total(64, t) == 100
+
+    def test_batch_alignment(self):
+        t = PrecisionTarget(rse=0.01, min_runs=4, max_runs=256)
+        assert next_total(0, t, batch=16) == 16
+        assert next_total(16, t, batch=16) == 32
+        assert next_total(0, t, batch=3) == 6  # 4 aligned up to 3s
+
+    def test_cap_beats_alignment(self):
+        t = PrecisionTarget(rse=0.01, min_runs=4, max_runs=10)
+        assert next_total(8, t, batch=16) == 10
+
+    def test_bad_batch(self):
+        t = PrecisionTarget(rse=0.01)
+        with pytest.raises(ValueError):
+            next_total(0, t, batch=0)
+
+    @given(
+        min_runs=st.integers(2, 32),
+        max_runs_extra=st.integers(0, 300),
+        batch=st.one_of(st.none(), st.integers(1, 64)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_always_terminates_at_cap(self, min_runs, max_runs_extra, batch):
+        t = PrecisionTarget(rse=0.01, min_runs=min_runs, max_runs=min_runs + max_runs_extra)
+        done, steps = 0, 0
+        while done < t.max_runs:
+            nxt = next_total(done, t, batch=batch)
+            assert nxt > done  # strict progress until the cap
+            assert nxt <= t.max_runs
+            if batch is not None and nxt < t.max_runs:
+                assert nxt % batch == 0  # whole chunks below the cap
+            done = nxt
+            steps += 1
+            assert steps < 10_000
+        assert done == t.max_runs
