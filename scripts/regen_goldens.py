@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Re-pin the golden-model regression documents.
+
+Runs the golden suite with ``--regen-goldens``, which rewrites every
+``tests/goldens/*.json`` from the current code, then runs it again
+without the flag to prove the fresh pins round-trip byte-for-byte.
+
+Use after an *intentional* change to predicted numbers (engine work,
+timing-model edits, collective lowering changes); the diff of the
+regenerated JSON is the reviewable record of what moved.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def run(extra):
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", "tests/test_goldens.py", "-q", *extra],
+        cwd=REPO,
+    )
+
+
+def main() -> int:
+    rc = run(["--regen-goldens"])
+    if rc:
+        return rc
+    print("goldens rewritten; verifying they round-trip...")
+    return run([])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

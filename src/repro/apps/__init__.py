@@ -4,13 +4,18 @@ One application per communication-pattern class the paper identifies:
 
 * :mod:`repro.apps.jacobi`   -- regular-local (stencil exchange);
 * :mod:`repro.apps.fft`      -- regular-global (all-to-all transpose);
-* :mod:`repro.apps.taskfarm` -- irregular (dynamic master/worker).
+* :mod:`repro.apps.taskfarm` -- irregular (dynamic master/worker);
+* :mod:`repro.apps.halo`     -- 2D/3D halo exchange with configurable
+  halo width and process grid (collective-aware stencil);
+* :mod:`repro.apps.amg`      -- AMG-style mix of halo exchange with
+  allreduce/allgather/reduce/bcast phases.
 
 Each ships as a matched pair: an executable rank program for the simulated
 MPI runtime (the "measured" side of Figure 6) and a PEVPM model (the
 "predicted" side), sharing the same serial-time constants.
 """
 
+from .amg import FLAG_BYTES, amg_model, amg_serial_time
 from .fft import (
     FFT_POINT_TIME,
     distribute_input,
@@ -19,6 +24,13 @@ from .fft import (
     fft_serial_time,
     fft_smpi,
     gather_output,
+)
+from .halo import (
+    DOUBLE_BYTES,
+    HALO_POINT_TIME,
+    halo_face_bytes,
+    halo_model,
+    halo_serial_time,
 )
 from .jacobi import (
     JACOBI_ANNOTATED_SOURCE,
@@ -39,18 +51,26 @@ from .taskfarm import (
 )
 
 __all__ = [
+    "DOUBLE_BYTES",
     "FFT_POINT_TIME",
+    "FLAG_BYTES",
+    "HALO_POINT_TIME",
     "JACOBI_ANNOTATED_SOURCE",
     "JACOBI_XSIZE",
     "RESULT_BYTES",
     "STOP_BYTES",
     "TASK_BYTES",
+    "amg_model",
+    "amg_serial_time",
     "distribute_input",
     "fft_local_work",
     "fft_model",
     "fft_serial_time",
     "fft_smpi",
     "gather_output",
+    "halo_face_bytes",
+    "halo_model",
+    "halo_serial_time",
     "jacobi_model",
     "jacobi_serial_time",
     "jacobi_smpi",

@@ -1,0 +1,85 @@
+"""AMG-style mixed workload: halo exchange interleaved with collectives.
+
+Algebraic-multigrid solvers (AMG2023 and friends) alternate
+neighbour-local smoothing with global reductions, and their profiles --
+the Caliper/Benchpark characterisation in PAPERS.md -- show collective
+time overtaking point-to-point as the grids coarsen.  This model
+reproduces that communication *shape* with one V-cycle per iteration:
+
+1. fine-grid smoothing: four-neighbour halo exchange
+   (:func:`repro.apps.halo._exchange_block`) + local compute;
+2. two 8-byte ``allreduce``\\ s (the CG smoother's dot products);
+3. coarse-grid solve: a ring ``allgather`` of each rank's coarse block
+   (everyone redundantly owns the coarse system -- the classic
+   all-gather coarse strategy) + coarse compute;
+4. convergence control: an 8-byte ``reduce`` of the residual norm to
+   rank 0 and a 4-byte ``bcast`` of the verdict.
+
+All four collective directives appear, so the model exercises every
+lowering path; like :func:`repro.apps.halo.halo_model` it is pure
+directive IR and predicts bit-identically on all three engines.
+"""
+
+from __future__ import annotations
+
+from ..pevpm.directives import Block, Collective, Loop, Serial
+from .halo import DOUBLE_BYTES, HALO_POINT_TIME, _exchange_block, halo_face_bytes
+
+__all__ = ["FLAG_BYTES", "amg_model", "amg_serial_time"]
+
+FLAG_BYTES = 4  #: the broadcast convergence verdict (one int)
+
+#: coarse-grid work is a fixed small fraction of fine-grid work
+_COARSE_FRACTION = 0.1
+
+
+def amg_serial_time(nx: int, dims: int, iterations: int = 1) -> float:
+    """One-processor V-cycle time (speedup baseline)."""
+    fine = HALO_POINT_TIME * nx**dims
+    return iterations * fine * (1.0 + _COARSE_FRACTION)
+
+
+def amg_model(
+    iterations: int = 4,
+    nx: int = 32,
+    halo: int = 1,
+    dims: int = 2,
+    px: int = 1,
+    coarse_nx: int = 8,
+    point_time: float = HALO_POINT_TIME,
+) -> Block:
+    """Directive model of an AMG-style V-cycle loop.
+
+    *nx*/*halo*/*dims*/*px* shape the fine-grid exchange exactly as in
+    :func:`repro.apps.halo.halo_model`; *coarse_nx* sizes the coarse
+    block each rank contributes to the ``allgather``
+    (``8 * coarse_nx**(dims-1)`` bytes).
+    """
+    if iterations < 0:
+        raise ValueError("iterations must be >= 0")
+    if coarse_nx < 1:
+        raise ValueError("coarse_nx must be >= 1")
+    if nx < 1:
+        raise ValueError("nx must be >= 1")
+    if halo < 1:
+        raise ValueError("halo width must be >= 1")
+    if dims not in (2, 3):
+        raise ValueError("dims must be 2 or 3")
+    if px < 1:
+        raise ValueError("px must be >= 1")
+    face = halo_face_bytes(nx, halo, dims)
+    coarse_bytes = DOUBLE_BYTES * coarse_nx ** (dims - 1)
+    fine_time = point_time * nx**dims
+    body: list = list(_exchange_block(px, face))
+    body.extend(
+        [
+            Serial(repr(fine_time)),
+            Collective("allreduce", str(DOUBLE_BYTES)),
+            Collective("allreduce", str(DOUBLE_BYTES)),
+            Collective("allgather", str(coarse_bytes)),
+            Serial(repr(fine_time * _COARSE_FRACTION)),
+            Collective("reduce", str(DOUBLE_BYTES), root="0"),
+            Collective("bcast", str(FLAG_BYTES), root="0"),
+        ]
+    )
+    return Block([Loop(str(iterations), Block(body))])

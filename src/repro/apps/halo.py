@@ -1,0 +1,142 @@
+"""Halo-exchange stencil: the collectives-era regular-local workload.
+
+A dims-dimensional structured grid is decomposed over a ``px`` x
+``numprocs // px`` process grid (``px = 1`` gives the classic 1-D slab
+decomposition; ``px > 1`` a 2-D process grid with four-neighbour
+exchange).  Each iteration every rank
+
+1. posts non-blocking halo sends to its existing east/west/north/south
+   neighbours (face size ``8 * halo * nx**(dims-1)`` bytes -- the halo
+   *width* scales the wire bytes, the paper's size-conditioned
+   distributions do the rest),
+2. receives the mirrored faces,
+3. smooths its local block (``point_time * nx**dims`` seconds), and
+4. optionally joins a global residual ``allreduce`` every
+   ``reduce_every`` iterations -- the convergence check that makes real
+   stencil codes collective-bound at scale (AMG2023/Kripke/Laghos-style
+   mixes; see DESIGN.md section 12).
+
+The model is pure directive IR, so the scalar, batched, and compiled
+engines all predict it bit-identically, and the lowered collective
+schedule is exactly :mod:`repro.smpi.collectives`' binomial/reduce+bcast
+shape.
+
+Neighbour guards are symbolic in ``procnum``/``numprocs``: the mirrored
+send/recv conditions are exact complements (a rank receives from the
+east iff its east neighbour sent west), so the model stays deadlock-free
+for *any* nprocs, including ragged grids where ``px`` does not divide
+``numprocs``.
+"""
+
+from __future__ import annotations
+
+from ..pevpm.directives import Block, Collective, Loop, Message, Runon, Serial
+
+__all__ = [
+    "DOUBLE_BYTES",
+    "HALO_POINT_TIME",
+    "halo_model",
+    "halo_face_bytes",
+    "halo_serial_time",
+]
+
+DOUBLE_BYTES = 8  #: one grid cell on the wire
+
+#: per-cell, per-iteration smoothing cost on the modelled 500 MHz PIII
+#: (seconds) -- a 5/7-point update's handful of flops
+HALO_POINT_TIME = 25e-9
+
+
+def _validate(iterations: int, nx: int, halo: int, dims: int, px: int) -> None:
+    if iterations < 0:
+        raise ValueError("iterations must be >= 0")
+    if nx < 1:
+        raise ValueError("nx must be >= 1")
+    if halo < 1:
+        raise ValueError("halo width must be >= 1")
+    if dims not in (2, 3):
+        raise ValueError("dims must be 2 or 3")
+    if px < 1:
+        raise ValueError("px must be >= 1")
+
+
+def halo_face_bytes(nx: int, halo: int, dims: int) -> int:
+    """Bytes of one halo face: ``halo`` layers of an ``nx**(dims-1)``
+    cell cross-section, in doubles."""
+    return DOUBLE_BYTES * halo * nx ** (dims - 1)
+
+
+def halo_serial_time(nx: int, dims: int, iterations: int = 1) -> float:
+    """One-processor smoothing time (speedup baseline)."""
+    return HALO_POINT_TIME * nx**dims * iterations
+
+
+def _exchange_block(px: int, face: int) -> list:
+    """The four-neighbour halo exchange as guarded directives.
+
+    East/west neighbours are ``procnum +- 1`` within a row of the
+    ``px``-wide process grid, north/south are ``procnum +- px``.  All
+    sends are posted before any receive (PEVPM sends are non-blocking,
+    so this is the Isend/Irecv-then-wait idiom with no ordering hazard).
+    Every guard pair is a mirror image: ``has_east(p)`` iff
+    ``has_west(p + 1)``, ``has_north(p)`` iff ``has_south(p + px)``, so
+    each posted receive has exactly one matching send.
+    """
+    has_east = f"procnum % {px} < {px - 1} and procnum + 1 < numprocs"
+    has_west = f"procnum % {px} > 0"
+    has_north = f"procnum + {px} < numprocs"
+    has_south = f"procnum >= {px}"
+    size = str(face)
+
+    def _on(cond: str, *directives) -> Runon:
+        return Runon([cond], [Block(list(directives))])
+
+    return [
+        # -- post all sends --------------------------------------------------
+        _on(has_east, Message("MPI_Isend", size, "procnum", "procnum + 1")),
+        _on(has_west, Message("MPI_Isend", size, "procnum", "procnum - 1")),
+        _on(has_north, Message("MPI_Isend", size, "procnum", f"procnum + {px}")),
+        _on(has_south, Message("MPI_Isend", size, "procnum", f"procnum - {px}")),
+        # -- then complete the mirrored receives -----------------------------
+        _on(has_west, Message("MPI_Recv", size, "procnum - 1", "procnum")),
+        _on(has_east, Message("MPI_Recv", size, "procnum + 1", "procnum")),
+        _on(has_south, Message("MPI_Recv", size, f"procnum - {px}", "procnum")),
+        _on(has_north, Message("MPI_Recv", size, f"procnum + {px}", "procnum")),
+    ]
+
+
+def halo_model(
+    iterations: int = 10,
+    nx: int = 64,
+    halo: int = 1,
+    dims: int = 2,
+    px: int = 1,
+    reduce_every: int = 0,
+    point_time: float = HALO_POINT_TIME,
+) -> Block:
+    """Directive model of a dims-D halo-exchange stencil.
+
+    *halo* is the exchange depth in grid layers (wider halos trade
+    bigger messages for fewer iterations in communication-avoiding
+    schemes -- here it scales the face bytes).  *px* is the process-grid
+    width (1 = slab decomposition).  *reduce_every* > 0 adds a global
+    8-byte residual ``allreduce`` every that many iterations.
+    """
+    _validate(iterations, nx, halo, dims, px)
+    if reduce_every < 0:
+        raise ValueError("reduce_every must be >= 0")
+    face = halo_face_bytes(nx, halo, dims)
+    body: list = list(_exchange_block(px, face))
+    body.append(Serial(repr(point_time * nx**dims)))
+    if reduce_every:
+        check = Collective("allreduce", str(DOUBLE_BYTES))
+        if reduce_every == 1:
+            body.append(check)
+        else:
+            body.append(
+                Runon(
+                    [f"iteration % {reduce_every} == {reduce_every - 1}"],
+                    [Block([check])],
+                )
+            )
+    return Block([Loop(str(iterations), Block(body))])

@@ -7,9 +7,14 @@ Subcommands:
   style table, optionally save the distribution database as JSON;
 * ``repro pdf``       -- print distribution tables/ASCII plots for one
   configuration (the Figure 3/4 views);
-* ``repro predict``   -- build/load a database and predict an example
-  application's run time with PEVPM, comparing timing modes
-  (``--json`` for the machine-readable record the service also serves);
+* ``repro predict``   -- build/load a database and predict a registered
+  workload's run time with PEVPM (``--model jacobi|fft|taskfarm|halo|amg``,
+  ``--model-params JSON``), comparing timing modes (``--json`` for the
+  machine-readable record the service also serves);
+* ``repro import-trace`` -- parse a recorded MPI trace (JSON-lines or
+  OTF2-like text) into a validated model program; ``--export`` the
+  canonical form, ``--upload`` it to a service's ``/programs``
+  endpoint, or ``--predict`` it locally across timing modes;
 * ``repro serve``     -- run the prediction service (HTTP/JSON); drains
   gracefully on SIGTERM/SIGINT, and ``--chaos`` enables the
   fault-injection endpoint;
@@ -103,7 +108,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_pdf.add_argument("--reps", type=int, default=60)
     p_pdf.add_argument("--seed", type=int, default=1)
 
-    p_pred = sub.add_parser("predict", help="PEVPM prediction of Jacobi (Fig 6)")
+    p_pred = sub.add_parser(
+        "predict", help="PEVPM prediction of a registered workload (Fig 6)"
+    )
+    p_pred.add_argument(
+        "--model", default="jacobi",
+        choices=["jacobi", "fft", "taskfarm", "halo", "amg"],
+        help="workload to predict (the service's model registry; "
+             "imported traces go through 'repro import-trace')",
+    )
+    p_pred.add_argument(
+        "--model-params", metavar="JSON", default=None,
+        help="model parameters as JSON, e.g. '{\"nx\": 32, \"px\": 2}' "
+             "(defaults: GET /models on a running service)",
+    )
     p_pred.add_argument("--db", metavar="FILE", help="load a saved DistributionDB")
     p_pred.add_argument("--nprocs", type=int, default=16)
     p_pred.add_argument("--ppn", type=int, default=1)
@@ -154,6 +172,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the machine-readable prediction record (the same "
              "serialisation the prediction service returns) instead of "
              "the table",
+    )
+
+    p_imp = sub.add_parser(
+        "import-trace",
+        help="parse a recorded MPI trace into a predictable model program",
+    )
+    p_imp.add_argument(
+        "file", metavar="FILE",
+        help="trace file (JSON-lines or OTF2-like text; '-' reads stdin)",
+    )
+    p_imp.add_argument(
+        "--name", default=None,
+        help="program name (default: the trace's own, else the file stem)",
+    )
+    p_imp.add_argument(
+        "--export", metavar="FILE", default=None,
+        help="re-export the validated program as canonical JSON-lines",
+    )
+    p_imp.add_argument(
+        "--upload", action="store_true",
+        help="POST the trace to a running service's /programs endpoint",
+    )
+    p_imp.add_argument("--host", default="127.0.0.1")
+    p_imp.add_argument("--port", type=int, default=8080)
+    p_imp.add_argument("--tenant", default=None, metavar="NAME")
+    p_imp.add_argument(
+        "--predict", action="store_true",
+        help="predict the imported program locally across timing modes",
+    )
+    p_imp.add_argument(
+        "--db", metavar="FILE",
+        help="DistributionDB for --predict (default: quick campaign)",
+    )
+    p_imp.add_argument("--runs", type=int, default=5)
+    p_imp.add_argument("--seed", type=int, default=1)
+    p_imp.add_argument(
+        "--json", action="store_true",
+        help="print the program's metadata record as JSON",
     )
 
     p_serve = sub.add_parser(
@@ -488,8 +544,73 @@ def cmd_pdf(args) -> int:
     return 0
 
 
+def _resolve_workload(args, spec):
+    """Build (params, model, vm_params, serial_time) for ``--model``.
+
+    Parameters come from the service's model registry defaults, overridden
+    by ``--model-params`` JSON.  For backward compatibility the jacobi
+    model additionally honours ``--iterations`` (overridden in turn by an
+    explicit ``--model-params`` entry).
+    """
+    from .apps import (
+        amg_serial_time,
+        fft_serial_time,
+        halo_serial_time,
+        make_tasks,
+        taskfarm_serial_time,
+    )
+    from .service.records import MODELS
+
+    defaults, builder = MODELS[args.model]
+    params = dict(defaults)
+    if args.model == "jacobi":
+        params["iterations"] = args.iterations
+    if args.model_params:
+        overrides = json.loads(args.model_params)
+        if not isinstance(overrides, dict):
+            raise ValueError("--model-params must be a JSON object")
+        unknown = sorted(set(overrides) - set(defaults))
+        if unknown:
+            raise ValueError(
+                f"unknown {args.model} parameter(s): {', '.join(unknown)} "
+                f"(expected a subset of: {', '.join(sorted(defaults))})"
+            )
+        params.update(overrides)
+    model, vm_params = builder(spec, params)
+    if args.model == "jacobi":
+        serial = jacobi_serial_time(spec, params["iterations"])
+    elif args.model == "fft":
+        serial = fft_serial_time(params["n_points"])
+    elif args.model == "taskfarm":
+        serial = taskfarm_serial_time(make_tasks(
+            params["n_tasks"], mean=params["task_mean"],
+            cv=params["task_cv"], seed=params["task_seed"],
+        ))
+    elif args.model == "halo":
+        serial = halo_serial_time(
+            params["nx"], params["dims"], params["iterations"]
+        )
+    else:  # amg
+        serial = amg_serial_time(
+            params["nx"], params["dims"], params["iterations"]
+        )
+    return params, model, vm_params, serial
+
+
 def cmd_predict(args) -> int:
     spec = perseus()
+    if args.measure and args.model != "jacobi":
+        print(
+            "repro predict: --measure only supports the jacobi model "
+            "(the other workloads have no smpi reference run)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        params, model, vm_params, serial = _resolve_workload(args, spec)
+    except ValueError as exc:
+        print(f"repro predict: {exc}", file=sys.stderr)
+        return 1
     if args.db:
         db = DistributionDB.load(args.db)
     else:
@@ -498,16 +619,10 @@ def cmd_predict(args) -> int:
         bench = MPIBench(spec, seed=args.seed, settings=BenchSettings(reps=50))
         configs = [(1, 2), (2, 1), (8, 1), (16, 1), (32, 1)]
         db = bench.sweep_isend(configs, sizes=[0, 512, 1024, 2048])
-    params = {
-        "iterations": args.iterations,
-        "xsize": 256,
-        "serial_time": spec.jacobi_serial_time,
-    }
-    serial = jacobi_serial_time(spec, args.iterations)
     try:
         preds = compare_timing_modes(
-            parse_jacobi(), args.nprocs, db, runs=args.runs, seed=args.seed,
-            params=params, ppn=args.ppn, workers=args.workers,
+            model, args.nprocs, db, runs=args.runs, seed=args.seed,
+            params=vm_params, ppn=args.ppn, workers=args.workers,
             cache_dir=args.cache_dir, vector_runs=args.vector_runs,
             compiled=args.compiled, target_rse=args.target_rse,
             min_runs=args.min_runs, max_runs=args.max_runs,
@@ -528,8 +643,8 @@ def cmd_predict(args) -> int:
 
         doc = {
             "workload": {
-                "model": "jacobi",
-                "model_params": {"iterations": args.iterations, "xsize": 256},
+                "model": args.model,
+                "model_params": params,
                 "nprocs": args.nprocs,
                 "ppn": args.ppn,
                 # Adaptive mode decides the run count per timing mode;
@@ -583,8 +698,8 @@ def cmd_predict(args) -> int:
         format_table(
             headers,
             rows,
-            title=f"Jacobi {args.iterations} iters on {args.nprocs} procs "
-                  f"(ppn={args.ppn})",
+            title=f"{args.model} ({_params_summary(params)}) "
+                  f"on {args.nprocs} procs (ppn={args.ppn})",
         )
     )
     if adaptive:
@@ -597,6 +712,106 @@ def cmd_predict(args) -> int:
         if dist is not None:
             print()
             print(render_run_spread(dist.times))
+    return 0
+
+
+def _params_summary(params: dict) -> str:
+    return ", ".join(f"{k}={params[k]}" for k in sorted(params))
+
+
+def cmd_import_trace(args) -> int:
+    from pathlib import Path
+
+    from .trace_import import TraceDeadlock, TraceError, parse_trace
+
+    if args.file == "-":
+        text = sys.stdin.read()
+        default_name = args.name
+    else:
+        path = Path(args.file)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            print(f"repro import-trace: {exc}", file=sys.stderr)
+            return 1
+        default_name = args.name or path.stem
+    try:
+        program = parse_trace(text, name=default_name)
+    except TraceDeadlock as exc:
+        if args.json:
+            print(json.dumps({"error": "deadlock", "detail": str(exc)}))
+        print(f"repro import-trace: deadlock detected: {exc}",
+              file=sys.stderr)
+        return EXIT_DEADLOCK
+    except TraceError as exc:
+        if args.json:
+            print(json.dumps({"error": "invalid trace", "detail": str(exc)}))
+        print(f"repro import-trace: invalid trace: {exc}", file=sys.stderr)
+        return 1
+    meta = program.meta()
+    if args.export:
+        Path(args.export).write_text(program.to_jsonl())
+        if not args.json:
+            print(f"exported canonical JSON-lines to {args.export}")
+    if args.upload:
+        from .service import ServiceClient, ServiceError
+
+        client = ServiceClient(args.host, args.port, tenant=args.tenant)
+        try:
+            meta = client.program_add(text, name=program.name)
+        except ServiceError as exc:
+            print(f"repro import-trace: upload failed: {exc}",
+                  file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(
+                f"repro import-trace: cannot reach "
+                f"{args.host}:{args.port}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        if not args.json:
+            print(f"uploaded program {meta['fingerprint']} "
+                  f"to {args.host}:{args.port}")
+    doc = dict(meta)
+    if args.predict:
+        spec = perseus()
+        if args.db:
+            db = DistributionDB.load(args.db)
+        else:
+            if not args.json:
+                print("no --db given: running a quick benchmark "
+                      "campaign first...")
+            bench = MPIBench(
+                spec, seed=args.seed, settings=BenchSettings(reps=50)
+            )
+            configs = [(1, 2), (2, 1), (8, 1), (16, 1), (32, 1)]
+            db = bench.sweep_isend(configs, sizes=[0, 512, 1024, 2048])
+        preds = compare_timing_modes(
+            program.model(), program.nprocs, db,
+            runs=args.runs, seed=args.seed,
+        )
+        doc["db_fingerprint"] = db.fingerprint()
+        doc["predictions"] = {
+            name: {"mean_time": pred.mean_time, "times": list(pred.times)}
+            for name, pred in preds.items()
+        }
+        if not args.json:
+            rows = [
+                [name, format_time(pred.mean_time)]
+                for name, pred in preds.items()
+            ]
+            print()
+            print(format_table(
+                ["timing source", "predicted time"], rows,
+                title=f"{program.name} on {program.nprocs} procs",
+            ))
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    elif not (args.export or args.upload or args.predict):
+        print(f"{program.name}: {program.nprocs} procs, "
+              f"{meta['events']} events, {meta['messages']} messages")
+        print(f"fingerprint: {program.fingerprint}")
     return 0
 
 
@@ -995,6 +1210,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": cmd_bench,
         "pdf": cmd_pdf,
         "predict": cmd_predict,
+        "import-trace": cmd_import_trace,
         "serve": cmd_serve,
         "registry": cmd_registry,
         "loadgen": cmd_loadgen,

@@ -183,6 +183,14 @@ class Histogram:
     def nbins(self) -> int:
         return len(self.counts)
 
+    @property
+    def degenerate(self) -> bool:
+        """True when the recorded support is a single point (every
+        sample identical).  ``from_samples`` widens the lone bin's edges
+        by an epsilon so it has positive width; queries must not leak
+        that widening back out as jitter on the constant."""
+        return self._min == self._max
+
     def _total(self) -> float:
         """Total mass, guarded: a histogram whose counts were zeroed
         after construction (in-place mutation, a hand-rolled
@@ -219,6 +227,8 @@ class Histogram:
         a cached sort)."""
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
+        if self.degenerate:
+            return self._min
         if self._samples is not None:
             srt = self._sorted
             if srt is None:
@@ -294,7 +304,12 @@ class Histogram:
         f = self._icdf
         if f is not None:
             return f
-        if self._samples is not None:
+        if self.degenerate:
+            const = self._min
+
+            def f(qs):
+                return np.full(np.shape(qs), const)
+        elif self._samples is not None:
             srt = self._sorted
             if srt is None:
                 srt = self._sorted = np.sort(self._samples)
@@ -379,6 +394,15 @@ class Histogram:
         # n=1 vector draw (identical stream consumption: Generator.random()
         # and Generator.random(1) advance the bit stream the same way).
         n = 1 if size is None else size
+        if self.degenerate:
+            # Every recorded sample was the same value: return it
+            # exactly instead of jitter inside the epsilon-widened bin.
+            # Both uniform draws are still consumed so the caller's RNG
+            # stream stays aligned with the non-degenerate path.
+            rng.random(n)
+            rng.random(n)
+            const = self._min
+            return const if size is None else np.full(n, const)
         u = rng.random(n) * self._cum[-1]
         idx = np.minimum(
             np.searchsorted(self._cum, u, side="right"), len(self.counts) - 1

@@ -16,7 +16,9 @@ Typical use::
 """
 
 from .directives import (
+    COLLECTIVE_OPS,
     Block,
+    Collective,
     Loop,
     Message,
     MessageKind,
@@ -32,7 +34,7 @@ from .compile import (
     compiled_program_for,
 )
 from .expr import ExprError, evaluate
-from .interpreter import compile_model, model_messages
+from .interpreter import compile_model, lower_collective, model_messages
 from .machine import ANY_SOURCE, MachineResult, ModelDeadlock, ProcContext, VirtualMachine
 from .parallel import (
     VECTOR_BATCH,
@@ -81,6 +83,8 @@ __all__ = [
     "AverageTiming",
     "BatchedVirtualMachine",
     "Block",
+    "COLLECTIVE_OPS",
+    "Collective",
     "CompiledProgram",
     "DistributionTiming",
     "ExprError",
@@ -128,6 +132,7 @@ __all__ = [
     "evaluate",
     "evaluate_groups",
     "evaluate_with_precision",
+    "lower_collective",
     "resolve_workers",
     "run_seeds",
     "extract_symbolic_model",

@@ -275,13 +275,16 @@ def compile_program(
                 for i, ((s, d), queue) in enumerate(sorted(pending.items()))
                 for size, payload in queue
             ]
+            stuck = {
+                p: blocked[p]  # type: ignore[dict-item]
+                for p in range(nprocs)
+                if not done[p] and blocked[p] is not None
+            }
+            # Each blocked rank's last traced op is the receive it
+            # stalled at -- name it so the diagnostic points at the
+            # offending directive, not just the scoreboard orphans.
             raise ModelDeadlock(
-                {
-                    p: blocked[p]  # type: ignore[dict-item]
-                    for p in range(nprocs)
-                    if not done[p] and blocked[p] is not None
-                },
-                orphans,
+                stuck, orphans, sites={p: len(ops[p]) - 1 for p in stuck}
             )
     return CompiledProgram(nprocs, params, ops, program)
 

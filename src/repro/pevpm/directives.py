@@ -27,10 +27,12 @@ from .expr import compile_expr
 __all__ = [
     "ModelError",
     "MessageKind",
+    "COLLECTIVE_OPS",
     "Directive",
     "Block",
     "Serial",
     "Message",
+    "Collective",
     "Loop",
     "Runon",
     "validate_model",
@@ -118,6 +120,52 @@ class Message(Directive):
         )
 
 
+#: collective operations expressible as directives.  Each lowers to the
+#: exact point-to-point schedule of :mod:`repro.smpi.collectives`
+#: (binomial trees, reduce+bcast, ring) in :mod:`repro.pevpm.interpreter`.
+COLLECTIVE_OPS = ("bcast", "reduce", "allreduce", "allgather")
+
+#: collectives with a meaningful root process (the others involve every
+#: rank symmetrically and reject an explicit root)
+ROOTED_OPS = ("bcast", "reduce")
+
+
+class Collective(Directive):
+    """A collective operation over all processes: ``coll_<op> size = <expr>``.
+
+    Unlike :class:`Message`, a collective is *unguarded*: every process
+    executes the directive (as MPI requires), and the interpreter lowers
+    it to that rank's slice of the classic point-to-point schedule --
+    binomial tree for bcast/reduce, reduce-to-root + bcast for
+    allreduce, ring for allgather -- mirroring
+    :mod:`repro.smpi.collectives` operation for operation.  Because the
+    lowered schedule is ordinary send/recv/serial ops with fixed
+    sources, all three engines (scalar, batched, compiled) execute it
+    with zero new semantics, bit-identically.
+    """
+
+    __slots__ = ("op", "size", "root", "_size_ast", "_root_ast")
+
+    def __init__(self, op: str, size: str, root: str = "0", line: int = 0):
+        super().__init__(line)
+        name = op.strip().lower()
+        if name.startswith("coll_"):
+            name = name[len("coll_"):]
+        if name not in COLLECTIVE_OPS:
+            raise ModelError(
+                f"unknown collective {op!r}; expected one of "
+                f"{', '.join('coll_' + o for o in COLLECTIVE_OPS)}"
+            )
+        self.op = name
+        self.size = size
+        self.root = root
+        self._size_ast = compile_expr(size)
+        self._root_ast = compile_expr(root)
+
+    def __repr__(self) -> str:
+        return f"Collective({self.op}, size={self.size!r}, root={self.root!r})"
+
+
 class Loop(Directive):
     """Iteration: ``Loop iterations = <expr>`` over a body block."""
 
@@ -181,7 +229,7 @@ def validate_model(root: Block) -> None:
                 )
             for block in node.blocks:
                 walk(block)
-        elif isinstance(node, (Serial, Message)):
+        elif isinstance(node, (Serial, Message, Collective)):
             pass
         else:
             raise ModelError(f"unknown directive node {type(node).__name__}")

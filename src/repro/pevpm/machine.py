@@ -93,13 +93,23 @@ class ModelDeadlock(RuntimeError):
     """The modelled program deadlocked.
 
     Carries which processes were blocked, on what, and the orphaned
-    messages still on the scoreboard.
+    messages still on the scoreboard.  When the deadlock is discovered
+    at compile time, *sites* additionally names the directive (op)
+    index each blocked rank stalled at in its schedule, so the message
+    points straight at the offending receive.
     """
 
-    def __init__(self, blocked: dict[int, int], orphans: list[ScoreboardEntry]):
+    def __init__(
+        self,
+        blocked: dict[int, int],
+        orphans: list[ScoreboardEntry],
+        sites: dict[int, int] | None = None,
+    ):
+        sites = sites or {}
         detail = ", ".join(
             f"proc {p} waiting on "
             + ("ANY" if src == ANY_SOURCE else f"proc {src}")
+            + (f" at op {sites[p]}" if p in sites else "")
             for p, src in sorted(blocked.items())
         )
         super().__init__(
@@ -107,6 +117,8 @@ class ModelDeadlock(RuntimeError):
         )
         self.blocked = blocked
         self.orphans = orphans
+        #: per-proc op index of the blocking receive (compile-time only)
+        self.sites = sites
 
 
 class ProcContext:

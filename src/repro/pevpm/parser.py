@@ -9,7 +9,11 @@ The annotation grammar, reconstructed from the paper's listing:
 * ``Runon`` takes conditions ``c1``, ``c2``, ... and is followed by one
   block per condition (an if / else-if chain);
 * ``Message`` takes ``type``, ``size``, ``from``, ``to``;
-* ``Serial`` is written ``Serial on <machine> time = <expr>``.
+* ``Serial`` is written ``Serial on <machine> time = <expr>``;
+* ``Coll_Bcast`` / ``Coll_Reduce`` take ``size`` and an optional
+  ``root`` (default 0); ``Coll_Allreduce`` / ``Coll_Allgather`` take
+  ``size`` only.  Collectives are unguarded -- every process executes
+  them, as MPI requires.
 
 Everything that is not a ``// PEVPM`` line (i.e. the actual C code) is
 ignored, so a fully annotated source file -- like the paper's Jacobi
@@ -21,7 +25,17 @@ from __future__ import annotations
 
 import re
 
-from .directives import Block, Loop, Message, ModelError, Runon, Serial, validate_model
+from .directives import (
+    ROOTED_OPS,
+    Block,
+    Collective,
+    Loop,
+    Message,
+    ModelError,
+    Runon,
+    Serial,
+    validate_model,
+)
 
 __all__ = ["parse_annotations", "ParseError"]
 
@@ -147,6 +161,24 @@ class _Parser:
                 fields["type"], fields["size"], fields["from"], fields["to"],
                 line=lineno,
             )
+        if kind.startswith("coll_"):
+            fields = dict(_split_fields(rest))
+            if "size" not in fields:
+                raise ParseError(f"line {lineno}: {word} needs size = <expr>")
+            op = kind[len("coll_"):]
+            allowed = {"size"} | ({"root"} if op in ROOTED_OPS else set())
+            extra = set(fields) - allowed
+            if extra:
+                raise ParseError(
+                    f"line {lineno}: {word} does not take {sorted(extra)}"
+                )
+            try:
+                return Collective(
+                    op, fields["size"], root=fields.get("root", "0"),
+                    line=lineno,
+                )
+            except ModelError as exc:
+                raise ParseError(f"line {lineno}: {exc}") from None
         if kind == "serial":
             # "Serial on perseus time = 3.24/numprocs" or "Serial time = ...".
             machine = ""

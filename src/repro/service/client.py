@@ -324,6 +324,36 @@ class ServiceClient:
             raise ServiceError(status, doc)
         return doc
 
+    # -- workload endpoints ------------------------------------------------------
+    def models(self, name: str | None = None) -> dict:
+        """``GET /models`` (the catalogue) or ``GET /models/{name}``."""
+        return self._checked(
+            "GET", "/models" if name is None else f"/models/{name}"
+        )
+
+    def program_add(self, trace: str, name: str | None = None) -> dict:
+        """``POST /programs``: import a recorded MPI trace (JSON lines
+        or the OTF2-like text subset); returns its meta, including the
+        fingerprint to pass as ``model_params.program``."""
+        body: dict = {"trace": trace}
+        if name is not None:
+            body["name"] = name
+        return self._checked("POST", "/programs", body)
+
+    def programs_list(self) -> dict:
+        return self._checked("GET", "/programs")
+
+    def program_get(self, ref: str) -> dict:
+        return self._checked("GET", f"/programs/{ref}")
+
+    def program_delete(self, ref: str) -> dict:
+        status, _headers, doc = self._request(
+            "DELETE", f"/programs/{ref}", idempotent=False
+        )
+        if status != 200:
+            raise ServiceError(status, doc)
+        return doc
+
     def trace(self, trace_id: str | None = None, limit: int = 20):
         """``GET /trace``: one trace document by ID, or (with no ID) the
         ``{"traces": [...]}`` listing of recent traces, newest first.

@@ -21,7 +21,9 @@ import json
 import re
 from dataclasses import dataclass, field
 
+from ..apps.amg import amg_model
 from ..apps.fft import fft_model
+from ..apps.halo import halo_model
 from ..apps.jacobi import parse_jacobi
 from ..apps.taskfarm import make_tasks, taskfarm_model
 from ..pevpm.parallel import VECTOR_BATCH
@@ -44,6 +46,10 @@ class RequestError(ValueError):
 #: content fingerprint -- mirrors ``repro.registry.store.ALIAS_RE``
 #: without importing the registry package into the request schema
 _DB_REF_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._@-]{0,63}$")
+
+#: legal imported-program refs: fingerprints only (programs have no
+#: aliases -- they are immutable by construction)
+_PROGRAM_REF_RE = re.compile(r"^[0-9a-f]{64}$")
 
 
 def _jacobi(spec, params: dict):
@@ -69,8 +75,49 @@ def _taskfarm(spec, params: dict):
     return taskfarm_model(tasks), None
 
 
+def _halo(spec, params: dict):
+    try:
+        model = halo_model(
+            iterations=params["iterations"],
+            nx=params["nx"],
+            halo=params["halo"],
+            dims=params["dims"],
+            px=params["px"],
+            reduce_every=params["reduce_every"],
+        )
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"bad halo parameters: {exc}") from None
+    return model, None
+
+
+def _amg(spec, params: dict):
+    try:
+        model = amg_model(
+            iterations=params["iterations"],
+            nx=params["nx"],
+            halo=params["halo"],
+            dims=params["dims"],
+            px=params["px"],
+            coarse_nx=params["coarse_nx"],
+        )
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"bad amg parameters: {exc}") from None
+    return model, None
+
+
+def _imported(spec, params: dict):
+    # Imported programs live in the service's ProgramStore; the service
+    # resolves the ref and substitutes the stored model before this
+    # builder is ever consulted (see PredictionService._group_for).
+    raise RequestError(
+        "model 'imported' needs a program resolved from the service's "
+        "program store; POST the trace to /programs first"
+    )
+
+
 #: name -> (defaulted parameters, builder(spec, params) -> (model, vm_params)).
-#: One entry per communication-pattern class of Section 6.
+#: One entry per communication-pattern class of Section 6, plus the
+#: collectives-era workloads (halo, amg) and trace-imported programs.
 MODELS: dict[str, tuple[dict, object]] = {
     "jacobi": ({"iterations": 100, "xsize": 256}, _jacobi),
     "fft": ({"n_points": 4096}, _fft),
@@ -78,6 +125,22 @@ MODELS: dict[str, tuple[dict, object]] = {
         {"n_tasks": 64, "task_mean": 5e-3, "task_cv": 0.5, "task_seed": 0},
         _taskfarm,
     ),
+    "halo": (
+        {
+            "iterations": 10, "nx": 64, "halo": 1, "dims": 2, "px": 1,
+            "reduce_every": 0,
+        },
+        _halo,
+    ),
+    "amg": (
+        {
+            "iterations": 4, "nx": 32, "halo": 1, "dims": 2, "px": 1,
+            "coarse_nx": 8,
+        },
+        _amg,
+    ),
+    #: ``program`` is the sha256 fingerprint returned by POST /programs
+    "imported": ({"program": ""}, _imported),
 }
 
 _TIMING_MODES = ("distribution", "average", "minimum", "parametric")
@@ -146,6 +209,14 @@ class PredictRequest:
         bad = set(raw_params) - set(defaults)
         _require(not bad, f"unknown model_params for {model!r}: {sorted(bad)}")
         params = dict(defaults, **raw_params)
+        if model == "imported":
+            ref = params.get("program")
+            _require(
+                isinstance(ref, str) and bool(_PROGRAM_REF_RE.match(ref)),
+                "model 'imported' needs model_params.program set to a "
+                "program fingerprint (sha256 hex, as returned by "
+                "POST /programs)",
+            )
         mode = doc.get("timing_mode", "distribution")
         _require(mode in _TIMING_MODES, f"timing_mode must be one of {_TIMING_MODES}")
         source = doc.get("timing_source", "nxp")

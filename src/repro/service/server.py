@@ -14,6 +14,12 @@ PEVPM engine and the MPIBench distribution database:
 * ``GET/DELETE /distributions/{ref}`` and
   ``PUT /distributions/{ref}/alias`` -- inspect, remove, and hot-swap
   promote registry databases, per-tenant via ``X-Repro-Tenant``;
+* ``GET  /models``         -- the workload catalogue (and
+  ``GET /models/{name}`` for one model's defaulted parameters);
+* ``POST /programs``       -- import a recorded MPI trace
+  (:mod:`repro.trace_import`; invalid traces 422), then predict it with
+  ``{"model": "imported", "model_params": {"program": <fingerprint>}}``;
+  ``GET/DELETE /programs/{fingerprint}`` inspect and remove;
 * ``GET  /healthz``       -- liveness + configuration summary;
 * ``GET  /metrics``       -- Prometheus text exposition;
 * ``GET  /trace``         -- recent request traces as JSON (only when
@@ -70,6 +76,7 @@ from ..registry import (
 )
 from ..registry.store import NotOwner
 from ..simnet import perseus
+from ..trace_import import ProgramStore, TraceError, parse_trace
 from .batcher import MicroBatcher
 from .cache import TieredCache
 from .dedup import LeaderCancelled, SingleFlight
@@ -176,6 +183,7 @@ class PredictionService:
         registry: RegistryStore | None = None,
         tenants: TenantManager | None = None,
         tenant_rate: float = 0.0,
+        programs: ProgramStore | None = None,
     ):
         self.db = db
         self.spec = spec if spec is not None else perseus()
@@ -237,6 +245,16 @@ class PredictionService:
             if tenants is not None
             else TenantManager(self.registry, TenantQuota(rate=tenant_rate))
         )
+        # Imported trace programs share the registry's disk root (one
+        # ``--registry-root`` wires both planes, so every shard of a
+        # sharded deployment sees every uploaded program); with an
+        # in-memory registry the program store is in-memory too.
+        if programs is not None:
+            self.programs = programs
+        elif self.registry.root is not None:
+            self.programs = ProgramStore(self.registry.root / "programs")
+        else:
+            self.programs = ProgramStore()
         self.jobs = JobQueue(
             queue_limit,
             self.metrics,
@@ -311,7 +329,15 @@ class PredictionService:
         )
         built = self._models.get(model_key)
         if built is None:
-            built = self._models[model_key] = req.build_model(spec)
+            program = getattr(req, "_trace_program", None)
+            if program is not None:
+                # Imported program pinned at admission (see
+                # _resolve_request_program); its ref is in model_params,
+                # so the cache key separates programs correctly.
+                built = (program.model(), None)
+            else:
+                built = req.build_model(spec)
+            self._models[model_key] = built
         model, vm_params = built
         timing_key = (
             fingerprint, req.timing_mode, req.timing_source, req.nprocs,
@@ -699,6 +725,14 @@ class PredictionService:
         # fingerprint its key (and record) names.
         req._registry_db = db
         req._registry_fpr = fingerprint
+        try:
+            self._resolve_request_program(req)
+        except UnknownRef as exc:
+            self.metrics.inc("repro_program_misses_total")
+            return 404, {}, {"error": str(exc)}, None
+        except (RequestError, RegistryError) as exc:
+            self.metrics.inc("repro_bad_requests_total")
+            return 400, {}, {"error": str(exc)}, None
         key = req.key(fingerprint)
         deadline = req.deadline_s if req.deadline_s is not None else self.deadline_s
         # Shield the resolution task: a caller hitting its deadline must
@@ -823,6 +857,25 @@ class PredictionService:
         if fingerprint == self.db_fingerprint:
             return fingerprint, self.db
         return fingerprint, self.registry.get(fingerprint)
+
+    def _resolve_request_program(self, req: PredictRequest) -> None:
+        """Pin the imported program of a ``model=imported`` request.
+
+        Resolved once at admission (like the database) so a concurrent
+        delete cannot swap the model under an in-flight request, and the
+        evaluator thread never touches the store.  The request's
+        ``nprocs`` must equal the trace's recorded rank count -- an
+        imported program has no meaning at any other scale.
+        """
+        if req.model != "imported":
+            return
+        program = self.programs.get(req.model_params["program"])
+        if req.nprocs != program.nprocs:
+            raise RequestError(
+                f"program {program.fingerprint[:16]}... was recorded on "
+                f"{program.nprocs} rank(s); request nprocs={req.nprocs}"
+            )
+        req._trace_program = program
 
     def handle_distributions(self, query: dict) -> tuple[int, dict, dict]:
         if "size" not in query:
@@ -1002,6 +1055,102 @@ class PredictionService:
             "previous": previous,
         }
 
+    # -- workload surface --------------------------------------------------------
+    def handle_models(self, name: str | None = None) -> tuple[int, dict, dict]:
+        """``GET /models`` / ``GET /models/{name}``: the registered
+        workload catalogue with its defaulted parameters -- what a
+        client must know to shape a ``/predict`` body."""
+        if name is None:
+            return 200, {}, {
+                "models": {
+                    model: {"defaults": dict(defaults)}
+                    for model, (defaults, _) in sorted(MODELS.items())
+                },
+            }
+        if name not in MODELS:
+            return 404, {}, {
+                "error": f"no model {name!r}; known: {sorted(MODELS)}"
+            }
+        defaults, _ = MODELS[name]
+        doc = {"model": name, "defaults": dict(defaults)}
+        if name == "imported":
+            doc["programs"] = self.programs.entries()
+        return 200, {}, doc
+
+    def handle_program_upload(
+        self, body: object, tenant: str
+    ) -> tuple[int, dict, dict]:
+        """``POST /programs``: import a recorded MPI trace for *tenant*.
+
+        Body: ``{"trace": "<text>"}`` -- JSON-lines or the OTF2-like
+        text subset, auto-detected -- with an optional ``"name"``.  A
+        malformed or semantically invalid trace (unknown ranks,
+        unmatched sends, a recv-cycle deadlock) is a 422 carrying the
+        importer's diagnosis; storage quota is checked before any byte
+        is written, exactly like a distribution upload.
+        """
+        if not isinstance(body, dict):
+            return 400, {}, {"error": "body must be a JSON object"}
+        text = body.get("trace")
+        if not isinstance(text, str) or not text.strip():
+            return 400, {}, {
+                "error": "body needs 'trace': the recorded event log as text "
+                "(JSON lines or the OTF2-like subset)"
+            }
+        name = body.get("name")
+        if name is not None and not isinstance(name, str):
+            return 400, {}, {"error": "name must be a string"}
+        from ..registry import QuotaExceeded
+
+        try:
+            program = parse_trace(text, name)
+        except TraceError as exc:
+            self.metrics.inc("repro_trace_rejections_total")
+            return 422, {}, {"error": "invalid trace", "detail": str(exc)}
+        try:
+            meta = self.programs.put(
+                program,
+                tenant=tenant,
+                source="upload",
+                check=lambda nbytes: self.tenants.check_upload(tenant, nbytes),
+            )
+        except QuotaExceeded as exc:
+            self.metrics.inc("repro_registry_quota_rejections_total")
+            return (
+                429,
+                {"Retry-After": f"{exc.retry_after:g}"},
+                {"error": str(exc), "retry_after_s": exc.retry_after},
+            )
+        self.metrics.inc("repro_program_uploads_total", tenant=tenant)
+        return 200, {}, meta
+
+    def handle_program_get(self, ref: str) -> tuple[int, dict, dict]:
+        """``GET /programs/{fingerprint}``: meta + the canonical trace
+        (so a client can re-export what the service will predict)."""
+        try:
+            program = self.programs.get(ref)
+        except UnknownRef as exc:
+            return 404, {}, {"error": str(exc)}
+        except RegistryError as exc:
+            return 400, {}, {"error": str(exc)}
+        doc = dict(program.meta())
+        doc["trace"] = program.to_jsonl()
+        return 200, {}, doc
+
+    def handle_program_delete(
+        self, ref: str, tenant: str
+    ) -> tuple[int, dict, dict]:
+        """``DELETE /programs/{fingerprint}``: remove a tenant's program."""
+        try:
+            fingerprint = self.programs.delete(ref, tenant=tenant)
+        except UnknownRef as exc:
+            return 404, {}, {"error": str(exc)}
+        except NotOwner as exc:
+            return 403, {}, {"error": str(exc)}
+        except RegistryError as exc:
+            return 400, {}, {"error": str(exc)}
+        return 200, {}, {"deleted": fingerprint}
+
     def handle_chaos(self, body: object) -> tuple[int, dict, dict]:
         """``/chaos`` control endpoint (only routed when chaos mode is on).
 
@@ -1057,6 +1206,7 @@ class PredictionService:
             "draining": self.draining,
             "tracing": self.tracer is not None and self.tracer.enabled,
             "registry": self.registry.stats(),
+            "programs": self.programs.stats(),
         }
         if self.faults is not None:
             doc["chaos"] = self.faults.snapshot()
@@ -1141,6 +1291,45 @@ class ServiceServer:
                     "application/json",
                 )
             return 200, {}, {"traces": tracer.traces(limit)}, "application/json"
+        if path == "/models" or path.startswith("/models/"):
+            if method != "GET":
+                return 405, {}, {"error": "use GET"}, "application/json"
+            parts = [p for p in path.split("/") if p][1:]
+            if len(parts) > 1:
+                return 404, {}, {"error": f"no such endpoint {path!r}"}, "application/json"
+            status, extra, doc = svc.handle_models(parts[0] if parts else None)
+            return status, extra, doc, "application/json"
+        if path == "/programs" or path.startswith("/programs/"):
+            try:
+                tenant = clean_tenant((headers or {}).get("x-repro-tenant"))
+            except RegistryError as exc:
+                return 400, {}, {"error": str(exc)}, "application/json"
+            parts = [p for p in path.split("/") if p][1:]
+            if not parts:
+                if method == "GET":
+                    return (
+                        200, {}, {"programs": svc.programs.entries()},
+                        "application/json",
+                    )
+                if method != "POST":
+                    return 405, {}, {"error": "use GET or POST"}, "application/json"
+                try:
+                    posted = json.loads(body) if body else {}
+                except ValueError:
+                    return 400, {}, {"error": "body is not valid JSON"}, "application/json"
+                status, extra, doc = svc.handle_program_upload(posted, tenant)
+                return status, extra, doc, "application/json"
+            if len(parts) == 1:
+                if method == "GET":
+                    status, extra, doc = svc.handle_program_get(parts[0])
+                elif method == "DELETE":
+                    status, extra, doc = svc.handle_program_delete(
+                        parts[0], tenant
+                    )
+                else:
+                    return 405, {}, {"error": "use GET or DELETE"}, "application/json"
+                return status, extra, doc, "application/json"
+            return 404, {}, {"error": f"no such endpoint {path!r}"}, "application/json"
         if path == "/distributions" or path.startswith("/distributions/"):
             try:
                 tenant = clean_tenant(

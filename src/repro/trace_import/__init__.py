@@ -1,0 +1,35 @@
+"""Import recorded MPI event logs as predictable model programs.
+
+Bridges measurement to modelling: a trace recorded on a real run (the
+documented JSON-lines schema, or a small OTF2-like text subset) parses
+into a validated, content-addressed :class:`TraceProgram` whose
+:meth:`~TraceProgram.model` replays on all three PEVPM engines --
+scalar, batched, compiled -- with bit-identical predictions.  The
+:class:`ProgramStore` gives the service a shared content-addressed home
+for imported programs (``POST /programs`` -> ``/predict`` with
+``model=imported``).
+"""
+
+from .importer import (
+    TraceDeadlock,
+    TraceError,
+    TraceModel,
+    TraceProgram,
+    parse_jsonl,
+    parse_otf2_text,
+    parse_trace,
+    sample_trace,
+)
+from .store import ProgramStore
+
+__all__ = [
+    "ProgramStore",
+    "TraceDeadlock",
+    "TraceError",
+    "TraceModel",
+    "TraceProgram",
+    "parse_jsonl",
+    "parse_otf2_text",
+    "parse_trace",
+    "sample_trace",
+]

@@ -349,3 +349,61 @@ class TestInverseCdfTable:
         clone = pickle.loads(pickle.dumps(h))
         assert clone._icdf is None
         assert np.array_equal(clone.quantiles(qs), before)
+
+
+class TestDegenerateExactConstant:
+    """A degenerate cell (all mass on one point) must reproduce the
+    constant *exactly* -- not within floating-point noise of it.  The
+    eps-widened internal edges exist only to keep binning well-formed;
+    they must never leak into returned values."""
+
+    CONST = 3.0000000000000004  # an awkward, non-round float
+
+    def test_sample_returns_the_constant_bit_for_bit(self):
+        h = _h([self.CONST] * 8)
+        assert h.degenerate
+        rng = np.random.default_rng(11)
+        assert h.sample(rng) == self.CONST
+        draws = h.sample(rng, 64)
+        assert np.all(draws == self.CONST)
+
+    def test_quantile_and_icdf_exact(self):
+        h = _h([self.CONST] * 3)
+        for q in (0.0, 0.25, 0.5, 1.0):
+            assert h.quantile(q) == self.CONST
+        qs = np.linspace(0.0, 1.0, 33)
+        assert np.all(h.icdf()(qs) == self.CONST)
+        assert h.icdf()(qs).shape == qs.shape
+
+    def test_rng_stream_alignment_with_nondegenerate_path(self):
+        # The degenerate fast path must consume exactly the draws the
+        # general path would, so mixed degenerate/non-degenerate cells
+        # in one timing model keep downstream sampling reproducible.
+        h = _h([self.CONST] * 4)
+        a = np.random.default_rng(7)
+        h.sample(a, 10)
+        b = np.random.default_rng(7)
+        b.random(10)
+        b.random(10)
+        assert a.random() == b.random()
+        # scalar draw consumes the size-1 pair
+        a2 = np.random.default_rng(8)
+        h.sample(a2)
+        b2 = np.random.default_rng(8)
+        b2.random(1)
+        b2.random(1)
+        assert a2.random() == b2.random()
+
+    def test_survives_serialisation(self):
+        import pickle
+
+        h = _h([self.CONST] * 5)
+        binned = Histogram.from_dict(h.to_dict())  # drops raw samples
+        assert binned.degenerate
+        assert binned.sample(np.random.default_rng(0)) == self.CONST
+        clone = pickle.loads(pickle.dumps(h))
+        assert clone.sample(np.random.default_rng(0)) == self.CONST
+
+    def test_near_degenerate_is_not_degenerate(self):
+        h = _h([1.0, 1.0 + 1e-9])
+        assert not h.degenerate

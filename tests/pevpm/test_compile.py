@@ -110,6 +110,26 @@ class TestCompileStructure:
         with pytest.raises(ModelDeadlock):
             compile_program(program, 2)
 
+    def test_deadlock_names_rank_and_op_index(self):
+        """The diagnostic must name each stuck rank AND the directive
+        (op) index it is parked on -- 'proc 0 is stuck' alone is not
+        actionable in a thousand-op compiled schedule."""
+
+        def program(ctx):
+            if ctx.procnum == 0:
+                yield ctx.serial(1e-6, label="warmup")
+                yield ctx.recv(1, label="never-comes")
+            else:
+                yield ctx.recv(0, label="never-comes-either")
+
+        with pytest.raises(ModelDeadlock) as err:
+            compile_program(program, 2)
+        exc = err.value
+        assert exc.sites == {0: 1, 1: 0}
+        message = str(exc)
+        assert "proc 0 waiting on proc 1 at op 1" in message
+        assert "proc 1 waiting on proc 0 at op 0" in message
+
     def test_schedule_precomputes_intra_flags(self):
         def program(ctx):
             if ctx.procnum == 0:

@@ -220,3 +220,96 @@ class TestServiceParsers:
         ])
         assert args.concurrency == [1, 4, 16]
         assert args.duration == 2.0
+
+
+class TestPredictModels:
+    """``repro predict --model`` reaches beyond jacobi."""
+
+    def test_halo_json_record(self, capsys, tmp_path):
+        from repro.mpibench import BenchSettings, MPIBench
+        from repro.simnet import perseus
+
+        db_path = tmp_path / "db.json"
+        bench = MPIBench(perseus(16), seed=3,
+                         settings=BenchSettings(reps=20, warmup=2))
+        bench.sweep_isend(
+            [(1, 2), (2, 1), (8, 1)], sizes=[0, 512, 1024]
+        ).save(db_path)
+        rc = main([
+            "predict", "--model", "halo",
+            "--model-params", '{"nx": 8, "iterations": 2}',
+            "--db", str(db_path), "--nprocs", "4", "--runs", "2", "--json",
+        ])
+        assert rc == 0
+        import json as _json
+
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["workload"]["model"] == "halo"
+        assert doc["workload"]["model_params"]["nx"] == 8
+        assert doc["serial_time"] > 0
+        assert doc["predictions"]["distribution-nxp"]["times"]
+
+    def test_unknown_model_param_rejected(self, capsys):
+        rc = main([
+            "predict", "--model", "fft", "--model-params", '{"nx": 8}',
+        ])
+        assert rc == 1
+        assert "unknown fft parameter" in capsys.readouterr().err
+
+    def test_measure_restricted_to_jacobi(self, capsys):
+        rc = main(["predict", "--model", "amg", "--measure"])
+        assert rc == 2
+        assert "--measure" in capsys.readouterr().err
+
+
+class TestImportTrace:
+    def ring(self, tmp_path):
+        from repro.trace_import import sample_trace
+
+        program = sample_trace(nprocs=4)
+        path = tmp_path / "ring.jsonl"
+        path.write_text(program.to_jsonl())
+        return program, path
+
+    def test_summary_and_json(self, capsys, tmp_path):
+        program, path = self.ring(tmp_path)
+        assert main(["import-trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert program.fingerprint in out
+        assert "4 procs" in out
+
+        assert main(["import-trace", str(path), "--json"]) == 0
+        import json as _json
+
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["fingerprint"] == program.fingerprint
+
+    def test_export_round_trips(self, capsys, tmp_path):
+        program, path = self.ring(tmp_path)
+        out_path = tmp_path / "exported.jsonl"
+        assert main([
+            "import-trace", str(path), "--export", str(out_path),
+        ]) == 0
+        from repro.trace_import import parse_jsonl
+
+        assert parse_jsonl(out_path.read_text()).fingerprint == \
+            program.fingerprint
+
+    def test_deadlock_exits_3(self, capsys, tmp_path):
+        path = tmp_path / "dead.trace"
+        path.write_text(
+            "NPROCS 2\n0 MPI_RECV 1\n1 MPI_RECV 0\n"
+            "0 MPI_SEND 1 8\n1 MPI_SEND 0 8\n"
+        )
+        assert main(["import-trace", str(path)]) == 3
+        assert "deadlock" in capsys.readouterr().err
+
+    def test_invalid_trace_exits_1(self, capsys, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("NPROCS 2\n0 MPI_SEND 1 8\n")
+        assert main(["import-trace", str(path)]) == 1
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_missing_file_exits_1(self, capsys):
+        assert main(["import-trace", "/nonexistent/t.jsonl"]) == 1
+        assert capsys.readouterr().err
